@@ -1,0 +1,261 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark per figure)
+// plus micro-benchmarks of the load-bearing primitives. Each figure bench
+// runs one full Monte-Carlo dissemination per iteration at the exact paper
+// parameters and reports the figure's y-axis value as a custom metric, so
+//
+//	go test -bench BenchmarkFigure4 -benchmem
+//
+// prints both the cost of a run and the reproduced reliability. The CSV
+// tables behind the figures come from cmd/pmcast-bench.
+package pmcast_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/analysis"
+	"pmcast/internal/baseline"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/sim"
+	"pmcast/internal/tree"
+)
+
+// fig45Params are the Figure 4/5 parameters: n ≈ 10000 (a=22, d=3), R=3, F=2.
+func fig45Params() sim.Params {
+	return sim.Params{A: 22, D: 3, R: 3, F: 2, Eps: 0.01, Tau: 0.001}
+}
+
+func benchDissemination(b *testing.B, params sim.Params, pd float64, metric string,
+	value func(sim.Result) float64) {
+	b.Helper()
+	s, err := sim.New(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(pd, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += value(res)
+	}
+	b.ReportMetric(sum/float64(b.N), metric)
+}
+
+// BenchmarkFigure4 reproduces Figure 4: probability of delivery for
+// interested processes across matching rates.
+func BenchmarkFigure4(b *testing.B) {
+	for _, pd := range []float64{0.05, 0.1, 0.2, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("pd=%g", pd), func(b *testing.B) {
+			benchDissemination(b, fig45Params(), pd, "delivery/run",
+				sim.Result.DeliveryRate)
+		})
+	}
+}
+
+// BenchmarkFigure5 reproduces Figure 5: probability of reception for
+// uninterested processes.
+func BenchmarkFigure5(b *testing.B) {
+	for _, pd := range []float64{0.05, 0.1, 0.2, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("pd=%g", pd), func(b *testing.B) {
+			benchDissemination(b, fig45Params(), pd, "uninterested/run",
+				sim.Result.UninterestedReceptionRate)
+		})
+	}
+}
+
+// BenchmarkFigure6 reproduces Figure 6: scalability in the subgroup size a
+// (d=3, R=4, F=3) at matching rates 0.5 and 0.2.
+func BenchmarkFigure6(b *testing.B) {
+	for _, a := range []int{10, 20, 30, 40} {
+		for _, pd := range []float64{0.5, 0.2} {
+			b.Run(fmt.Sprintf("a=%d/pd=%g", a, pd), func(b *testing.B) {
+				params := sim.Params{A: a, D: 3, R: 4, F: 3, Eps: 0.01, Tau: 0.001}
+				benchDissemination(b, params, pd, "delivery/run",
+					sim.Result.DeliveryRate)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7 reproduces Figure 7: the Section 5.3 tuning (threshold h)
+// against the untuned algorithm at small matching rates.
+func BenchmarkFigure7(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		h    int
+	}{{"original", 0}, {"improved", 8}} {
+		for _, pd := range []float64{0.025, 0.05, 0.1} {
+			b.Run(fmt.Sprintf("%s/pd=%g", variant.name, pd), func(b *testing.B) {
+				params := fig45Params()
+				params.Threshold = variant.h
+				benchDissemination(b, params, pd, "delivery/run",
+					sim.Result.DeliveryRate)
+			})
+		}
+	}
+}
+
+// BenchmarkBaselines measures the Section 1 alternatives under the Figure 4
+// environment for the message-cost comparison table.
+func BenchmarkBaselines(b *testing.B) {
+	const pd = 0.5
+	n := fig45Params().N()
+	b.Run("flood", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		var msgs float64
+		for i := 0; i < b.N; i++ {
+			res, err := baseline.RunFlood(baseline.FloodParams{N: n, F: 2, Eps: 0.01, Tau: 0.001}, pd, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msgs += float64(res.Messages)
+		}
+		b.ReportMetric(msgs/float64(b.N), "msgs/run")
+	})
+	b.Run("genuine", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		var msgs float64
+		for i := 0; i < b.N; i++ {
+			res, err := baseline.RunGenuine(baseline.GenuineParams{
+				N: n, ViewSize: 66, F: 2, Eps: 0.01, Tau: 0.001}, pd, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msgs += float64(res.Messages)
+		}
+		b.ReportMetric(msgs/float64(b.N), "msgs/run")
+	})
+	b.Run("dettree", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		var msgs float64
+		for i := 0; i < b.N; i++ {
+			res, err := baseline.RunDeterministicTree(baseline.DetTreeParams{
+				A: 22, D: 3, R: 3, Eps: 0.01, Tau: 0.001}, pd, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msgs += float64(res.Messages)
+		}
+		b.ReportMetric(msgs/float64(b.N), "msgs/run")
+	})
+	b.Run("pmcast", func(b *testing.B) {
+		benchDissemination(b, fig45Params(), pd, "msgs/run",
+			func(r sim.Result) float64 { return float64(r.Messages) })
+	})
+}
+
+// BenchmarkAnalysisModel measures the Eq. 3–18 evaluation (the per-figure
+// analytic overlay).
+func BenchmarkAnalysisModel(b *testing.B) {
+	params := analysis.TreeParams{A: 22, D: 3, R: 3, F: 2, Pd: 0.5, Eps: 0.01, Tau: 0.001}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := analysis.NewTreeModel(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m.Reliability()
+	}
+}
+
+// BenchmarkMarkovChain measures the flat-group distribution recursion
+// (Eq. 9–10) at a paper-scale subgroup.
+func BenchmarkMarkovChain(b *testing.B) {
+	chain, err := analysis.NewChain(analysis.FlatParams{N: 66, F: 2, Eps: 0.01, Tau: 0.001})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = chain.ExpectedInfected(1, 8)
+	}
+}
+
+// BenchmarkSubscriptionMatch measures content-based matching (the per-gossip
+// hot path of live nodes).
+func BenchmarkSubscriptionMatch(b *testing.B) {
+	sub := interest.NewSubscription().
+		Where("b", interest.EqInt(2)).
+		Where("c", interest.Gt(40)).
+		Where("e", interest.OneOf("Bob", "Tom"))
+	ev := event.NewBuilder().Int("b", 2).Float("c", 41).Str("e", "Tom").
+		Build(event.ID{Origin: "x", Seq: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sub.Matches(ev) {
+			b.Fatal("must match")
+		}
+	}
+}
+
+// BenchmarkSummaryMatch measures matching against a regrouped summary (the
+// delegate-side filter).
+func BenchmarkSummaryMatch(b *testing.B) {
+	sum := interest.NewSummaryWithBound(8)
+	for i := 0; i < 50; i++ {
+		sum.Add(interest.NewSubscription().
+			Where("b", interest.EqInt(int64(i))).
+			Where("c", interest.Gt(float64(i))))
+	}
+	ev := event.NewBuilder().Int("b", 25).Float("c", 30).Build(event.ID{Origin: "x", Seq: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum.Matches(ev)
+	}
+}
+
+// BenchmarkSummaryRegroup measures interest regrouping (view aggregation).
+func BenchmarkSummaryRegroup(b *testing.B) {
+	subs := make([]interest.Subscription, 64)
+	for i := range subs {
+		subs[i] = interest.NewSubscription().
+			Where("b", interest.Between(float64(i), float64(i+10))).
+			Where("e", interest.OneOf(fmt.Sprintf("user%d", i%7)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = interest.Summarize(subs...)
+	}
+}
+
+// BenchmarkTreeBuild measures constructing the delegate tree from a member
+// snapshot (the membership-change hot path of live nodes).
+func BenchmarkTreeBuild(b *testing.B) {
+	space := addr.MustRegular(8, 3) // 512 members
+	members := make([]tree.Member, 0, space.Capacity())
+	for i := 0; i < space.Capacity(); i++ {
+		members = append(members, tree.Member{
+			Addr: space.AddressAt(i),
+			Sub:  interest.NewSubscription().Where("b", interest.EqInt(int64(i%9))),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Build(tree.Config{Space: space, R: 3}, members); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRound measures one full paper-scale dissemination (the unit of
+// every figure bench) for end-to-end throughput tracking.
+func BenchmarkSimRound(b *testing.B) {
+	s, err := sim.New(fig45Params())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(0.5, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

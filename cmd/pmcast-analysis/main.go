@@ -1,0 +1,90 @@
+// Command pmcast-analysis evaluates the paper's analytical model (Section 4)
+// without simulation: expected reliability (Eq. 18), round bounds (Eq. 3,
+// 11, 13) and membership scalability (Eq. 2/12), printed as CSV.
+//
+// Examples:
+//
+//	pmcast-analysis -mode reliability -a 22 -d 3 -r 3 -f 2
+//	pmcast-analysis -mode rounds -pd 0.5
+//	pmcast-analysis -mode views -n 10648 -r 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pmcast/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pmcast-analysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("pmcast-analysis", flag.ContinueOnError)
+	mode := fs.String("mode", "reliability", "reliability | rounds | views | depths")
+	a := fs.Int("a", 22, "regular arity")
+	d := fs.Int("d", 3, "tree depth")
+	r := fs.Int("r", 3, "redundancy factor")
+	f := fs.Float64("f", 2, "fanout")
+	c := fs.Float64("c", 0, "Pittel constant")
+	pd := fs.Float64("pd", 0.5, "matching rate (depths mode)")
+	eps := fs.Float64("eps", 0.01, "message loss ε")
+	tau := fs.Float64("tau", 0.001, "crash fraction τ")
+	n := fs.Int("n", 10648, "population (views mode)")
+	maxD := fs.Int("maxd", 10, "max depth (views mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := func(p float64) analysis.TreeParams {
+		return analysis.TreeParams{A: *a, D: *d, R: *r, F: *f, C: *c, Pd: p, Eps: *eps, Tau: *tau}
+	}
+	sweep := []float64{0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+	switch *mode {
+	case "reliability":
+		fmt.Fprintln(w, "pd,reliability_eq18,expected_delivered,audience")
+		for _, p := range sweep {
+			m, err := analysis.NewTreeModel(params(p))
+			if err != nil {
+				return err
+			}
+			audience := float64(m.Params().N()) * p
+			fmt.Fprintf(w, "%g,%.4f,%.1f,%.1f\n", p, m.Reliability(), m.ExpectedDelivered(), audience)
+		}
+	case "rounds":
+		fmt.Fprintln(w, "pd,tree_rounds_eq13,flat_rounds_eq11")
+		for _, p := range sweep {
+			m, err := analysis.NewTreeModel(params(p))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%g,%d,%d\n", p, m.TotalRounds(), m.FlatRounds())
+		}
+	case "views":
+		fmt.Fprintln(w, "d,view_size_eq2")
+		for i, s := range analysis.ViewSizeByDepth(*n, *r, *maxD) {
+			fmt.Fprintf(w, "%d,%d\n", i+1, s)
+		}
+	case "depths":
+		m, err := analysis.NewTreeModel(params(*pd))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "depth,p_i,m_i,eff_size,eff_fanout,rounds_T_i,expected_infected,r_i")
+		for _, ds := range m.Depths() {
+			fmt.Fprintf(w, "%d,%.4f,%d,%.2f,%.3f,%d,%.2f,%.4f\n",
+				ds.Depth, ds.Pi, ds.Mi, ds.EffSize, ds.EffFanout, ds.Rounds,
+				ds.ExpectedInfected, ds.NodeInfectProb)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	return nil
+}

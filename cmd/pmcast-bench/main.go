@@ -1,0 +1,172 @@
+// Command pmcast-bench regenerates every figure and table of the paper's
+// evaluation as CSV on stdout.
+//
+// Usage:
+//
+//	pmcast-bench -fig 4            # Figure 4: delivery vs matching rate
+//	pmcast-bench -fig 5            # Figure 5: uninterested reception
+//	pmcast-bench -fig 6            # Figure 6: scalability in subgroup size
+//	pmcast-bench -fig 7            # Figure 7: tuned vs untuned
+//	pmcast-bench -fig views        # Eq. 2/12 membership scalability table
+//	pmcast-bench -fig rounds       # Eq. 13 tree vs flat round bounds
+//	pmcast-bench -fig baselines    # pmcast vs flood/genuine/deterministic
+//	pmcast-bench -fig all          # everything, sections separated by headers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pmcast/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pmcast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("pmcast-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 4,5,6,7,views,rounds,baselines,all")
+	runs := fs.Int("runs", 20, "Monte-Carlo runs per point")
+	seed := fs.Int64("seed", 1, "base RNG seed")
+	quick := fs.Bool("quick", false, "shrunk tree and sweep for fast runs")
+	eps := fs.Float64("eps", 0.01, "message loss probability ε")
+	tau := fs.Float64("tau", 0.001, "crash fraction τ")
+	threshold := fs.Int("h", 8, "Figure 7 tuning threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiments.Options{
+		Runs: *runs, Seed: *seed, Quick: *quick,
+		Eps: *eps, Tau: *tau, Threshold: *threshold,
+	}
+
+	emit := map[string]func() error{
+		"4":         func() error { return emitFig4(w, o) },
+		"5":         func() error { return emitFig5(w, o) },
+		"6":         func() error { return emitFig6(w, o) },
+		"7":         func() error { return emitFig7(w, o) },
+		"views":     func() error { return emitViews(w) },
+		"rounds":    func() error { return emitRounds(w, o) },
+		"baselines": func() error { return emitBaselines(w, o) },
+		"ablation":  func() error { return emitAblation(w, o) },
+	}
+	if *fig == "all" {
+		for _, k := range []string{"4", "5", "6", "7", "views", "rounds", "baselines", "ablation"} {
+			fmt.Fprintf(w, "# --- figure %s ---\n", k)
+			if err := emit[k](); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	f, ok := emit[*fig]
+	if !ok {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return f()
+}
+
+func emitFig4(w io.Writer, o experiments.Options) error {
+	rows, err := experiments.Figure4(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "pd,delivery,delivery_ci95,analytic_reliability,rounds,messages,runs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%g,%.4f,%.4f,%.4f,%.1f,%.0f,%d\n",
+			r.Pd, r.Delivery, r.DeliveryCI, r.AnalyticReliability, r.Rounds, r.Messages, r.Runs)
+	}
+	return nil
+}
+
+func emitFig5(w io.Writer, o experiments.Options) error {
+	rows, err := experiments.Figure5(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "pd,uninterested_reception,reception_ci95,runs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%g,%.4f,%.4f,%d\n", r.Pd, r.UninterestedReception, r.ReceptionCI, r.Runs)
+	}
+	return nil
+}
+
+func emitFig6(w io.Writer, o experiments.Options) error {
+	rows, err := experiments.Figure6(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "a,n,delivery_pd0.5,ci_0.5,delivery_pd0.2,ci_0.2,runs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%d,%.4f,%.4f,%.4f,%.4f,%d\n",
+			r.A, r.N, r.DeliveryAtHalf, r.CIHalf, r.DeliveryAtFifth, r.CIFifth, r.Runs)
+	}
+	return nil
+}
+
+func emitFig7(w io.Writer, o experiments.Options) error {
+	rows, err := experiments.Figure7(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "pd,original,improved,original_uninterested,improved_uninterested,runs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%g,%.4f,%.4f,%.4f,%.4f,%d\n",
+			r.Pd, r.Original, r.Improved, r.OriginalReception, r.ImprovedReception, r.Runs)
+	}
+	return nil
+}
+
+func emitViews(w io.Writer) error {
+	fmt.Fprintln(w, "d,view_size")
+	for _, r := range experiments.ViewSizeTable(10648, 3, 10) {
+		fmt.Fprintf(w, "%d,%d\n", r.D, r.ViewSize)
+	}
+	return nil
+}
+
+func emitRounds(w io.Writer, o experiments.Options) error {
+	rows, err := experiments.RoundsTable(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "pd,tree_rounds_eq13,flat_rounds,sim_rounds")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%g,%d,%d,%.1f\n", r.Pd, r.TreeRounds, r.FlatRounds, r.SimRounds)
+	}
+	return nil
+}
+
+func emitAblation(w io.Writer, o experiments.Options) error {
+	rows, err := experiments.AblationTable(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "variant,pd,delivery,uninterested,rounds,messages")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%g,%.4f,%.4f,%.1f,%.0f\n",
+			r.Variant, r.Pd, r.Delivery, r.UninterestedReception, r.Rounds, r.Messages)
+	}
+	return nil
+}
+
+func emitBaselines(w io.Writer, o experiments.Options) error {
+	rows, err := experiments.BaselineTable(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "pd,pmcast,flood,genuine,dettree,pmcast_unint,flood_unint,genuine_unint,dettree_unint,pmcast_msgs,flood_msgs,genuine_msgs,dettree_msgs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.0f,%.0f,%.0f,%.0f\n",
+			r.Pd, r.Pmcast, r.Flood, r.Genuine, r.DetTree,
+			r.PmcastUninterested, r.FloodUninterested, r.GenuineUninterested, r.DetTreeUninterested,
+			r.PmcastMsgs, r.FloodMsgs, r.GenuineMsgs, r.DetTreeMsgs)
+	}
+	return nil
+}

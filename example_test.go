@@ -1,0 +1,89 @@
+package pmcast_test
+
+import (
+	"fmt"
+
+	"pmcast"
+)
+
+// ExampleWhere shows the subscription language mirroring the paper's
+// Figure 2 interests.
+func ExampleWhere() {
+	sub := pmcast.Where("b", pmcast.EqInt(2)).
+		Where("c", pmcast.Gt(40.0)).
+		Where("z", pmcast.EqInt(20000))
+	fmt.Println(sub)
+
+	ev := pmcast.NewEventBuilder().
+		Int("b", 2).Float("c", 41.5).Int("z", 20000).
+		Build(pmcast.EventID{Origin: "128.178.73.3", Seq: 1})
+	fmt.Println(sub.Matches(ev))
+	// Output:
+	// b = 2, c > 40, z = 20000
+	// true
+}
+
+// ExampleSummarize shows interest regrouping: the summary over-approximates
+// the union of subscriptions within a bounded size.
+func ExampleSummarize() {
+	sum := pmcast.Summarize(
+		pmcast.Where("b", pmcast.Gt(3)),
+		pmcast.Where("b", pmcast.Gt(0)), // subsumes the first: absorbed
+		pmcast.Where("e", pmcast.OneOf("Bob", "Tom")),
+	)
+	fmt.Println(sum)
+	// Output:
+	// b > 0 | e = "Bob" ∨ "Tom"
+}
+
+// ExampleNewTreeModel evaluates the paper's analytical model (Section 4) at
+// the Figure 4 configuration.
+func ExampleNewTreeModel() {
+	m, err := pmcast.NewTreeModel(pmcast.TreeParams{
+		A: 22, D: 3, R: 3, F: 2, Pd: 0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("audience: %d processes\n", int(float64(m.Params().N())*0.5))
+	fmt.Printf("reliability degree > 0.9: %v\n", m.Reliability() > 0.9)
+	// Output:
+	// audience: 5324 processes
+	// reliability degree > 0.9: true
+}
+
+// ExamplePittel evaluates Eq. 3, the round bound that garbage-collects
+// gossip buffers.
+func ExamplePittel() {
+	fmt.Printf("T(10000, 2) = %.1f rounds\n", pmcast.Pittel(10000, 2, 0))
+	fmt.Printf("T(1, 2) = %.1f rounds\n", pmcast.Pittel(1, 2, 0))
+	// Output:
+	// T(10000, 2) = 13.0 rounds
+	// T(1, 2) = 0.0 rounds
+}
+
+// ExampleNewSimulator reproduces one Figure 4 data point.
+func ExampleNewSimulator() {
+	s, err := pmcast.NewSimulator(pmcast.SimParams{A: 10, D: 2, R: 3, F: 2})
+	if err != nil {
+		panic(err)
+	}
+	agg, err := s.RunMany(0.5, 10, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivery > 0.95: %v\n", agg.Delivery.Mean() > 0.95)
+	// Output:
+	// delivery > 0.95: true
+}
+
+// ExampleMustParseAddress shows hierarchical addressing and distance.
+func ExampleMustParseAddress() {
+	a := pmcast.MustParseAddress("128.178.73.3")
+	b := pmcast.MustParseAddress("128.178.88.10")
+	fmt.Println(a.Distance(b)) // share prefix 128.178 → distance d−i+1 = 2
+	fmt.Println(a.Prefix(3))
+	// Output:
+	// 2
+	// 128.178
+}

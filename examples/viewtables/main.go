@@ -1,0 +1,81 @@
+// Viewtables renders the membership view stack of the paper's Figure 2: the
+// per-depth tables (infix, regrouped interests, delegates, process counts)
+// of a process in a depth-4 tree populated after the paper's example
+// (prefix 128.178.73, attributes b, c, e, z). Run with:
+// go run ./examples/viewtables
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/interest"
+	"pmcast/internal/tree"
+)
+
+func main() {
+	// A compact space shaped like IPv4 for the digits used by the example.
+	space, err := addr.NewSpace(256, 256, 256, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub := func(cs ...struct {
+		attr string
+		c    interest.Criterion
+	}) interest.Subscription {
+		s := interest.NewSubscription()
+		for _, x := range cs {
+			s = s.Where(x.attr, x.c)
+		}
+		return s
+	}
+	w := func(attr string, c interest.Criterion) struct {
+		attr string
+		c    interest.Criterion
+	} {
+		return struct {
+			attr string
+			c    interest.Criterion
+		}{attr, c}
+	}
+
+	// The depth-4 view of Figure 2 (subgroup 128.178.73) plus enough
+	// processes in sibling subgroups to populate depths 1–3.
+	members := []tree.Member{
+		// 128.178.73.* — the leaf group, interests straight from Figure 2.
+		{Addr: addr.MustParse("128.178.73.3"), Sub: sub(w("b", interest.EqInt(2)), w("c", interest.Gt(40.0)), w("z", interest.EqInt(20000)))},
+		{Addr: addr.MustParse("128.178.73.17"), Sub: sub(w("b", interest.EqInt(5)), w("c", interest.Gt(53.5)))},
+		{Addr: addr.MustParse("128.178.73.19"), Sub: sub(w("b", interest.Gt(1)), w("c", interest.Between(20.0, 30.0)), w("z", interest.Le(50000)))},
+		{Addr: addr.MustParse("128.178.73.116"), Sub: sub(w("b", interest.Gt(0)), w("c", interest.Gt(20.0)))},
+		{Addr: addr.MustParse("128.178.73.119"), Sub: sub(w("b", interest.EqInt(4)), w("z", interest.Between(2000, 30000)))},
+		{Addr: addr.MustParse("128.178.73.124"), Sub: sub(w("b", interest.EqInt(3)), w("c", interest.Ge(35.997)))},
+		{Addr: addr.MustParse("128.178.73.223"), Sub: sub(w("b", interest.EqInt(2)))},
+		// Sibling subgroups of 128.178 (Figure 2, view of depth 3).
+		{Addr: addr.MustParse("128.178.41.21"), Sub: sub(w("b", interest.EqInt(3)), w("z", interest.EqInt(42000)))},
+		{Addr: addr.MustParse("128.178.41.23"), Sub: sub(w("b", interest.EqInt(3)), w("z", interest.EqInt(42000)))},
+		{Addr: addr.MustParse("128.178.88.10"), Sub: sub(w("b", interest.Gt(5)), w("e", interest.OneOf("Tom")))},
+		{Addr: addr.MustParse("128.178.88.13"), Sub: sub(w("b", interest.Gt(5)), w("e", interest.OneOf("Tom")))},
+		{Addr: addr.MustParse("128.178.98.15"), Sub: sub(w("b", interest.Gt(4)), w("c", interest.Between(20.0, 35.0)), w("z", interest.Lt(23002)))},
+		{Addr: addr.MustParse("128.178.110.1"), Sub: sub(w("b", interest.Gt(6)), w("z", interest.Gt(45320)))},
+		// Sibling subgroups of 128 (view of depth 2).
+		{Addr: addr.MustParse("128.3.2.230"), Sub: sub(w("b", interest.Gt(3)), w("c", interest.Between(10.0, 220.0)))},
+		{Addr: addr.MustParse("128.18.120.4"), Sub: sub(w("b", interest.EqInt(2)), w("e", interest.OneOf("Bob", "Tom")))},
+		{Addr: addr.MustParse("128.56.12.24"), Sub: sub(w("b", interest.Gt(1)), w("c", interest.Gt(155.6)))},
+		// Top-level subgroups (view of depth 1).
+		{Addr: addr.MustParse("3.2.230.23"), Sub: interest.NewSubscription()},
+		{Addr: addr.MustParse("18.12.2.183"), Sub: sub(w("z", interest.Gt(10000)))},
+	}
+
+	t, err := tree.Build(tree.Config{Space: space, R: 3}, members)
+	if err != nil {
+		log.Fatal(err)
+	}
+	self := addr.MustParse("128.178.73.3")
+	fmt.Printf("membership views of process %s (R=3, d=4)\n", self)
+	fmt.Printf("knows %d processes of %d in the group (Eq. 2)\n\n",
+		t.KnownProcesses(self), t.Len())
+	for depth := 1; depth <= t.Depth(); depth++ {
+		fmt.Println(tree.RenderView(t.ViewAt(self, depth)))
+	}
+}

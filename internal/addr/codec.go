@@ -1,0 +1,48 @@
+package addr
+
+import (
+	"pmcast/internal/binenc"
+)
+
+// AppendAddress appends the wire form of an address: digit count followed by
+// the digits as varints.
+func AppendAddress(b []byte, a Address) []byte {
+	b = binenc.AppendUvarint(b, uint64(len(a.digits)))
+	for _, d := range a.digits {
+		b = binenc.AppendVarint(b, int64(d))
+	}
+	return b
+}
+
+// ReadAddress reads an address previously written by AppendAddress. On
+// malformed input the reader's error is set and the zero Address returned.
+func ReadAddress(r *binenc.Reader) Address {
+	n := r.Count(1)
+	if n == 0 {
+		return Address{}
+	}
+	digits := make([]int, n)
+	for i := range digits {
+		digits[i] = int(r.Varint())
+	}
+	if r.Err() != nil {
+		return Address{}
+	}
+	return Address{digits: digits}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (a Address) MarshalBinary() ([]byte, error) {
+	return AppendAddress(nil, a), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (a *Address) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	got := ReadAddress(r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*a = got
+	return nil
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// paperParams are the Figure 4/5 parameters: n ≈ 10000 (a=22, d=3), R=3, F=2.
+func paperParams(pd float64) TreeParams {
+	return TreeParams{A: 22, D: 3, R: 3, F: 2, Pd: pd, Eps: 0.01, Tau: 0.001}
+}
+
+func TestTreeParamsValidate(t *testing.T) {
+	bad := []TreeParams{
+		{A: 0, D: 3, R: 3, F: 2, Pd: 0.5},
+		{A: 22, D: 0, R: 3, F: 2, Pd: 0.5},
+		{A: 22, D: 3, R: 0, F: 2, Pd: 0.5},
+		{A: 22, D: 3, R: 3, F: 2, Pd: -0.1},
+		{A: 22, D: 3, R: 3, F: 2, Pd: 1.1},
+		{A: 22, D: 3, R: 3, F: 2, Pd: 0.5, Eps: 1},
+		{A: 22, D: 3, R: 3, F: 2, Pd: 0.5, Tau: -1},
+	}
+	for _, p := range bad {
+		if _, err := NewTreeModel(p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestN(t *testing.T) {
+	if got := paperParams(0.5).N(); got != 22*22*22 {
+		t.Errorf("N = %d", got)
+	}
+}
+
+func TestInterestAtDepthEq7(t *testing.T) {
+	p := paperParams(0.3)
+	// p_d = pd at the leaves.
+	if got := p.InterestAtDepth(3); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("p_3 = %g, want 0.3", got)
+	}
+	// p_i = 1−(1−pd)^(a^(d−i)).
+	want2 := 1 - math.Pow(0.7, 22)
+	if got := p.InterestAtDepth(2); math.Abs(got-want2) > 1e-12 {
+		t.Errorf("p_2 = %g, want %g", got, want2)
+	}
+	want1 := 1 - math.Pow(0.7, 22*22)
+	if got := p.InterestAtDepth(1); math.Abs(got-want1) > 1e-12 {
+		t.Errorf("p_1 = %g, want %g", got, want1)
+	}
+	// Monotone: closer to the root, more likely susceptible.
+	if !(p.InterestAtDepth(1) >= p.InterestAtDepth(2) && p.InterestAtDepth(2) >= p.InterestAtDepth(3)) {
+		t.Error("p_i should grow towards the root")
+	}
+	// pd = 1 is invariant at all depths.
+	full := paperParams(1)
+	for i := 1; i <= 3; i++ {
+		if got := full.InterestAtDepth(i); got != 1 {
+			t.Errorf("pd=1: p_%d = %g", i, got)
+		}
+	}
+}
+
+func TestViewSizesEq12(t *testing.T) {
+	p := paperParams(0.5)
+	if p.ViewSize(1) != 66 || p.ViewSize(2) != 66 || p.ViewSize(3) != 22 {
+		t.Errorf("view sizes = %d %d %d", p.ViewSize(1), p.ViewSize(2), p.ViewSize(3))
+	}
+	if p.TotalViewSize() != 66*2+22 {
+		t.Errorf("total = %d", p.TotalViewSize())
+	}
+}
+
+func TestViewSizeByDepth(t *testing.T) {
+	// m(d) = R·a·(d−1)+a with a = ceil(n^(1/d)); minimum near d = log n.
+	sizes := ViewSizeByDepth(10000, 3, 10)
+	if len(sizes) != 10 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	if sizes[0] != 10000 {
+		t.Errorf("d=1 size = %d, want n", sizes[0])
+	}
+	// Depth 2 (a=100): 3·100·1+100 = 400; depth 4 (a=10): 3·10·3+10 = 100.
+	if sizes[1] != 400 {
+		t.Errorf("d=2 size = %d, want 400", sizes[1])
+	}
+	if sizes[3] != 100 {
+		t.Errorf("d=4 size = %d, want 100", sizes[3])
+	}
+	// Decreasing early on (membership scalability claim).
+	if !(sizes[0] > sizes[1] && sizes[1] > sizes[2]) {
+		t.Errorf("sizes not initially decreasing: %v", sizes[:4])
+	}
+}
+
+func TestTreeModelReliabilityHighForLargePd(t *testing.T) {
+	m, err := NewTreeModel(paperParams(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := m.Reliability()
+	if rel < 0.9 || rel > 1 {
+		t.Errorf("reliability at pd=0.5 = %g, want ≥0.9", rel)
+	}
+}
+
+func TestTreeModelReliabilityDegradesForSmallPd(t *testing.T) {
+	big, err := NewTreeModel(paperParams(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewTreeModel(paperParams(0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Reliability() >= big.Reliability() {
+		t.Errorf("small-pd reliability %g should be below large-pd %g",
+			small.Reliability(), big.Reliability())
+	}
+}
+
+func TestTreeModelDepthStats(t *testing.T) {
+	m, err := NewTreeModel(paperParams(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := m.Depths()
+	if len(ds) != 3 {
+		t.Fatalf("depths = %d", len(ds))
+	}
+	for i, d := range ds {
+		if d.Depth != i+1 {
+			t.Errorf("depth %d mislabeled %d", i+1, d.Depth)
+		}
+		if d.NodeInfectProb < 0 || d.NodeInfectProb > 1 {
+			t.Errorf("r_%d = %g outside [0,1]", d.Depth, d.NodeInfectProb)
+		}
+		if d.ExpectedInfected > d.EffSize+1e-9 {
+			t.Errorf("E[s] %g exceeds audience %g", d.ExpectedInfected, d.EffSize)
+		}
+	}
+	// At pd=0.5, the top depths are almost surely interested: r_1, r_2 high.
+	if ds[0].NodeInfectProb < 0.9 {
+		t.Errorf("r_1 = %g, want ≈1", ds[0].NodeInfectProb)
+	}
+	if m.Depth(1) != ds[0] {
+		t.Error("Depth accessor mismatch")
+	}
+}
+
+func TestTotalRoundsVsFlatRounds(t *testing.T) {
+	m, err := NewTreeModel(paperParams(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttot, tflat := m.TotalRounds(), m.FlatRounds()
+	if ttot <= 0 || tflat <= 0 {
+		t.Fatalf("rounds: tree %d flat %d", ttot, tflat)
+	}
+	// Eq. 13 is pessimistic: per-depth sum should not be smaller than the
+	// flat bound by construction (d small groups each pay the startup cost).
+	if ttot < tflat/2 {
+		t.Errorf("tree rounds %d suspiciously below flat %d", ttot, tflat)
+	}
+}
+
+func TestExpectedInfectedEntitiesMonotone(t *testing.T) {
+	m, err := NewTreeModel(paperParams(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entities multiply as we descend.
+	prev := 0.0
+	for i := 1; i <= 3; i++ {
+		e := m.ExpectedInfectedEntities(i)
+		if e < prev {
+			t.Errorf("entities shrank at depth %d: %g < %g", i, e, prev)
+		}
+		prev = e
+	}
+	if got := m.ExpectedDelivered(); math.Abs(got-prev) > 1e-12 {
+		t.Errorf("ExpectedDelivered %g != depth-d entities %g", got, prev)
+	}
+	// Cannot exceed the audience by much (clamped reliability ≤ 1).
+	if m.Reliability() > 1 {
+		t.Errorf("reliability %g > 1", m.Reliability())
+	}
+}
+
+func TestEntityDistributionSmallTree(t *testing.T) {
+	// Small tree where the full branching chain is cheap.
+	params := TreeParams{A: 4, D: 2, R: 2, F: 2, Pd: 0.6}
+	m, err := NewTreeModel(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := m.EntityDistribution(2)
+	sum, mean := 0.0, 0.0
+	for k, p := range dist {
+		if p < -1e-12 {
+			t.Fatalf("negative probability at %d: %g", k, p)
+		}
+		sum += p
+		mean += float64(k) * p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("distribution mass = %g", sum)
+	}
+	// The chain mean and the product approximation (Eq. 18) agree loosely.
+	prod := m.ExpectedDelivered()
+	if prod > 0 && math.Abs(mean-prod)/prod > 0.35 {
+		t.Errorf("chain mean %g vs product %g diverge", mean, prod)
+	}
+}
+
+func TestZeroPdModel(t *testing.T) {
+	m, err := NewTreeModel(TreeParams{A: 5, D: 2, R: 2, F: 2, Pd: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reliability() != 0 {
+		t.Errorf("pd=0 reliability = %g", m.Reliability())
+	}
+	if m.ExpectedDelivered() != 0 {
+		t.Errorf("pd=0 delivered = %g", m.ExpectedDelivered())
+	}
+}

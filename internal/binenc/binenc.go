@@ -1,0 +1,205 @@
+// Package binenc provides the small append-based binary encoding primitives
+// shared by the wire codecs (varints, length-prefixed strings, IEEE floats,
+// booleans) plus a cursor-style Reader with explicit error state. The format
+// is deliberately simple: unsigned varints for lengths and integers
+// (zig-zag for signed), little-endian IEEE 754 for floats.
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Decoding errors.
+var (
+	ErrShortBuffer = errors.New("binenc: short buffer")
+	ErrOverflow    = errors.New("binenc: varint overflows")
+	ErrTooLong     = errors.New("binenc: length prefix exceeds remaining data")
+)
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends a zig-zag signed varint.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// AppendFloat appends a little-endian IEEE 754 double.
+func AppendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// AppendBool appends one byte (0 or 1).
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(b []byte, p []byte) []byte {
+	b = AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// Reader is a sticky-error cursor over an encoded buffer: after the first
+// failure every further read returns zero values, and Err reports the cause.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a buffer.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w at offset %d", err, r.off)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n == 0 {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	if n < 0 {
+		r.fail(ErrOverflow)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zig-zag signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n == 0 {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	if n < 0 {
+		r.fail(ErrOverflow)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Float reads an IEEE 754 double.
+func (r *Reader) Float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Len() < 8 {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.Len() < 1 {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads one byte as a boolean.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Len() < 1 {
+		r.fail(ErrShortBuffer)
+		return false
+	}
+	v := r.buf[r.off] != 0
+	r.off++
+	return v
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(r.Len()) < n {
+		r.fail(ErrTooLong)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice (copied).
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Len()) < n {
+		r.fail(ErrTooLong)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// Count reads a length prefix and validates it against a per-element
+// minimum size, so corrupt inputs cannot trigger huge allocations.
+func (r *Reader) Count(minElemSize int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if n > uint64(r.Len()/minElemSize)+1 {
+		r.fail(ErrTooLong)
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"pmcast/internal/addr"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/tree"
+)
+
+// TreeView adapts one tree.View to the DepthView interface, flattening the
+// view lines into a deterministic member order (line order, then election
+// rank) and matching members through the regrouped subtree summaries.
+type TreeView struct {
+	members   []addr.Address
+	lineOf    []int // member index → line index
+	summaries []*interest.Summary
+	selfIndex int
+	selfLine  int
+}
+
+var _ DepthView = (*TreeView)(nil)
+
+// NewTreeView builds the adapter for the given process. A nil view yields a
+// nil adapter (the process forwards through that depth without gossiping).
+func NewTreeView(v *tree.View, self addr.Address) *TreeView {
+	if v == nil {
+		return nil
+	}
+	tv := &TreeView{
+		members:   make([]addr.Address, 0, v.GroupSize()),
+		lineOf:    make([]int, 0, v.GroupSize()),
+		summaries: make([]*interest.Summary, len(v.Lines)),
+		selfIndex: -1,
+		selfLine:  -1,
+	}
+	for li, line := range v.Lines {
+		tv.summaries[li] = line.Summary
+		for _, m := range line.Delegates {
+			if m.Equal(self) {
+				tv.selfIndex = len(tv.members)
+				tv.selfLine = li
+			}
+			tv.members = append(tv.members, m)
+			tv.lineOf = append(tv.lineOf, li)
+		}
+	}
+	if tv.selfLine < 0 {
+		// The process may not be a member of this depth's group (e.g. a
+		// publisher that is no delegate); its own subgroup is still the line
+		// whose prefix digit matches its address.
+		depthDigit := v.Prefix.Len() + 1
+		if depthDigit <= self.Depth() {
+			for li, line := range v.Lines {
+				if line.Infix == self.Digit(depthDigit) {
+					tv.selfLine = li
+					break
+				}
+			}
+		}
+	}
+	return tv
+}
+
+// Size implements DepthView.
+func (tv *TreeView) Size() int { return len(tv.members) }
+
+// MemberAt implements DepthView.
+func (tv *TreeView) MemberAt(i int) addr.Address { return tv.members[i] }
+
+// SelfIndex implements DepthView.
+func (tv *TreeView) SelfIndex() int { return tv.selfIndex }
+
+// SusceptibleAt implements DepthView: the member's subtree summary decides.
+func (tv *TreeView) SusceptibleAt(ev event.Event, i int) bool {
+	return tv.summaries[tv.lineOf[i]].Matches(ev)
+}
+
+// Rate implements DepthView (GETRATE).
+func (tv *TreeView) Rate(ev event.Event) float64 {
+	if len(tv.members) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, li := range tv.lineOf {
+		if tv.summaries[li].Matches(ev) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(tv.members))
+}
+
+// MatchingSubgroups implements DepthView.
+func (tv *TreeView) MatchingSubgroups(ev event.Event) (int, bool) {
+	total, selfIn := 0, false
+	for li, s := range tv.summaries {
+		if s.Matches(ev) {
+			total++
+			if li == tv.selfLine {
+				selfIn = true
+			}
+		}
+	}
+	return total, selfIn
+}
+
+// BuildProcess assembles a Process for a tree member: per-depth TreeViews
+// plus the member's own subscription as delivery predicate.
+func BuildProcess(t *tree.Tree, self addr.Address, cfg Config) (*Process, error) {
+	m, ok := t.Member(self)
+	if !ok {
+		return nil, ErrUnknownSelf(self)
+	}
+	cfg.D = t.Depth()
+	views := make([]DepthView, t.Depth())
+	for depth := 1; depth <= t.Depth(); depth++ {
+		tv := NewTreeView(t.ViewAt(self, depth), self)
+		if tv == nil {
+			views[depth-1] = nil
+			continue
+		}
+		views[depth-1] = tv
+	}
+	sub := m.Sub
+	return NewProcess(self, cfg, views, sub.Matches)
+}
+
+// ErrUnknownSelf wraps the unknown-member condition with the address.
+func ErrUnknownSelf(a addr.Address) error {
+	return &unknownSelfError{addr: a}
+}
+
+type unknownSelfError struct{ addr addr.Address }
+
+func (e *unknownSelfError) Error() string {
+	return "core: process " + e.addr.String() + " is not a tree member"
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/interest"
+	"pmcast/internal/tree"
+)
+
+// leafGroup builds a single-depth group of size n where everybody wants b=1.
+func leafGroup(t *testing.T, n int, cfg Config) map[string]*Process {
+	t.Helper()
+	space := addr.MustRegular(n, 1)
+	members := make([]tree.Member, n)
+	for i := range members {
+		members[i] = tree.Member{
+			Addr: addr.New(i),
+			Sub:  interest.NewSubscription().Where("b", interest.EqInt(1)),
+		}
+	}
+	tr, err := tree.Build(tree.Config{Space: space, R: 2}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make(map[string]*Process, n)
+	for _, m := range members {
+		p, err := BuildProcess(tr, m.Addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[m.Addr.Key()] = p
+	}
+	return procs
+}
+
+func TestLeafFloodDeliversInOneTick(t *testing.T) {
+	procs := leafGroup(t, 8, Config{F: 1, LeafFloodRate: 0.5})
+	pub := procs["0"]
+	ev := bEvent(1, 1)
+	if err := pub.Multicast(ev); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sends := pub.Tick(rng)
+	// Flooding: all 7 other (susceptible) members reached in one tick.
+	if len(sends) != 7 {
+		t.Fatalf("flood sends = %d, want 7", len(sends))
+	}
+	if pub.Pending() != 0 {
+		t.Error("flooded entry should be dropped immediately")
+	}
+	// Receivers must not re-flood: their entries are exhausted on arrival.
+	total := 0
+	for _, s := range sends {
+		dst := procs[s.To.Key()]
+		dst.Receive(s.Gossip)
+	}
+	for key, p := range procs {
+		if key == "0" {
+			continue
+		}
+		total += len(p.Tick(rng))
+		p.Tick(rng)
+	}
+	if total != 0 {
+		t.Errorf("flood receivers re-gossiped %d sends", total)
+	}
+	// Everyone delivered.
+	for key, p := range procs {
+		if !p.HasSeen(ev.ID()) {
+			t.Errorf("process %s missed flooded event", key)
+		}
+	}
+}
+
+func TestLeafFloodRespectsRateGate(t *testing.T) {
+	// Rate gate above actual density: normal gossip applies (F=1 → at most
+	// one send per tick).
+	procs := leafGroup(t, 8, Config{F: 1, LeafFloodRate: 1.5})
+	pub := procs["0"]
+	if err := pub.Multicast(bEvent(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sends := pub.Tick(rand.New(rand.NewSource(1)))
+	if len(sends) > 1 {
+		t.Errorf("rate-gated flood emitted %d sends, want ≤ 1 (plain gossip)", len(sends))
+	}
+	if pub.Pending() != 1 {
+		t.Error("plain gossip entry should stay buffered")
+	}
+}
+
+func TestLeafFloodOnlyTouchesSusceptible(t *testing.T) {
+	// Mixed interests: flooding must still skip uninterested leaves.
+	space := addr.MustRegular(6, 1)
+	members := make([]tree.Member, 6)
+	for i := range members {
+		want := int64(1)
+		if i >= 3 {
+			want = 2
+		}
+		members[i] = tree.Member{
+			Addr: addr.New(i),
+			Sub:  interest.NewSubscription().Where("b", interest.EqInt(want)),
+		}
+	}
+	tr, err := tree.Build(tree.Config{Space: space, R: 2}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := BuildProcess(tr, addr.New(0), Config{F: 1, LeafFloodRate: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Multicast(bEvent(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sends := pub.Tick(rand.New(rand.NewSource(2)))
+	if len(sends) != 2 { // members 1 and 2 (self is 0; 3–5 uninterested)
+		t.Fatalf("flood sends = %d, want 2", len(sends))
+	}
+	for _, s := range sends {
+		if s.To.Digit(1) >= 3 {
+			t.Errorf("flood reached uninterested member %s", s.To)
+		}
+	}
+}

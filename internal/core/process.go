@@ -1,0 +1,474 @@
+// Package core implements the pmcast dissemination algorithm of the paper's
+// Figure 3: depth-wise gossiping of events along the delegate tree, with
+// per-depth gossip buffers whose life-time is bounded by Pittel's round
+// estimate conditioned on the matching rate, plus the Section 5.3 tuning for
+// small matching rates and the Section 3.2 local-interest descent rule.
+//
+// The Process type is a pure protocol state machine: it consumes ticks and
+// received gossips and emits sends and deliveries. Both the round-synchronous
+// Monte-Carlo simulator (internal/sim) and the asynchronous goroutine runtime
+// (internal/node) drive it, so simulation results exercise exactly the code
+// that runs in the live system.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/analysis"
+	"pmcast/internal/event"
+)
+
+// Common errors.
+var (
+	ErrNoViews   = errors.New("core: process needs one view per depth")
+	ErrBadFanout = errors.New("core: fanout must be ≥ 1")
+	ErrNilEvent  = errors.New("core: event has zero ID")
+)
+
+// DepthView is the process's table for one tree depth: the members of its
+// depth-i group in deterministic line order, with per-member susceptibility
+// for an event (the aggregated subtree interest the member represents at this
+// depth). Implementations: the tree adapter (adapter.go) for live nodes, and
+// the simulator's synthetic views.
+type DepthView interface {
+	// Size returns the number of group members (|view[i]|·R at inner depths,
+	// the subgroup population at depth d).
+	Size() int
+	// MemberAt returns the address of the i-th member, 0 ≤ i < Size().
+	MemberAt(i int) addr.Address
+	// SelfIndex returns the position of the owning process in the view, or
+	// −1 when the process is not a member of this depth's group (it still
+	// gossips here while PMCAST-ing).
+	SelfIndex() int
+	// SusceptibleAt reports whether member i should receive the event:
+	// whether the interests it represents at this depth match
+	// ("event ⊳ dest", Figure 3 line 13).
+	SusceptibleAt(ev event.Event, i int) bool
+	// Rate implements GETRATE (Figure 3): the fraction of members
+	// susceptible to the event.
+	Rate(ev event.Event) float64
+	// MatchingSubgroups returns how many distinct subgroups (view lines)
+	// match the event and whether the owning process's own subgroup is one
+	// of them. Drives the Section 3.2 local-interest descent.
+	MatchingSubgroups(ev event.Event) (total int, selfIn bool)
+}
+
+// Config parameterizes the algorithm.
+type Config struct {
+	// D is the tree depth; the process keeps D gossip buffers.
+	D int
+	// F is the gossip fanout (targets chosen per event per round).
+	F int
+	// C is the additive constant of Pittel's round estimate (Eq. 3);
+	// conservative values trade extra rounds for reliability.
+	C float64
+	// AssumedLoss and AssumedCrash are the environmental parameters ε and τ
+	// the process assumes when bounding gossip rounds (Eq. 11). They
+	// lengthen budgets; they do not affect who is gossiped to.
+	AssumedLoss  float64
+	AssumedCrash float64
+	// Threshold is the Section 5.3 tuning parameter h: when fewer than h
+	// members of a view are susceptible, the first h members are treated as
+	// susceptible in addition to the effectively interested ones beyond the
+	// first h. Zero disables tuning (the paper's "original" algorithm).
+	Threshold int
+	// LocalDescent enables the Section 3.2 rule: a PMCAST skips depths
+	// where the publisher's own subtree is the only interested one.
+	LocalDescent bool
+	// LeafFloodRate enables the Section 6 extension "flooding the leaf
+	// subgroups if there is a high density of interests": at the leaf depth,
+	// when the matching rate is at least this value, the event is sent once
+	// to every susceptible neighbor instead of being gossiped for T rounds.
+	// Zero disables flooding. Flooded gossips carry an exhausted round
+	// counter so receivers do not re-flood.
+	LeafFloodRate float64
+}
+
+func (c Config) validate() error {
+	if c.D < 1 {
+		return fmt.Errorf("%w: depth %d", ErrNoViews, c.D)
+	}
+	if c.F < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadFanout, c.F)
+	}
+	return nil
+}
+
+// Gossip is the message of Figure 3's SEND/RECEIVE: the event, the depth at
+// which it is currently multicast, the matching rate computed for that depth,
+// and the round counter bounding its remaining life-time.
+type Gossip struct {
+	Event event.Event
+	Depth int
+	Rate  float64
+	Round int
+}
+
+// Send instructs the driver to deliver a gossip to a destination process.
+type Send struct {
+	To     addr.Address
+	Gossip Gossip
+}
+
+// entry is one buffered gossip: (event, rate, round) of Figure 3.
+type entry struct {
+	ev    event.Event
+	rate  float64
+	round int
+}
+
+// Process is the pmcast protocol state of a single process.
+type Process struct {
+	self      addr.Address
+	cfg       Config
+	views     []DepthView // views[i−1] is the depth-i view
+	selfMatch func(event.Event) bool
+
+	gossips []map[event.ID]*entry
+	seen    map[event.ID]struct{}
+
+	deliveries []event.Event
+	received   int // gossips accepted (first receptions)
+	sent       int // gossip messages emitted
+}
+
+// NewProcess builds a process from its per-depth views and its own interest
+// predicate (used for HPDELIVER). views[i] is the depth-(i+1) view; a nil
+// view is allowed for depths where the process has no populated group, it
+// then forwards without gossiping at that depth.
+func NewProcess(self addr.Address, cfg Config, views []DepthView, selfMatch func(event.Event) bool) (*Process, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(views) != cfg.D {
+		return nil, fmt.Errorf("%w: got %d views for depth %d", ErrNoViews, len(views), cfg.D)
+	}
+	if selfMatch == nil {
+		selfMatch = func(event.Event) bool { return false }
+	}
+	vs := make([]DepthView, len(views))
+	copy(vs, views)
+	g := make([]map[event.ID]*entry, cfg.D)
+	for i := range g {
+		g[i] = make(map[event.ID]*entry)
+	}
+	return &Process{
+		self:      self,
+		cfg:       cfg,
+		views:     vs,
+		selfMatch: selfMatch,
+		gossips:   g,
+		seen:      make(map[event.ID]struct{}),
+	}, nil
+}
+
+// Self returns the process address.
+func (p *Process) Self() addr.Address { return p.self }
+
+// Config returns the algorithm configuration.
+func (p *Process) Config() Config { return p.cfg }
+
+// Multicast implements PMCAST (Figure 3 line 24): the event enters the
+// process's root-depth buffer with the locally computed matching rate and a
+// fresh round counter. With LocalDescent enabled, depths where only the
+// publisher's own subtree is interested are skipped immediately
+// (Section 3.2). The publisher delivers to itself when interested.
+func (p *Process) Multicast(ev event.Event) error {
+	if ev.ID().IsZero() {
+		return ErrNilEvent
+	}
+	if _, dup := p.seen[ev.ID()]; dup {
+		return nil
+	}
+	p.markSeen(ev)
+
+	depth := 1
+	if p.cfg.LocalDescent {
+		for depth < p.cfg.D {
+			v := p.views[depth-1]
+			if v == nil {
+				depth++
+				continue
+			}
+			total, selfIn := v.MatchingSubgroups(ev)
+			if total == 1 && selfIn {
+				depth++
+				continue
+			}
+			break
+		}
+	}
+	p.insert(ev, depth, p.rateAt(ev, depth), 0)
+	return nil
+}
+
+// Receive implements RECEIVE (Figure 3 line 19). The first reception buffers
+// the gossip at the depth it arrived for and delivers the event when it
+// matches the process's own interests. Duplicates are dropped against the
+// retained seen-set (see DESIGN.md §4.4).
+func (p *Process) Receive(g Gossip) {
+	if g.Depth < 1 || g.Depth > p.cfg.D {
+		return
+	}
+	if _, dup := p.seen[g.Event.ID()]; dup {
+		return
+	}
+	p.received++
+	p.markSeen(g.Event)
+	p.insert(g.Event, g.Depth, g.Rate, g.Round)
+}
+
+func (p *Process) markSeen(ev event.Event) {
+	p.seen[ev.ID()] = struct{}{}
+	if p.selfMatch(ev) {
+		p.deliveries = append(p.deliveries, ev)
+	}
+}
+
+func (p *Process) insert(ev event.Event, depth int, rate float64, round int) {
+	p.gossips[depth-1][ev.ID()] = &entry{ev: ev, rate: rate, round: round}
+}
+
+// rateAt computes GETRATE(depth, event) from the process's own view.
+func (p *Process) rateAt(ev event.Event, depth int) float64 {
+	v := p.views[depth-1]
+	if v == nil {
+		return 0
+	}
+	return v.Rate(ev)
+}
+
+// Tick executes one gossip period (Figure 3 task GOSSIP): for every buffered
+// event at every depth, either gossip to F random view members (susceptible
+// ones actually receive a message) or, when the Pittel budget is exhausted,
+// hand the event down to the next depth with a freshly computed rate.
+// The returned sends are to be delivered by the driver; rng supplies the
+// destination choices.
+func (p *Process) Tick(rng *rand.Rand) []Send {
+	var sends []Send
+	for depth := 1; depth <= p.cfg.D; depth++ {
+		buf := p.gossips[depth-1]
+		if len(buf) == 0 {
+			continue
+		}
+		v := p.views[depth-1]
+		for _, id := range sortedIDs(buf) {
+			e := buf[id]
+			if v == nil {
+				p.demote(buf, id, e, depth)
+				continue
+			}
+			size := v.Size()
+			effRate, tunedSus := p.effectiveRate(v, e, size)
+			budget := p.roundBudget(size, effRate)
+			if e.round >= budget {
+				p.demote(buf, id, e, depth)
+				continue
+			}
+			if depth == p.cfg.D && p.cfg.LeafFloodRate > 0 && effRate >= p.cfg.LeafFloodRate {
+				sends = p.floodLeaf(sends, v, e, size, budget)
+				delete(buf, id) // flooding replaces the leaf gossip rounds
+				continue
+			}
+			e.round++
+			sends = p.gossipOnce(sends, v, e, depth, size, tunedSus, rng)
+		}
+	}
+	return sends
+}
+
+// effectiveRate applies the Section 5.3 tuning: when the susceptible count
+// sits below the threshold h, the first h view members count as susceptible
+// too. It returns the effective rate and whether tuning is active.
+func (p *Process) effectiveRate(v DepthView, e *entry, size int) (float64, bool) {
+	if size == 0 {
+		return 0, false
+	}
+	h := p.cfg.Threshold
+	if h <= 0 {
+		return e.rate, false
+	}
+	hits := int(math.Round(e.rate * float64(size)))
+	if hits >= h {
+		return e.rate, false
+	}
+	if h > size {
+		h = size
+	}
+	// First h members plus the effectively interested ones beyond them.
+	extra := 0
+	for i := h; i < size; i++ {
+		if v.SusceptibleAt(e.ev, i) {
+			extra++
+		}
+	}
+	return float64(h+extra) / float64(size), true
+}
+
+// roundBudget evaluates Figure 3 line 7: T(size·rate, F·rate), loss-adjusted
+// per Eq. 11 with the configured conservative ε/τ assumptions.
+func (p *Process) roundBudget(size int, rate float64) int {
+	return analysis.PittelLossAdjustedRounds(
+		float64(size)*rate, float64(p.cfg.F)*rate, p.cfg.C,
+		p.cfg.AssumedLoss, p.cfg.AssumedCrash)
+}
+
+// gossipOnce chooses F distinct destinations at random from the view
+// (excluding the process itself) and emits sends to the susceptible ones.
+func (p *Process) gossipOnce(sends []Send, v DepthView, e *entry, depth, size int, tuned bool, rng *rand.Rand) []Send {
+	selfIdx := v.SelfIndex()
+	pool := size
+	if selfIdx >= 0 {
+		pool--
+	}
+	if pool <= 0 {
+		return sends
+	}
+	f := p.cfg.F
+	if f > pool {
+		f = pool
+	}
+	for _, idx := range sampleIndices(rng, size, selfIdx, f) {
+		susceptible := v.SusceptibleAt(e.ev, idx)
+		if tuned && !susceptible && idx < p.cfg.Threshold {
+			susceptible = true
+		}
+		if !susceptible {
+			continue
+		}
+		p.sent++
+		sends = append(sends, Send{
+			To: v.MemberAt(idx),
+			Gossip: Gossip{
+				Event: e.ev,
+				Depth: depth,
+				Rate:  e.rate,
+				Round: e.round,
+			},
+		})
+	}
+	return sends
+}
+
+// floodLeaf sends the event once to every susceptible leaf neighbor (the
+// Section 6 dense-interest extension). The carried round counter equals the
+// receiver's budget, so receivers treat the event as exhausted and do not
+// flood again.
+func (p *Process) floodLeaf(sends []Send, v DepthView, e *entry, size, budget int) []Send {
+	selfIdx := v.SelfIndex()
+	for i := 0; i < size; i++ {
+		if i == selfIdx || !v.SusceptibleAt(e.ev, i) {
+			continue
+		}
+		p.sent++
+		sends = append(sends, Send{
+			To: v.MemberAt(i),
+			Gossip: Gossip{
+				Event: e.ev,
+				Depth: p.cfg.D,
+				Rate:  e.rate,
+				Round: budget,
+			},
+		})
+	}
+	return sends
+}
+
+// demote implements Figure 3 lines 16–18: drop the event at this depth and,
+// above the leaves, reinsert it one depth deeper with a fresh rate and a
+// zeroed round counter.
+func (p *Process) demote(buf map[event.ID]*entry, id event.ID, e *entry, depth int) {
+	delete(buf, id)
+	if depth < p.cfg.D {
+		p.insert(e.ev, depth+1, p.rateAt(e.ev, depth+1), 0)
+	}
+}
+
+// sortedIDs returns the buffer's event IDs in a deterministic order so that
+// simulation runs are reproducible for a fixed seed (Go map iteration order
+// is randomized).
+func sortedIDs(buf map[event.ID]*entry) []event.ID {
+	ids := make([]event.ID, 0, len(buf))
+	for id := range buf {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Origin != ids[j].Origin {
+			return ids[i].Origin < ids[j].Origin
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	return ids
+}
+
+// sampleIndices draws k distinct indices uniformly from [0, size) \ {excl}
+// via a partial Fisher–Yates over a scratch slice.
+func sampleIndices(rng *rand.Rand, size, excl, k int) []int {
+	idxs := make([]int, 0, size)
+	for i := 0; i < size; i++ {
+		if i != excl {
+			idxs = append(idxs, i)
+		}
+	}
+	if k > len(idxs) {
+		k = len(idxs)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(idxs)-i)
+		idxs[i], idxs[j] = idxs[j], idxs[i]
+	}
+	return idxs[:k]
+}
+
+// Deliveries drains the events delivered (HPDELIVER) since the last call.
+func (p *Process) Deliveries() []event.Event {
+	out := p.deliveries
+	p.deliveries = nil
+	return out
+}
+
+// HasSeen reports whether the process ever received or multicast the event.
+func (p *Process) HasSeen(id event.ID) bool {
+	_, ok := p.seen[id]
+	return ok
+}
+
+// Pending returns the number of events currently buffered across all depths;
+// a dissemination has quiesced when every process reports 0.
+func (p *Process) Pending() int {
+	n := 0
+	for _, buf := range p.gossips {
+		n += len(buf)
+	}
+	return n
+}
+
+// Stats reports protocol counters: messages emitted and first receptions.
+func (p *Process) Stats() (sent, received int) { return p.sent, p.received }
+
+// Forget drops an event from the seen-set (retention GC for long-running
+// nodes; the paper's passive garbage collection only bounds buffer rounds).
+func (p *Process) Forget(id event.ID) {
+	delete(p.seen, id)
+	for _, buf := range p.gossips {
+		delete(buf, id)
+	}
+}
+
+// Reset clears all protocol state (buffers, seen-set, deliveries, counters)
+// so the process can be reused across simulation runs without rebuilding
+// views.
+func (p *Process) Reset() {
+	for _, buf := range p.gossips {
+		clear(buf)
+	}
+	clear(p.seen)
+	p.deliveries = nil
+	p.received = 0
+	p.sent = 0
+}

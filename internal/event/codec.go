@@ -1,0 +1,105 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+
+	"pmcast/internal/binenc"
+)
+
+// AppendValue appends the wire form of a value: a kind byte followed by the
+// kind-specific payload.
+func AppendValue(b []byte, v Value) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		b = binenc.AppendVarint(b, v.i)
+	case KindFloat:
+		b = binenc.AppendFloat(b, v.f)
+	case KindString:
+		b = binenc.AppendString(b, v.s)
+	case KindBool:
+		b = binenc.AppendBool(b, v.b)
+	}
+	return b
+}
+
+// ReadValue reads a value written by AppendValue.
+func ReadValue(r *binenc.Reader) Value {
+	kind := Kind(r.Byte())
+	switch kind {
+	case KindInt:
+		return Value{kind: kind, i: r.Varint()}
+	case KindFloat:
+		return Value{kind: kind, f: r.Float()}
+	case KindString:
+		return Value{kind: kind, s: r.String()}
+	case KindBool:
+		return Value{kind: kind, b: r.Bool()}
+	case 0:
+		return Value{}
+	default:
+		// Unknown kind: poison the reader so the caller sees the error.
+		r.Bytes() // consumes a bogus length, setting the error state
+		return Value{}
+	}
+}
+
+// AppendID appends an event identifier.
+func AppendID(b []byte, id ID) []byte {
+	b = binenc.AppendString(b, id.Origin)
+	return binenc.AppendUvarint(b, id.Seq)
+}
+
+// ReadID reads an event identifier.
+func ReadID(r *binenc.Reader) ID {
+	return ID{Origin: r.String(), Seq: r.Uvarint()}
+}
+
+// AppendEvent appends an event: its ID, then sorted (name, value) pairs.
+func AppendEvent(b []byte, e Event) []byte {
+	b = AppendID(b, e.id)
+	names := make([]string, 0, len(e.attrs))
+	for name := range e.attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b = binenc.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = binenc.AppendString(b, name)
+		b = AppendValue(b, e.attrs[name])
+	}
+	return b
+}
+
+// ReadEvent reads an event written by AppendEvent.
+func ReadEvent(r *binenc.Reader) Event {
+	id := ReadID(r)
+	n := r.Count(2)
+	attrs := make(map[string]Value, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		v := ReadValue(r)
+		if r.Err() != nil {
+			return Event{}
+		}
+		attrs[name] = v
+	}
+	return Event{id: id, attrs: attrs}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (e Event) MarshalBinary() ([]byte, error) {
+	return AppendEvent(nil, e), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (e *Event) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	got := ReadEvent(r)
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("event: decoding: %w", err)
+	}
+	*e = got
+	return nil
+}

@@ -1,0 +1,95 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmcast/internal/binenc"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		if fl != fl { // NaN
+			fl = 0
+		}
+		for _, v := range []Value{Int(i), Float(fl), Str(s), Bool(b)} {
+			buf := AppendValue(nil, v)
+			r := binenc.NewReader(buf)
+			got := ReadValue(r)
+			if r.Err() != nil || !got.Equal(v) || got.Kind() != v.Kind() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValueCodec(t *testing.T) {
+	buf := AppendValue(nil, Value{})
+	r := binenc.NewReader(buf)
+	got := ReadValue(r)
+	if !got.IsZero() || r.Err() != nil {
+		t.Errorf("zero value round trip: %v, %v", got, r.Err())
+	}
+}
+
+func TestUnknownValueKindPoisonsReader(t *testing.T) {
+	r := binenc.NewReader([]byte{0x7F, 0x01})
+	got := ReadValue(r)
+	if !got.IsZero() {
+		t.Error("unknown kind yielded a live value")
+	}
+	if r.Err() == nil {
+		t.Error("unknown kind left reader clean")
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	in := NewBuilder().
+		Int("b", -5).
+		Float("c", 3.25).
+		Str("e", "Bob ∨ Tom").
+		Bool("x", true).
+		Build(ID{Origin: "128.178.73.3", Seq: 42})
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID() != in.ID() || out.Len() != in.Len() {
+		t.Fatalf("round trip: %v", out)
+	}
+	for _, name := range in.Names() {
+		if !out.Attr(name).Equal(in.Attr(name)) {
+			t.Errorf("attr %s mismatch", name)
+		}
+	}
+}
+
+func TestEventCodecDeterministic(t *testing.T) {
+	// Attribute order must not depend on map iteration: equal events encode
+	// identically.
+	mk := func() Event {
+		return NewBuilder().Int("z", 1).Int("a", 2).Int("m", 3).Build(ID{Origin: "o", Seq: 1})
+	}
+	a := AppendEvent(nil, mk())
+	for i := 0; i < 20; i++ {
+		b := AppendEvent(nil, mk())
+		if string(a) != string(b) {
+			t.Fatal("non-deterministic encoding")
+		}
+	}
+}
+
+func TestEventUnmarshalRejectsCorrupt(t *testing.T) {
+	var e Event
+	if err := e.UnmarshalBinary([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("corrupt event accepted")
+	}
+}

@@ -1,0 +1,277 @@
+// Package event defines the typed events disseminated by pmcast.
+//
+// Content-based publish/subscribe applications describe interests through
+// criteria on event attributes (paper Section 1, Figure 2: integer attribute
+// b, float c, string e, integer z). Events here are flat attribute maps with
+// typed values, plus a unique identifier used for duplicate suppression and
+// gossip bookkeeping.
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates attribute value types. Kinds start at 1 so the zero Value
+// is distinguishable as invalid.
+type Kind int
+
+// Supported attribute kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a typed attribute value: exactly one of the variants is active,
+// selected by Kind. The zero Value is invalid.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Int builds an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float builds a floating point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String builds a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool builds a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind returns the value's kind; the zero Value returns 0.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsZero reports whether the value is the invalid zero Value.
+func (v Value) IsZero() bool { return v.kind == 0 }
+
+// AsInt returns the integer payload; ok is false for other kinds.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsFloat returns the float payload; ok is false for other kinds.
+func (v Value) AsFloat() (float64, bool) { return v.f, v.kind == KindFloat }
+
+// AsString returns the string payload; ok is false for other kinds.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBool returns the boolean payload; ok is false for other kinds.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// Numeric returns the value as a float64 for numeric kinds (int or float);
+// ok is false otherwise. Predicates on numeric attributes compare through
+// this view so that int and float values interoperate (the paper's interests
+// mix integer and float criteria freely).
+func (v Value) Numeric() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports deep equality of two values (kind and payload).
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		// Int/float cross-kind numeric equality is intentional: the paper's
+		// interests treat numeric attributes uniformly.
+		vn, vok := v.Numeric()
+		wn, wok := w.Numeric()
+		return vok && wok && vn == wn
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == w.i
+	case KindFloat:
+		return v.f == w.f
+	case KindString:
+		return v.s == w.s
+	case KindBool:
+		return v.b == w.b
+	default:
+		return true // both zero
+	}
+}
+
+// String renders the value for debugging and view tables.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "<invalid>"
+	}
+}
+
+// ID uniquely identifies an event within a group. Publishers assign IDs from
+// their address and a local sequence number, which makes IDs unique without
+// coordination.
+type ID struct {
+	// Origin is the canonical address string of the publisher.
+	Origin string
+	// Seq is the publisher-local sequence number.
+	Seq uint64
+}
+
+// String renders the ID as "origin#seq".
+func (id ID) String() string { return id.Origin + "#" + strconv.FormatUint(id.Seq, 10) }
+
+// IsZero reports whether the ID is unset.
+func (id ID) IsZero() bool { return id.Origin == "" && id.Seq == 0 }
+
+// ErrNoAttribute is returned when an event lacks a requested attribute.
+var ErrNoAttribute = errors.New("event: no such attribute")
+
+// Event is an immutable set of named, typed attributes with an identifier.
+// Construct events with NewBuilder/Builder or New; the zero Event carries no
+// attributes.
+type Event struct {
+	id    ID
+	attrs map[string]Value
+}
+
+// New builds an event from an attribute map. The map is copied.
+func New(id ID, attrs map[string]Value) Event {
+	m := make(map[string]Value, len(attrs))
+	for k, v := range attrs {
+		m[k] = v
+	}
+	return Event{id: id, attrs: m}
+}
+
+// ID returns the event identifier.
+func (e Event) ID() ID { return e.id }
+
+// WithID returns a copy of the event carrying the given identifier.
+func (e Event) WithID(id ID) Event {
+	return Event{id: id, attrs: e.attrs}
+}
+
+// Attr returns the named attribute value; the zero Value if absent.
+func (e Event) Attr(name string) Value { return e.attrs[name] }
+
+// Lookup returns the named attribute and whether it exists.
+func (e Event) Lookup(name string) (Value, bool) {
+	v, ok := e.attrs[name]
+	return v, ok
+}
+
+// Names returns the attribute names in sorted order.
+func (e Event) Names() []string {
+	names := make([]string, 0, len(e.attrs))
+	for k := range e.attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of attributes.
+func (e Event) Len() int { return len(e.attrs) }
+
+// String renders the event as "{id a=1 b=2.5}".
+func (e Event) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	if !e.id.IsZero() {
+		sb.WriteString(e.id.String())
+	}
+	for _, name := range e.Names() {
+		if sb.Len() > 1 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%s", name, e.attrs[name])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Builder accumulates attributes for an event. The zero Builder is ready to
+// use.
+type Builder struct {
+	attrs map[string]Value
+}
+
+// NewBuilder returns an empty event builder.
+func NewBuilder() *Builder { return &Builder{attrs: make(map[string]Value)} }
+
+func (b *Builder) init() {
+	if b.attrs == nil {
+		b.attrs = make(map[string]Value)
+	}
+}
+
+// Int sets an integer attribute and returns the builder.
+func (b *Builder) Int(name string, v int64) *Builder {
+	b.init()
+	b.attrs[name] = Int(v)
+	return b
+}
+
+// Float sets a float attribute and returns the builder.
+func (b *Builder) Float(name string, v float64) *Builder {
+	b.init()
+	b.attrs[name] = Float(v)
+	return b
+}
+
+// Str sets a string attribute and returns the builder.
+func (b *Builder) Str(name string, v string) *Builder {
+	b.init()
+	b.attrs[name] = Str(v)
+	return b
+}
+
+// Bool sets a boolean attribute and returns the builder.
+func (b *Builder) Bool(name string, v bool) *Builder {
+	b.init()
+	b.attrs[name] = Bool(v)
+	return b
+}
+
+// Set stores an arbitrary value and returns the builder.
+func (b *Builder) Set(name string, v Value) *Builder {
+	b.init()
+	b.attrs[name] = v
+	return b
+}
+
+// Build assembles the event with the given identifier. The builder can be
+// reused; the event snapshots the attributes.
+func (b *Builder) Build(id ID) Event {
+	return New(id, b.attrs)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmcast/internal/sim"
+)
+
+// AblationRow measures one protocol variant at one matching rate.
+type AblationRow struct {
+	// Variant names the configuration under test.
+	Variant string
+	// Pd is the matching rate.
+	Pd float64
+	// Delivery and UninterestedReception are the Figure 4/5 metrics.
+	Delivery, UninterestedReception float64
+	// Rounds and Messages are mean dissemination costs.
+	Rounds, Messages float64
+}
+
+// ablationVariant pairs a name with a parameter mutation.
+type ablationVariant struct {
+	name   string
+	mutate func(*sim.Params)
+}
+
+// AblationTable quantifies the design choices DESIGN.md calls out, each as a
+// delta against the paper baseline (a=22, d=3, R=3, F=2):
+//
+//   - redundancy factor R (membership reliability, Section 2.2: "best chosen
+//     such that R > 1")
+//   - Pittel constant C (conservative round budgets, Section 3.3)
+//   - Section 3.2 local-interest descent
+//   - Section 5.3 tuning threshold h
+//   - Section 6 leaf-subgroup flooding
+func AblationTable(o Options) ([]AblationRow, error) {
+	o = o.withDefaults()
+	variants := []ablationVariant{
+		{name: "baseline", mutate: func(*sim.Params) {}},
+		{name: "R=1", mutate: func(p *sim.Params) { p.R = 1 }},
+		{name: "R=2", mutate: func(p *sim.Params) { p.R = 2 }},
+		{name: "R=4", mutate: func(p *sim.Params) { p.R = 4 }},
+		{name: "C=1", mutate: func(p *sim.Params) { p.C = 1 }},
+		{name: "C=2", mutate: func(p *sim.Params) { p.C = 2 }},
+		{name: "local-descent", mutate: func(p *sim.Params) { p.LocalDescent = true }},
+		{name: fmt.Sprintf("tuned-h=%d", o.Threshold), mutate: func(p *sim.Params) { p.Threshold = o.Threshold }},
+		{name: "leaf-flood@0.5", mutate: func(p *sim.Params) { p.LeafFloodRate = 0.5 }},
+	}
+	pds := []float64{0.05, 0.2, 0.5}
+	if o.Quick {
+		pds = []float64{0.2}
+	}
+	rows := make([]AblationRow, 0, len(variants)*len(pds))
+	for vi, v := range variants {
+		params := o.PaperParams()
+		v.mutate(&params)
+		s, err := sim.New(params)
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.name, err)
+		}
+		for pi, pd := range pds {
+			agg, err := s.RunMany(pd, o.Runs, o.Seed+int64(vi*101+pi))
+			if err != nil {
+				return nil, fmt.Errorf("variant %s pd=%g: %w", v.name, pd, err)
+			}
+			rows = append(rows, AblationRow{
+				Variant:               v.name,
+				Pd:                    pd,
+				Delivery:              agg.Delivery.Mean(),
+				UninterestedReception: agg.UninterestedReception.Mean(),
+				Rounds:                agg.Rounds.Mean(),
+				Messages:              agg.Messages.Mean(),
+			})
+		}
+	}
+	return rows, nil
+}

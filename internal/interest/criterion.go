@@ -1,0 +1,276 @@
+package interest
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pmcast/internal/event"
+)
+
+// criterionKind discriminates the domain of a per-attribute criterion.
+// Kinds start at 1 so the zero criterion is detectably invalid.
+type criterionKind int
+
+const (
+	kindAny criterionKind = iota + 1
+	kindNumeric
+	kindString
+	kindBool
+)
+
+// Criterion constrains a single event attribute: a union of numeric
+// intervals, a set of admissible strings, a boolean constant, or the
+// wildcard. Criteria are immutable values; the zero Criterion is invalid
+// (use Any() for the wildcard).
+type Criterion struct {
+	kind criterionKind
+	nums IntervalSet
+	strs []string // sorted, unique
+	b    bool
+}
+
+// Any returns the wildcard criterion matching every value.
+func Any() Criterion { return Criterion{kind: kindAny} }
+
+// Eq constrains the attribute to a single value of any supported type.
+func Eq(v event.Value) Criterion {
+	if n, ok := v.Numeric(); ok {
+		return Criterion{kind: kindNumeric, nums: IntervalSet{PointInterval(n)}}
+	}
+	if s, ok := v.AsString(); ok {
+		return Criterion{kind: kindString, strs: []string{s}}
+	}
+	if b, ok := v.AsBool(); ok {
+		return Criterion{kind: kindBool, b: b}
+	}
+	// Invalid value: admit nothing.
+	return Criterion{kind: kindNumeric, nums: nil}
+}
+
+// EqInt constrains a numeric attribute to exactly x (e.g. "b = 2").
+func EqInt(x int64) Criterion { return Eq(event.Int(x)) }
+
+// EqFloat constrains a numeric attribute to exactly x.
+func EqFloat(x float64) Criterion { return Eq(event.Float(x)) }
+
+// Gt constrains a numeric attribute to values strictly greater than x.
+func Gt(x float64) Criterion {
+	return fromInterval(Interval{Lo: x, Hi: inf(), LoOpen: true, HiOpen: true})
+}
+
+// Ge constrains a numeric attribute to values ≥ x.
+func Ge(x float64) Criterion {
+	return fromInterval(Interval{Lo: x, Hi: inf(), HiOpen: true})
+}
+
+// Lt constrains a numeric attribute to values strictly less than x.
+func Lt(x float64) Criterion {
+	return fromInterval(Interval{Lo: ninf(), Hi: x, LoOpen: true, HiOpen: true})
+}
+
+// Le constrains a numeric attribute to values ≤ x.
+func Le(x float64) Criterion {
+	return fromInterval(Interval{Lo: ninf(), Hi: x, LoOpen: true})
+}
+
+// Between constrains a numeric attribute to the open interval (lo, hi),
+// matching the paper's "10.0 < c < 220.0" style.
+func Between(lo, hi float64) Criterion {
+	return fromInterval(Interval{Lo: lo, Hi: hi, LoOpen: true, HiOpen: true})
+}
+
+// BetweenIncl constrains a numeric attribute to the closed interval [lo, hi].
+func BetweenIncl(lo, hi float64) Criterion {
+	return fromInterval(Interval{Lo: lo, Hi: hi})
+}
+
+// InIntervals builds a numeric criterion from an arbitrary interval union.
+func InIntervals(ivs ...Interval) Criterion {
+	return Criterion{kind: kindNumeric, nums: NormalizeIntervals(ivs)}
+}
+
+// OneOf constrains a string attribute to the given set of values, matching
+// the paper's `e = "Bob" ∨ "Tom"` style.
+func OneOf(ss ...string) Criterion {
+	u := make([]string, len(ss))
+	copy(u, ss)
+	sort.Strings(u)
+	u = dedupSorted(u)
+	return Criterion{kind: kindString, strs: u}
+}
+
+// IsBool constrains a boolean attribute to the constant b.
+func IsBool(b bool) Criterion { return Criterion{kind: kindBool, b: b} }
+
+func fromInterval(iv Interval) Criterion {
+	return Criterion{kind: kindNumeric, nums: NormalizeIntervals([]Interval{iv})}
+}
+
+func inf() float64  { return math.Inf(1) }
+func ninf() float64 { return math.Inf(-1) }
+
+func dedupSorted(ss []string) []string {
+	if len(ss) == 0 {
+		return ss
+	}
+	out := ss[:1]
+	for _, s := range ss[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IsValid reports whether the criterion was properly constructed.
+func (c Criterion) IsValid() bool { return c.kind != 0 }
+
+// IsAny reports whether the criterion is the wildcard.
+func (c Criterion) IsAny() bool { return c.kind == kindAny }
+
+// IsEmpty reports whether the criterion can match no value at all.
+func (c Criterion) IsEmpty() bool {
+	switch c.kind {
+	case kindNumeric:
+		return c.nums.IsEmpty()
+	case kindString:
+		return len(c.strs) == 0
+	default:
+		return false
+	}
+}
+
+// Matches reports whether a concrete attribute value satisfies the criterion.
+// Values of a kind foreign to the criterion's domain do not match.
+func (c Criterion) Matches(v event.Value) bool {
+	switch c.kind {
+	case kindAny:
+		return !v.IsZero()
+	case kindNumeric:
+		n, ok := v.Numeric()
+		return ok && c.nums.Contains(n)
+	case kindString:
+		s, ok := v.AsString()
+		if !ok {
+			return false
+		}
+		i := sort.SearchStrings(c.strs, s)
+		return i < len(c.strs) && c.strs[i] == s
+	case kindBool:
+		b, ok := v.AsBool()
+		return ok && b == c.b
+	default:
+		return false
+	}
+}
+
+// Subsumes reports whether every value admitted by d is admitted by c
+// (c ⊇ d). Cross-domain criteria never subsume each other, except that the
+// wildcard subsumes everything.
+func (c Criterion) Subsumes(d Criterion) bool {
+	if c.kind == kindAny {
+		return true
+	}
+	if d.kind == kindAny {
+		return false
+	}
+	if c.kind != d.kind {
+		return d.IsEmpty()
+	}
+	switch c.kind {
+	case kindNumeric:
+		return d.nums.SubsetOf(c.nums)
+	case kindString:
+		for _, s := range d.strs {
+			i := sort.SearchStrings(c.strs, s)
+			if i >= len(c.strs) || c.strs[i] != s {
+				return false
+			}
+		}
+		return true
+	case kindBool:
+		return c.b == d.b
+	default:
+		return false
+	}
+}
+
+// Union returns a criterion admitting every value admitted by either input.
+// Unions across different domains (e.g. numeric with string) widen to the
+// wildcard — this is the lossy step of interest regrouping and is always an
+// over-approximation.
+func (c Criterion) Union(d Criterion) Criterion {
+	if c.kind == kindAny || d.kind == kindAny {
+		return Any()
+	}
+	if c.IsEmpty() {
+		return d
+	}
+	if d.IsEmpty() {
+		return c
+	}
+	if c.kind != d.kind {
+		return Any()
+	}
+	switch c.kind {
+	case kindNumeric:
+		return Criterion{kind: kindNumeric, nums: c.nums.Union(d.nums)}
+	case kindString:
+		merged := make([]string, 0, len(c.strs)+len(d.strs))
+		merged = append(merged, c.strs...)
+		merged = append(merged, d.strs...)
+		sort.Strings(merged)
+		return Criterion{kind: kindString, strs: dedupSorted(merged)}
+	case kindBool:
+		if c.b == d.b {
+			return c
+		}
+		return Any()
+	default:
+		return Any()
+	}
+}
+
+// Equal reports whether two criteria admit exactly the same values.
+func (c Criterion) Equal(d Criterion) bool {
+	return c.Subsumes(d) && d.Subsumes(c)
+}
+
+// Size is a rough complexity measure (number of disjuncts) used by the
+// regrouping heuristics to bound summary growth.
+func (c Criterion) Size() int {
+	switch c.kind {
+	case kindNumeric:
+		return len(c.nums)
+	case kindString:
+		return len(c.strs)
+	default:
+		return 1
+	}
+}
+
+// Render renders the criterion as a predicate on the named attribute, in the
+// paper's style (Figure 2).
+func (c Criterion) Render(attr string) string {
+	switch c.kind {
+	case kindAny:
+		return attr + " = *"
+	case kindNumeric:
+		return c.nums.Render(attr)
+	case kindString:
+		if len(c.strs) == 0 {
+			return attr + " ∈ ∅"
+		}
+		parts := make([]string, len(c.strs))
+		for i, s := range c.strs {
+			parts[i] = strconv.Quote(s)
+		}
+		return attr + " = " + strings.Join(parts, " ∨ ")
+	case kindBool:
+		return attr + " = " + strconv.FormatBool(c.b)
+	default:
+		return attr + " = <invalid>"
+	}
+}

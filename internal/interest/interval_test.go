@@ -1,0 +1,224 @@
+package interest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func iv(lo, hi float64, loOpen, hiOpen bool) Interval {
+	return Interval{Lo: lo, Hi: hi, LoOpen: loOpen, HiOpen: hiOpen}
+}
+
+func TestIntervalContains(t *testing.T) {
+	tests := []struct {
+		name string
+		iv   Interval
+		x    float64
+		want bool
+	}{
+		{"closed inside", iv(1, 5, false, false), 3, true},
+		{"closed at lo", iv(1, 5, false, false), 1, true},
+		{"closed at hi", iv(1, 5, false, false), 5, true},
+		{"open at lo", iv(1, 5, true, false), 1, false},
+		{"open at hi", iv(1, 5, false, true), 5, false},
+		{"below", iv(1, 5, false, false), 0.5, false},
+		{"above", iv(1, 5, false, false), 5.5, false},
+		{"point", PointInterval(2), 2, true},
+		{"point miss", PointInterval(2), 2.0001, false},
+		{"full", FullInterval(), -1e308, true},
+		{"unbounded above", iv(0, math.Inf(1), true, true), 1e300, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.iv.Contains(tt.x); got != tt.want {
+				t.Errorf("Contains(%g) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if !iv(5, 1, false, false).IsEmpty() {
+		t.Error("inverted interval not empty")
+	}
+	if !iv(2, 2, true, false).IsEmpty() {
+		t.Error("half-open point not empty")
+	}
+	if PointInterval(2).IsEmpty() {
+		t.Error("point empty")
+	}
+	if FullInterval().IsEmpty() {
+		t.Error("full empty")
+	}
+}
+
+func TestIntervalSubset(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"strict inside", iv(2, 3, false, false), iv(1, 5, false, false), true},
+		{"equal", iv(1, 5, false, false), iv(1, 5, false, false), true},
+		{"closed in open at boundary", iv(1, 5, false, false), iv(1, 5, true, true), false},
+		{"open in closed at boundary", iv(1, 5, true, true), iv(1, 5, false, false), true},
+		{"overlap not subset", iv(1, 5, false, false), iv(2, 6, false, false), false},
+		{"empty in anything", iv(5, 1, false, false), iv(0, 0, true, true), true},
+		{"nonempty in empty", PointInterval(1), iv(5, 1, false, false), false},
+		{"in full", iv(-10, 99, true, false), FullInterval(), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.SubsetOf(tt.b); got != tt.want {
+				t.Errorf("SubsetOf = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalHull(t *testing.T) {
+	h := iv(1, 2, false, true).Hull(iv(4, 6, true, false))
+	want := iv(1, 6, false, false)
+	if !h.Equal(want) {
+		t.Errorf("hull = %+v, want %+v", h, want)
+	}
+	// Hull with empty is identity.
+	if !PointInterval(3).Hull(iv(5, 1, false, false)).Equal(PointInterval(3)) {
+		t.Error("hull with empty should be identity")
+	}
+}
+
+func TestNormalizeIntervals(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Interval
+		want IntervalSet
+	}{
+		{
+			name: "disjoint stay separate",
+			in:   []Interval{iv(5, 6, false, false), iv(1, 2, false, false)},
+			want: IntervalSet{iv(1, 2, false, false), iv(5, 6, false, false)},
+		},
+		{
+			name: "overlapping merge",
+			in:   []Interval{iv(1, 3, false, false), iv(2, 5, false, false)},
+			want: IntervalSet{iv(1, 5, false, false)},
+		},
+		{
+			name: "touching closed merge",
+			in:   []Interval{iv(1, 2, false, false), iv(2, 3, false, false)},
+			want: IntervalSet{iv(1, 3, false, false)},
+		},
+		{
+			name: "touching open-open stay separate",
+			in:   []Interval{iv(1, 2, false, true), iv(2, 3, true, false)},
+			want: IntervalSet{iv(1, 2, false, true), iv(2, 3, true, false)},
+		},
+		{
+			name: "touching open-closed merge",
+			in:   []Interval{iv(1, 2, false, true), iv(2, 3, false, false)},
+			want: IntervalSet{iv(1, 3, false, false)},
+		},
+		{
+			name: "empties dropped",
+			in:   []Interval{iv(5, 1, false, false), PointInterval(7)},
+			want: IntervalSet{PointInterval(7)},
+		},
+		{
+			name: "nested absorbed",
+			in:   []Interval{iv(1, 10, false, false), iv(3, 4, true, true)},
+			want: IntervalSet{iv(1, 10, false, false)},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NormalizeIntervals(tt.in)
+			if !got.Equal(tt.want) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalSetContainsMatchesLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		raw := make([]Interval, 1+r.Intn(6))
+		for i := range raw {
+			lo := float64(r.Intn(100))
+			hi := lo + float64(r.Intn(20))
+			raw[i] = iv(lo, hi, r.Intn(2) == 0, r.Intn(2) == 0)
+		}
+		set := NormalizeIntervals(raw)
+		for probe := 0; probe < 50; probe++ {
+			x := float64(r.Intn(130)) - 5 + r.Float64()
+			want := false
+			for _, ivl := range raw {
+				if ivl.Contains(x) {
+					want = true
+					break
+				}
+			}
+			if got := set.Contains(x); got != want {
+				t.Fatalf("trial %d: Contains(%g) = %v, want %v (set %v raw %v)", trial, x, got, want, set, raw)
+			}
+		}
+	}
+}
+
+func TestIntervalSetUnionSubset(t *testing.T) {
+	a := NormalizeIntervals([]Interval{iv(1, 2, false, false), iv(5, 6, false, false)})
+	b := NormalizeIntervals([]Interval{iv(1.5, 5.5, false, false)})
+	u := a.Union(b)
+	if !a.SubsetOf(u) || !b.SubsetOf(u) {
+		t.Error("operands not subsets of union")
+	}
+	if u.SubsetOf(a) {
+		t.Error("union should exceed a")
+	}
+	if !u.Equal(IntervalSet{iv(1, 6, false, false)}) {
+		t.Errorf("union = %v", u)
+	}
+	var empty IntervalSet
+	if !empty.SubsetOf(a) || !empty.IsEmpty() {
+		t.Error("empty set misbehaves")
+	}
+	if !empty.Union(a).Equal(a) {
+		t.Error("union with empty not identity")
+	}
+}
+
+func TestIntervalSetHull(t *testing.T) {
+	s := NormalizeIntervals([]Interval{iv(3, 4, true, false), iv(8, 9, false, true)})
+	h := s.Hull()
+	if !h.Equal(iv(3, 9, true, true)) {
+		t.Errorf("hull = %+v", h)
+	}
+	var empty IntervalSet
+	if !empty.Hull().IsEmpty() {
+		t.Error("hull of empty should be empty")
+	}
+}
+
+func TestIntervalRender(t *testing.T) {
+	tests := []struct {
+		iv   Interval
+		want string
+	}{
+		{iv(3, math.Inf(1), true, true), "x > 3"},
+		{iv(3, math.Inf(1), false, true), "x ≥ 3"},
+		{iv(math.Inf(-1), 3, true, true), "x < 3"},
+		{iv(math.Inf(-1), 3, true, false), "x ≤ 3"},
+		{PointInterval(42), "x = 42"},
+		{iv(10, 220, true, true), "10 < x < 220"},
+		{iv(10, 220, false, false), "10 ≤ x ≤ 220"},
+		{FullInterval(), "x = *"},
+		{iv(5, 1, false, false), "x ∈ ∅"},
+	}
+	for _, tt := range tests {
+		if got := tt.iv.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

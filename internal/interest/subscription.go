@@ -1,0 +1,189 @@
+package interest
+
+import (
+	"sort"
+	"strings"
+
+	"pmcast/internal/event"
+)
+
+// Matcher is anything that can decide whether an event is of interest.
+// Individual subscriptions, regrouped summaries, and the simulator's
+// synthetic Bernoulli interests all implement it.
+type Matcher interface {
+	// Matches reports whether the event is of interest ("event ⊳ process"
+	// in the paper's Figure 3 notation).
+	Matches(ev event.Event) bool
+}
+
+// Subscription is a conjunction of per-attribute criteria, one line of a
+// depth-d view table (paper Figure 2): e.g.
+//
+//	b = 2, c > 40.0, z = 20000
+//
+// Attributes without a criterion are wildcards. The zero Subscription
+// matches every event.
+type Subscription struct {
+	// criteria maps attribute name to its constraint. Never contains
+	// wildcard entries (absence means wildcard).
+	criteria map[string]Criterion
+}
+
+var _ Matcher = Subscription{}
+
+// NewSubscription returns an empty (match-all) subscription.
+func NewSubscription() Subscription {
+	return Subscription{criteria: make(map[string]Criterion)}
+}
+
+// Where returns a copy of the subscription with an added criterion on the
+// named attribute. Repeated constraints on the same attribute are
+// intersected... conservatively: the latest criterion replaces the previous
+// one if it is subsumed by it, otherwise both are kept by keeping the
+// stricter; in practice callers constrain each attribute once, as in the
+// paper's tables.
+func (s Subscription) Where(attr string, c Criterion) Subscription {
+	out := s.clone()
+	if !c.IsValid() {
+		c = Any()
+	}
+	if c.IsAny() {
+		delete(out.criteria, attr)
+		return out
+	}
+	if prev, ok := out.criteria[attr]; ok {
+		// Keep the stricter of the two when one implies the other; otherwise
+		// keep the latest (callers own the semantics of re-constraining).
+		if prev.Subsumes(c) {
+			out.criteria[attr] = c
+		} else {
+			out.criteria[attr] = c // latest wins
+		}
+	} else {
+		out.criteria[attr] = c
+	}
+	return out
+}
+
+func (s Subscription) clone() Subscription {
+	out := Subscription{criteria: make(map[string]Criterion, len(s.criteria)+1)}
+	for k, v := range s.criteria {
+		out.criteria[k] = v
+	}
+	return out
+}
+
+// Matches reports whether the event satisfies every criterion. Events
+// lacking a constrained attribute do not match (events of the considered
+// type carry all attributes; a missing one cannot satisfy a criterion).
+func (s Subscription) Matches(ev event.Event) bool {
+	for attr, c := range s.criteria {
+		v, ok := ev.Lookup(attr)
+		if !ok || !c.Matches(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Criterion returns the constraint on the named attribute; the wildcard if
+// unconstrained.
+func (s Subscription) Criterion(attr string) Criterion {
+	if c, ok := s.criteria[attr]; ok {
+		return c
+	}
+	return Any()
+}
+
+// Attrs returns the constrained attribute names in sorted order.
+func (s Subscription) Attrs() []string {
+	attrs := make([]string, 0, len(s.criteria))
+	for a := range s.criteria {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return attrs
+}
+
+// IsMatchAll reports whether the subscription has no constraints.
+func (s Subscription) IsMatchAll() bool { return len(s.criteria) == 0 }
+
+// IsEmpty reports whether some criterion is unsatisfiable, making the whole
+// conjunction match nothing.
+func (s Subscription) IsEmpty() bool {
+	for _, c := range s.criteria {
+		if c.IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Subsumes reports whether every event matched by t is matched by s (s ⊇ t).
+// This holds iff every attribute constrained by s is constrained at least as
+// tightly by t.
+func (s Subscription) Subsumes(t Subscription) bool {
+	if t.IsEmpty() {
+		return true
+	}
+	for attr, sc := range s.criteria {
+		tc, ok := t.criteria[attr]
+		if !ok {
+			return false // t is wildcard here, s is not
+		}
+		if !sc.Subsumes(tc) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two subscriptions match exactly the same events.
+func (s Subscription) Equal(t Subscription) bool {
+	return s.Subsumes(t) && t.Subsumes(s)
+}
+
+// HullWith merges two subscriptions into a single conjunction that
+// over-approximates their disjunction: attributes constrained by both keep
+// the union of their criteria; attributes constrained by only one side are
+// dropped (widened to wildcard). This is the lossy merge step of interest
+// regrouping.
+func (s Subscription) HullWith(t Subscription) Subscription {
+	out := NewSubscription()
+	for attr, sc := range s.criteria {
+		tc, ok := t.criteria[attr]
+		if !ok {
+			continue
+		}
+		u := sc.Union(tc)
+		if u.IsAny() {
+			continue
+		}
+		out.criteria[attr] = u
+	}
+	return out
+}
+
+// Size is the total number of criterion disjuncts, the complexity measure
+// bounded by regrouping.
+func (s Subscription) Size() int {
+	n := 0
+	for _, c := range s.criteria {
+		n += c.Size()
+	}
+	return n
+}
+
+// String renders the subscription in the paper's Figure 2 style:
+// "b = 2, c > 40, z = 20000"; the match-all subscription renders as "*".
+func (s Subscription) String() string {
+	if len(s.criteria) == 0 {
+		return "*"
+	}
+	attrs := s.Attrs()
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = s.criteria[a].Render(a)
+	}
+	return strings.Join(parts, ", ")
+}

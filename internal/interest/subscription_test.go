@@ -1,0 +1,191 @@
+package interest
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmcast/internal/event"
+)
+
+// paperSub builds "b = 2, c > 40.0, z = 20000" — the 128.178.73.3 line of the
+// paper's Figure 2 depth-4 view.
+func paperSub() Subscription {
+	return NewSubscription().
+		Where("b", EqInt(2)).
+		Where("c", Gt(40.0)).
+		Where("z", EqInt(20000))
+}
+
+func TestSubscriptionMatches(t *testing.T) {
+	sub := paperSub()
+	tests := []struct {
+		name string
+		ev   event.Event
+		want bool
+	}{
+		{
+			name: "all criteria satisfied",
+			ev:   event.NewBuilder().Int("b", 2).Float("c", 41.0).Int("z", 20000).Build(event.ID{}),
+			want: true,
+		},
+		{
+			name: "one criterion fails",
+			ev:   event.NewBuilder().Int("b", 3).Float("c", 41.0).Int("z", 20000).Build(event.ID{}),
+			want: false,
+		},
+		{
+			name: "missing attribute fails",
+			ev:   event.NewBuilder().Int("b", 2).Float("c", 41.0).Build(event.ID{}),
+			want: false,
+		},
+		{
+			name: "extra attributes ignored",
+			ev:   event.NewBuilder().Int("b", 2).Float("c", 41.0).Int("z", 20000).Str("e", "??").Build(event.ID{}),
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := sub.Matches(tt.ev); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestZeroSubscriptionMatchesAll(t *testing.T) {
+	var s Subscription
+	if !s.Matches(event.NewBuilder().Int("x", 1).Build(event.ID{})) {
+		t.Error("zero subscription should match everything")
+	}
+	if !s.IsMatchAll() {
+		t.Error("zero subscription not match-all")
+	}
+	// Where on the zero value must not mutate it.
+	s2 := s.Where("b", Gt(0))
+	if !s.IsMatchAll() {
+		t.Error("Where mutated receiver")
+	}
+	if s2.IsMatchAll() {
+		t.Error("Where lost the criterion")
+	}
+}
+
+func TestWhereWildcardRemoves(t *testing.T) {
+	s := NewSubscription().Where("b", Gt(0)).Where("b", Any())
+	if !s.IsMatchAll() {
+		t.Error("wildcard Where should drop the constraint")
+	}
+}
+
+func TestSubscriptionSubsumes(t *testing.T) {
+	base := NewSubscription().Where("b", Gt(0))
+	tighter := NewSubscription().Where("b", Gt(3)).Where("c", Lt(10))
+	unrelated := NewSubscription().Where("e", OneOf("Tom"))
+
+	if !base.Subsumes(tighter) {
+		t.Error("b>0 should subsume b>3 ∧ c<10")
+	}
+	if tighter.Subsumes(base) {
+		t.Error("tighter should not subsume looser")
+	}
+	if base.Subsumes(unrelated) || unrelated.Subsumes(base) {
+		t.Error("unrelated subscriptions should not subsume")
+	}
+	if !NewSubscription().Subsumes(tighter) {
+		t.Error("match-all should subsume everything")
+	}
+	empty := NewSubscription().Where("b", OneOf()) // unsatisfiable on a numeric? OneOf() is empty string set
+	if !tighter.Subsumes(empty) {
+		t.Error("anything should subsume the empty subscription")
+	}
+}
+
+func TestSubscriptionSubsumesImpliesMatchSubset(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	randomSub := func() Subscription {
+		s := NewSubscription()
+		if r.Intn(2) == 0 {
+			lo := float64(r.Intn(10))
+			s = s.Where("b", Between(lo, lo+float64(1+r.Intn(10))))
+		}
+		if r.Intn(2) == 0 {
+			s = s.Where("c", Gt(float64(r.Intn(10))))
+		}
+		if r.Intn(2) == 0 {
+			names := []string{"Ann", "Bob", "Tom"}
+			s = s.Where("e", OneOf(names[:1+r.Intn(3)]...))
+		}
+		return s
+	}
+	randomEvent := func() event.Event {
+		names := []string{"Ann", "Bob", "Tom", "Zoe"}
+		return event.NewBuilder().
+			Float("b", float64(r.Intn(25))-2).
+			Float("c", float64(r.Intn(25))-2).
+			Str("e", names[r.Intn(4)]).
+			Build(event.ID{})
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomSub(), randomSub()
+		if !a.Subsumes(b) {
+			continue
+		}
+		for probe := 0; probe < 40; probe++ {
+			ev := randomEvent()
+			if b.Matches(ev) && !a.Matches(ev) {
+				t.Fatalf("a=%v subsumes b=%v but misses event %v matched by b", a, b, ev)
+			}
+		}
+	}
+}
+
+func TestHullWith(t *testing.T) {
+	a := NewSubscription().Where("b", EqInt(2)).Where("c", Gt(40))
+	b := NewSubscription().Where("b", EqInt(5)).Where("e", OneOf("Tom"))
+	h := a.HullWith(b)
+
+	// b constrained by both: union kept.
+	if got := h.Criterion("b"); !got.Matches(event.Int(2)) || !got.Matches(event.Int(5)) || got.Matches(event.Int(3)) {
+		t.Errorf("hull b criterion = %v", got)
+	}
+	// c and e constrained by one side only: dropped (widened).
+	if !h.Criterion("c").IsAny() || !h.Criterion("e").IsAny() {
+		t.Error("one-sided attributes should widen to wildcard")
+	}
+	// Hull must subsume both operands.
+	if !h.Subsumes(a) || !h.Subsumes(b) {
+		t.Error("hull does not subsume operands")
+	}
+}
+
+func TestSubscriptionString(t *testing.T) {
+	s := paperSub()
+	want := "b = 2, c > 40, z = 20000"
+	if got := s.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := NewSubscription().String(); got != "*" {
+		t.Errorf("match-all String = %q", got)
+	}
+}
+
+func TestSubscriptionIsEmpty(t *testing.T) {
+	if paperSub().IsEmpty() {
+		t.Error("live subscription empty")
+	}
+	if !NewSubscription().Where("e", OneOf()).IsEmpty() {
+		t.Error("unsatisfiable subscription not empty")
+	}
+}
+
+func TestSubscriptionAttrsSorted(t *testing.T) {
+	s := NewSubscription().Where("z", EqInt(1)).Where("a", EqInt(2)).Where("m", EqInt(3))
+	attrs := s.Attrs()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Fatalf("attrs = %v", attrs)
+		}
+	}
+}

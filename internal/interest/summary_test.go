@@ -1,0 +1,250 @@
+package interest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pmcast/internal/event"
+)
+
+func TestSummaryNeverFalseNegative(t *testing.T) {
+	// The crucial soundness property for pmcast reliability: a summary may
+	// over-approximate but must match every event any contributing
+	// subscription matches, even after heavy compaction.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		nSubs := 2 + r.Intn(30)
+		subs := make([]Subscription, nSubs)
+		for i := range subs {
+			s := NewSubscription()
+			switch r.Intn(3) {
+			case 0:
+				lo := float64(r.Intn(50))
+				s = s.Where("b", Between(lo, lo+float64(1+r.Intn(20))))
+			case 1:
+				s = s.Where("b", Gt(float64(r.Intn(50)))).Where("c", Lt(float64(r.Intn(50))))
+			default:
+				names := []string{"Ann", "Bob", "Tom", "Eve", "Max"}
+				s = s.Where("e", OneOf(names[r.Intn(5)])).Where("b", EqInt(int64(r.Intn(50))))
+			}
+			subs[i] = s
+		}
+		sum := NewSummaryWithBound(3) // aggressive compaction
+		for _, s := range subs {
+			sum.Add(s)
+		}
+		for probe := 0; probe < 200; probe++ {
+			names := []string{"Ann", "Bob", "Tom", "Eve", "Max", "Zoe"}
+			ev := event.NewBuilder().
+				Float("b", float64(r.Intn(80))-5).
+				Float("c", float64(r.Intn(80))-5).
+				Str("e", names[r.Intn(6)]).
+				Build(event.ID{})
+			var anyMatch bool
+			for _, s := range subs {
+				if s.Matches(ev) {
+					anyMatch = true
+					break
+				}
+			}
+			if anyMatch && !sum.Matches(ev) {
+				t.Fatalf("trial %d: summary %v misses event %v", trial, sum, ev)
+			}
+		}
+	}
+}
+
+func TestSummaryBoundHolds(t *testing.T) {
+	sum := NewSummaryWithBound(4)
+	for i := 0; i < 100; i++ {
+		sum.Add(NewSubscription().
+			Where("b", EqInt(int64(i))).
+			Where("c", Gt(float64(i))))
+		if sum.Len() > 4 {
+			t.Fatalf("bound exceeded after %d adds: %d", i+1, sum.Len())
+		}
+	}
+	if sum.IsEmpty() {
+		t.Error("summary emptied by compaction")
+	}
+}
+
+func TestSummarySubsumptionAbsorbs(t *testing.T) {
+	sum := NewSummary()
+	sum.Add(NewSubscription().Where("b", Gt(0)))
+	sum.Add(NewSubscription().Where("b", Gt(5))) // subsumed, should be absorbed
+	if sum.Len() != 1 {
+		t.Errorf("len = %d, want 1 (absorption)", sum.Len())
+	}
+	// Reverse order: wider one absorbs the narrower.
+	sum2 := NewSummary()
+	sum2.Add(NewSubscription().Where("b", Gt(5)))
+	sum2.Add(NewSubscription().Where("b", Gt(0)))
+	if sum2.Len() != 1 {
+		t.Errorf("len = %d, want 1 (reverse absorption)", sum2.Len())
+	}
+	if !sum2.Matches(event.NewBuilder().Float("b", 1).Build(event.ID{})) {
+		t.Error("absorbed summary lost the wider subscription")
+	}
+}
+
+func TestSummaryAbsorptionPreservesUnrelated(t *testing.T) {
+	// Regression: adding a subscription that absorbs an *earlier* entry and
+	// is itself absorbed by a *later* entry must not corrupt the slice.
+	a := NewSubscription().Where("b", Between(10, 20)) // will be absorbed by s
+	bSub := NewSubscription().Where("c", Gt(100))      // unrelated
+	cSub := NewSubscription().Where("b", Between(0, 50))
+
+	sum := NewSummary()
+	sum.Add(a)
+	sum.Add(bSub)
+	sum.Add(cSub) // absorbs a, keeps bSub
+	if sum.Len() != 2 {
+		t.Fatalf("len = %d, want 2: %v", sum.Len(), sum)
+	}
+	if !sum.Matches(event.NewBuilder().Float("c", 101).Float("b", -10).Build(event.ID{})) {
+		t.Error("unrelated subscription lost")
+	}
+	if !sum.Matches(event.NewBuilder().Float("b", 30).Float("c", 0).Build(event.ID{})) {
+		t.Error("absorbing subscription lost")
+	}
+}
+
+func TestSummaryMatchAll(t *testing.T) {
+	sum := NewSummary()
+	sum.Add(NewSubscription()) // wildcard subscriber
+	if !sum.Matches(event.NewBuilder().Int("q", 1).Build(event.ID{})) {
+		t.Error("match-all summary should match")
+	}
+	if sum.Len() != 0 {
+		t.Errorf("match-all should clear disjuncts, len = %d", sum.Len())
+	}
+	sum.Add(NewSubscription().Where("b", Gt(0))) // no-op afterwards
+	if sum.Len() != 0 {
+		t.Error("adding to match-all should be a no-op")
+	}
+	if sum.String() != "*" {
+		t.Errorf("String = %q", sum.String())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var nilSum *Summary
+	if nilSum.Matches(event.NewBuilder().Int("b", 1).Build(event.ID{})) {
+		t.Error("nil summary matched")
+	}
+	if !nilSum.IsEmpty() {
+		t.Error("nil summary not empty")
+	}
+	sum := NewSummary()
+	if !sum.IsEmpty() {
+		t.Error("fresh summary not empty")
+	}
+	if sum.Matches(event.NewBuilder().Int("b", 1).Build(event.ID{})) {
+		t.Error("empty summary matched")
+	}
+	sum.Add(NewSubscription().Where("e", OneOf())) // unsatisfiable
+	if !sum.IsEmpty() {
+		t.Error("unsatisfiable subscription should not populate summary")
+	}
+	if sum.String() != "∅" {
+		t.Errorf("String = %q", sum.String())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	child1 := Summarize(NewSubscription().Where("b", EqInt(3)).Where("z", EqInt(42000)))
+	child2 := Summarize(NewSubscription().Where("b", Gt(0)).Where("c", Gt(20.0)))
+	parent := NewSummary()
+	parent.Merge(child1)
+	parent.Merge(child2)
+	parent.Merge(nil) // no-op
+
+	evA := event.NewBuilder().Int("b", 3).Int("z", 42000).Build(event.ID{})
+	evB := event.NewBuilder().Int("b", 1).Float("c", 25).Build(event.ID{})
+	evC := event.NewBuilder().Int("b", -1).Float("c", 25).Int("z", 0).Build(event.ID{})
+	if !parent.Matches(evA) || !parent.Matches(evB) {
+		t.Error("merged summary lost child interests")
+	}
+	if parent.Matches(evC) {
+		t.Error("merged summary over-matched (no child matches evC)")
+	}
+
+	all := NewSummary()
+	all.Add(NewSubscription())
+	parent.Merge(all)
+	if !parent.Matches(evC) {
+		t.Error("merging match-all should widen")
+	}
+}
+
+func TestSummaryCovers(t *testing.T) {
+	sum := Summarize(
+		NewSubscription().Where("b", Gt(0)),
+		NewSubscription().Where("e", OneOf("Bob", "Tom")),
+	)
+	if !sum.Covers(NewSubscription().Where("b", Gt(5)).Where("c", Lt(1))) {
+		t.Error("should cover tighter numeric subscription")
+	}
+	if sum.Covers(NewSubscription().Where("q", EqInt(1))) {
+		t.Error("should not cover unrelated subscription")
+	}
+	var nilSum *Summary
+	if nilSum.Covers(NewSubscription()) {
+		t.Error("nil summary covers nothing")
+	}
+}
+
+func TestSummaryClone(t *testing.T) {
+	sum := Summarize(NewSubscription().Where("b", Gt(0)))
+	cp := sum.Clone()
+	cp.Add(NewSubscription().Where("e", OneOf("X")))
+	if sum.Len() != 1 {
+		t.Error("clone write leaked into original")
+	}
+	if cp.Len() != 2 {
+		t.Errorf("clone len = %d", cp.Len())
+	}
+	var nilSum *Summary
+	if nilSum.Clone() != nil {
+		t.Error("clone of nil should be nil")
+	}
+}
+
+func TestSummaryDisjunctsCopy(t *testing.T) {
+	sum := Summarize(NewSubscription().Where("b", Gt(0)))
+	d := sum.Disjuncts()
+	if len(d) != 1 {
+		t.Fatalf("disjuncts = %d", len(d))
+	}
+	_ = d[0].Where("c", Gt(9)) // must not affect the summary
+	if sum.String() != "b > 0" {
+		t.Errorf("summary mutated via disjuncts: %q", sum.String())
+	}
+}
+
+func TestSummaryStress(t *testing.T) {
+	// Many heterogeneous subscriptions with a tight bound: the summary must
+	// stay within bound and keep soundness (spot-checked by construction).
+	sum := NewSummaryWithBound(5)
+	for i := 0; i < 500; i++ {
+		sub := NewSubscription().
+			Where("b", EqInt(int64(i%37))).
+			Where("e", OneOf(fmt.Sprintf("user%d", i%11)))
+		sum.Add(sub)
+		if sum.Len() > 5 {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+	// Every contributing point must still match.
+	for i := 0; i < 500; i += 61 {
+		ev := event.NewBuilder().
+			Int("b", int64(i%37)).
+			Str("e", fmt.Sprintf("user%d", i%11)).
+			Build(event.ID{})
+		if !sum.Matches(ev) {
+			t.Fatalf("lost contribution %d: summary %v", i, sum)
+		}
+	}
+}

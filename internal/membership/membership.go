@@ -1,0 +1,463 @@
+// Package membership implements pmcast's loosely coordinated membership
+// management (paper Section 2.3): timestamped member records exchanged by
+// gossip pull, a recursive join protocol bootstrapped through one known
+// contact, explicit leaves, and failure detection based on the last contact
+// time of immediate neighbors.
+//
+// The service is a synchronous, thread-safe state machine over protocol
+// messages; the runtime node (internal/node) wires it to the transport and
+// timers. Records carry per-line timestamps exactly as in the paper: "every
+// line in every table has an associated timestamp, representing the last
+// time the corresponding line was updated", and a receiver of a digest
+// "updates the gossiper for all lines in which the gossiper's timestamps are
+// smaller" (gossip pull).
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/interest"
+	"pmcast/internal/tree"
+)
+
+// Errors reported by the service.
+var (
+	ErrBadConfig = errors.New("membership: invalid configuration")
+)
+
+// Record is one membership line: a process, its interests, a logical
+// timestamp, and liveness. Dead records are tombstones that must keep
+// propagating so removals win over stale copies.
+type Record struct {
+	Addr  addr.Address
+	Sub   interest.Subscription
+	Stamp uint64
+	Alive bool
+}
+
+// DigestEntry summarizes one record for anti-entropy comparison.
+type DigestEntry struct {
+	Key   string
+	Stamp uint64
+}
+
+// Digest is the gossip-pull probe: the sender's (line, timestamp) pairs.
+type Digest struct {
+	From    addr.Address
+	Entries []DigestEntry
+}
+
+// Update carries full records; sent by a digest receiver for every line in
+// which the gossiper was stale (the pull), and as join replies.
+type Update struct {
+	From    addr.Address
+	Records []Record
+}
+
+// JoinRequest announces a joiner towards its future immediate neighbors.
+type JoinRequest struct {
+	Joiner Record
+	// Hops bounds forwarding (the recursive contact chain of Section 2.3).
+	Hops int
+}
+
+// Leave is the explicit departure notification sent to close neighbors.
+type Leave struct {
+	Addr  addr.Address
+	Stamp uint64
+}
+
+// Config parameterizes the service.
+type Config struct {
+	// Self is the owning process.
+	Self addr.Address
+	// Space bounds the address space (tree depth d and arities).
+	Space addr.Space
+	// R is the redundancy factor used when snapshotting into a tree.
+	R int
+	// SuspectAfter is how long an immediate neighbor may stay silent before
+	// the failure detector declares it crashed.
+	SuspectAfter time.Duration
+	// SuspicionSweeps is how many consecutive over-deadline sweeps are
+	// required before a silent neighbor is expelled (default 1: expel on
+	// first detection). Values > 1 implement the Section 6 suggestion of a
+	// confirmation phase before exclusion, trading detection latency for
+	// resilience against transient silence.
+	SuspicionSweeps int
+	// Now tells time (injectable for tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) validate() error {
+	if c.Self.IsZero() {
+		return fmt.Errorf("%w: zero self address", ErrBadConfig)
+	}
+	if c.Space.Depth() == 0 {
+		return fmt.Errorf("%w: zero space", ErrBadConfig)
+	}
+	if err := c.Space.Validate(c.Self); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if c.R < 1 {
+		return fmt.Errorf("%w: R=%d", ErrBadConfig, c.R)
+	}
+	return nil
+}
+
+// Service is one process's membership state. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg Config
+	now func() time.Time
+
+	mu        sync.RWMutex
+	records   map[string]*Record
+	lastHeard map[string]time.Time
+	suspicion map[string]int
+	version   uint64
+}
+
+// New builds a service seeded with the process's own record.
+func New(cfg Config, selfSub interest.Subscription) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	if cfg.SuspicionSweeps < 1 {
+		cfg.SuspicionSweeps = 1
+	}
+	s := &Service{
+		cfg:       cfg,
+		now:       now,
+		records:   make(map[string]*Record),
+		lastHeard: make(map[string]time.Time),
+		suspicion: make(map[string]int),
+	}
+	s.records[cfg.Self.Key()] = &Record{Addr: cfg.Self, Sub: selfSub, Stamp: 1, Alive: true}
+	s.version = 1
+	return s, nil
+}
+
+// Self returns the owning address.
+func (s *Service) Self() addr.Address { return s.cfg.Self }
+
+// Version increases on every effective record change; the node rebuilds its
+// tree views when it observes a new version.
+func (s *Service) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Len returns the number of alive records (including self).
+func (s *Service) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, r := range s.records {
+		if r.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// apply merges one record; the higher stamp wins, tombstones win ties.
+// Returns whether state changed. Callers hold s.mu.
+func (s *Service) apply(r Record) bool {
+	key := r.Addr.Key()
+	cur, ok := s.records[key]
+	if !ok {
+		cp := r
+		s.records[key] = &cp
+		return true
+	}
+	if r.Stamp < cur.Stamp {
+		return false
+	}
+	if r.Stamp == cur.Stamp && (cur.Alive == r.Alive) {
+		return false
+	}
+	if r.Stamp == cur.Stamp && cur.Alive && !r.Alive {
+		// Tombstone precedence at equal stamps.
+		cur.Alive = false
+		return true
+	}
+	if r.Stamp == cur.Stamp {
+		return false
+	}
+	// Self-defense: if someone declares us dead, resurrect with a higher
+	// stamp so the correction propagates (we are obviously alive).
+	if key == s.cfg.Self.Key() && !r.Alive {
+		cur.Stamp = r.Stamp + 1
+		cur.Alive = true
+		return true
+	}
+	*cur = r
+	return true
+}
+
+// Apply merges records from an Update, returning how many changed state.
+func (s *Service) Apply(u Update) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := 0
+	for _, r := range u.Records {
+		if s.apply(r) {
+			changed++
+		}
+	}
+	if changed > 0 {
+		s.version++
+	}
+	s.markHeardLocked(u.From)
+	return changed
+}
+
+// MakeDigest snapshots the service's (line, timestamp) pairs.
+func (s *Service) MakeDigest() Digest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := Digest{From: s.cfg.Self, Entries: make([]DigestEntry, 0, len(s.records))}
+	for key, r := range s.records {
+		d.Entries = append(d.Entries, DigestEntry{Key: key, Stamp: r.Stamp})
+	}
+	sort.Slice(d.Entries, func(i, j int) bool { return d.Entries[i].Key < d.Entries[j].Key })
+	return d
+}
+
+// HandleDigest implements the pull: it returns an Update carrying every
+// record the gossiper lacks or holds with a smaller timestamp. A nil return
+// means the gossiper is up to date.
+func (s *Service) HandleDigest(d Digest) *Update {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.markHeardLocked(d.From)
+	known := make(map[string]uint64, len(d.Entries))
+	for _, e := range d.Entries {
+		known[e.Key] = e.Stamp
+	}
+	var fresh []Record
+	for key, r := range s.records {
+		if stamp, ok := known[key]; !ok || stamp < r.Stamp {
+			fresh = append(fresh, *r)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Addr.Less(fresh[j].Addr) })
+	return &Update{From: s.cfg.Self, Records: fresh}
+}
+
+// GossipTargets picks up to k random alive peers for digest dissemination.
+func (s *Service) GossipTargets(rng *rand.Rand, k int) []addr.Address {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	peers := s.alivePeersLocked()
+	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	if k > len(peers) {
+		k = len(peers)
+	}
+	return peers[:k]
+}
+
+func (s *Service) alivePeersLocked() []addr.Address {
+	peers := make([]addr.Address, 0, len(s.records))
+	selfKey := s.cfg.Self.Key()
+	keys := make([]string, 0, len(s.records))
+	for key := range s.records {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys) // deterministic base order before shuffling
+	for _, key := range keys {
+		r := s.records[key]
+		if r.Alive && key != selfKey {
+			peers = append(peers, r.Addr)
+		}
+	}
+	return peers
+}
+
+// BuildJoinRequest creates the announcement a joiner sends to its contact.
+func (s *Service) BuildJoinRequest() JoinRequest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	self := *s.records[s.cfg.Self.Key()]
+	return JoinRequest{Joiner: self, Hops: s.cfg.Space.Depth()}
+}
+
+// HandleJoinRequest admits a joiner: the receiver merges the joiner's
+// record, replies with its full view (so the joiner bootstraps), and — when
+// it knows a process strictly closer to the joiner — returns that address so
+// the caller forwards the request one hop further ("this is made
+// recursively, until the most immediate delegates of the new process have
+// been contacted").
+func (s *Service) HandleJoinRequest(jr JoinRequest) (reply Update, forward addr.Address, ok bool) {
+	s.mu.Lock()
+	changed := s.apply(jr.Joiner)
+	if changed {
+		s.version++
+	}
+	s.markHeardLocked(jr.Joiner.Addr)
+	records := make([]Record, 0, len(s.records))
+	for _, r := range s.records {
+		records = append(records, *r)
+	}
+	selfDepth := s.cfg.Self.CommonPrefixDepth(jr.Joiner.Addr)
+	var best addr.Address
+	bestDepth := selfDepth
+	for _, r := range s.records {
+		if !r.Alive || r.Addr.Equal(s.cfg.Self) || r.Addr.Equal(jr.Joiner.Addr) {
+			continue
+		}
+		if d := r.Addr.CommonPrefixDepth(jr.Joiner.Addr); d > bestDepth {
+			bestDepth, best = d, r.Addr
+		}
+	}
+	s.mu.Unlock()
+
+	sort.Slice(records, func(i, j int) bool { return records[i].Addr.Less(records[j].Addr) })
+	reply = Update{From: s.cfg.Self, Records: records}
+	if jr.Hops > 0 && !best.IsZero() {
+		return reply, best, true
+	}
+	return reply, addr.Address{}, false
+}
+
+// Subscribe replaces the process's own interests, bumping its line stamp so
+// the change propagates.
+func (s *Service) Subscribe(sub interest.Subscription) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	self := s.records[s.cfg.Self.Key()]
+	self.Sub = sub
+	self.Stamp++
+	s.version++
+}
+
+// BuildLeave tombstones the process's own record and returns the
+// notification to send to close neighbors.
+func (s *Service) BuildLeave() Leave {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	self := s.records[s.cfg.Self.Key()]
+	self.Stamp++
+	self.Alive = false
+	s.version++
+	return Leave{Addr: s.cfg.Self, Stamp: self.Stamp}
+}
+
+// HandleLeave applies a departure notification.
+func (s *Service) HandleLeave(l Leave) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.apply(Record{Addr: l.Addr, Stamp: l.Stamp, Alive: false}) {
+		s.version++
+	}
+}
+
+// MarkHeard records life signs from a peer (any protocol message counts,
+// membership or gossip — "every process keeps track of the last time it was
+// contacted").
+func (s *Service) MarkHeard(a addr.Address) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.markHeardLocked(a)
+}
+
+func (s *Service) markHeardLocked(a addr.Address) {
+	if !a.IsZero() {
+		s.lastHeard[a.Key()] = s.now()
+		delete(s.suspicion, a.Key())
+	}
+}
+
+// ImmediateNeighbors lists the alive processes sharing the depth-d prefix
+// with self — the subgroup whose members monitor each other.
+func (s *Service) ImmediateNeighbors() []addr.Address {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prefix := s.cfg.Self.Prefix(s.cfg.Space.Depth())
+	var out []addr.Address
+	for _, r := range s.records {
+		if r.Alive && !r.Addr.Equal(s.cfg.Self) && r.Addr.HasPrefix(prefix) {
+			out = append(out, r.Addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// SweepFailures tombstones immediate neighbors that have been silent longer
+// than SuspectAfter, returning the newly suspected addresses. Neighbors
+// never heard from are grandfathered at first sweep (their timer starts
+// then), so a fresh join does not immediately expel its group.
+func (s *Service) SweepFailures() []addr.Address {
+	if s.cfg.SuspectAfter <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	prefix := s.cfg.Self.Prefix(s.cfg.Space.Depth())
+	var suspected []addr.Address
+	for key, r := range s.records {
+		if !r.Alive || r.Addr.Equal(s.cfg.Self) || !r.Addr.HasPrefix(prefix) {
+			continue
+		}
+		heard, ok := s.lastHeard[key]
+		if !ok {
+			s.lastHeard[key] = now
+			continue
+		}
+		if now.Sub(heard) > s.cfg.SuspectAfter {
+			s.suspicion[key]++
+			if s.suspicion[key] < s.cfg.SuspicionSweeps {
+				continue // confirmation phase (Section 6): not yet expelled
+			}
+			delete(s.suspicion, key)
+			r.Stamp++
+			r.Alive = false
+			s.version++
+			suspected = append(suspected, r.Addr)
+		}
+	}
+	sort.Slice(suspected, func(i, j int) bool { return suspected[i].Less(suspected[j]) })
+	return suspected
+}
+
+// Snapshot materializes the alive records as tree members, ready for
+// tree.Build.
+func (s *Service) Snapshot() []tree.Member {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]tree.Member, 0, len(s.records))
+	for _, r := range s.records {
+		if r.Alive {
+			out = append(out, tree.Member{Addr: r.Addr, Sub: r.Sub})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// Lookup returns the record for an address.
+func (s *Service) Lookup(a addr.Address) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.records[a.Key()]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}

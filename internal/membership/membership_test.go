@@ -1,0 +1,352 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/interest"
+)
+
+func newService(t *testing.T, self string, now *time.Time) *Service {
+	t.Helper()
+	cfg := Config{
+		Self:         addr.MustParse(self),
+		Space:        addr.MustRegular(4, 2),
+		R:            2,
+		SuspectAfter: 10 * time.Second,
+	}
+	if now != nil {
+		cfg.Now = func() time.Time { return *now }
+	}
+	s, err := New(cfg, interest.NewSubscription().Where("b", interest.Gt(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, interest.NewSubscription()); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(Config{Self: addr.New(9, 9), Space: addr.MustRegular(4, 2), R: 2},
+		interest.NewSubscription()); err == nil {
+		t.Error("out-of-space self accepted")
+	}
+	if _, err := New(Config{Self: addr.New(1, 1), Space: addr.MustRegular(4, 2), R: 0},
+		interest.NewSubscription()); err == nil {
+		t.Error("R=0 accepted")
+	}
+}
+
+func TestSelfRecordSeeded(t *testing.T) {
+	s := newService(t, "1.2", nil)
+	r, ok := s.Lookup(addr.New(1, 2))
+	if !ok || !r.Alive || r.Stamp != 1 {
+		t.Fatalf("self record = %+v, %v", r, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestDigestPullCycle(t *testing.T) {
+	a := newService(t, "0.0", nil)
+	b := newService(t, "1.1", nil)
+	// b learns about a through a's join announcement, then a pulls b's state.
+	jr := a.BuildJoinRequest()
+	reply, _, _ := b.HandleJoinRequest(jr)
+	a.Apply(reply)
+	if a.Len() != 2 {
+		t.Fatalf("a should know both, len = %d", a.Len())
+	}
+	// Now a gossips a digest to b; b replies nothing (b's records are all in
+	// a... actually b doesn't know a's subscription updates yet — b learned
+	// a's record from the join, so the digest exchange finds both in sync).
+	if upd := b.HandleDigest(a.MakeDigest()); upd != nil {
+		t.Errorf("unexpected update: %+v", upd)
+	}
+	// a updates its subscription; b's digest handling must push the stale
+	// gossiper (a gossips to b, b replies with nothing since b is staler —
+	// pull works the other way: b gossips to a, a replies with fresh line).
+	a.Subscribe(interest.NewSubscription().Where("b", interest.Gt(10)))
+	upd := a.HandleDigest(b.MakeDigest())
+	if upd == nil {
+		t.Fatal("a should push its fresher self record to the gossiper b")
+	}
+	if got := b.Apply(*upd); got == 0 {
+		t.Error("b did not apply the fresh record")
+	}
+	rec, _ := b.Lookup(addr.New(0, 0))
+	if rec.Stamp != 2 {
+		t.Errorf("b's copy stamp = %d, want 2", rec.Stamp)
+	}
+}
+
+func TestApplyStampRules(t *testing.T) {
+	s := newService(t, "0.0", nil)
+	peer := addr.New(2, 2)
+	if n := s.Apply(Update{Records: []Record{{Addr: peer, Stamp: 3, Alive: true}}}); n != 1 {
+		t.Fatal("fresh record rejected")
+	}
+	// Stale stamp ignored.
+	if n := s.Apply(Update{Records: []Record{{Addr: peer, Stamp: 2, Alive: false}}}); n != 0 {
+		t.Error("stale record applied")
+	}
+	// Equal stamp: tombstone wins.
+	if n := s.Apply(Update{Records: []Record{{Addr: peer, Stamp: 3, Alive: false}}}); n != 1 {
+		t.Error("equal-stamp tombstone not applied")
+	}
+	// Equal stamp alive does not resurrect.
+	if n := s.Apply(Update{Records: []Record{{Addr: peer, Stamp: 3, Alive: true}}}); n != 0 {
+		t.Error("equal-stamp resurrect applied")
+	}
+	// Higher stamp resurrects.
+	if n := s.Apply(Update{Records: []Record{{Addr: peer, Stamp: 4, Alive: true}}}); n != 1 {
+		t.Error("higher-stamp update rejected")
+	}
+}
+
+func TestSelfDefenseAgainstFalseTombstone(t *testing.T) {
+	s := newService(t, "0.0", nil)
+	v := s.Version()
+	s.Apply(Update{Records: []Record{{Addr: addr.New(0, 0), Stamp: 9, Alive: false}}})
+	rec, _ := s.Lookup(addr.New(0, 0))
+	if !rec.Alive {
+		t.Fatal("service accepted its own death")
+	}
+	if rec.Stamp <= 9 {
+		t.Errorf("resurrection stamp %d must exceed the tombstone's", rec.Stamp)
+	}
+	if s.Version() == v {
+		t.Error("version must bump so the correction propagates")
+	}
+}
+
+func TestJoinForwardsTowardsNeighbors(t *testing.T) {
+	// Contact 0.0 knows 2.0; joiner 2.3 should be forwarded to 2.0 (deeper
+	// common prefix with the joiner than the contact itself).
+	contact := newService(t, "0.0", nil)
+	contact.Apply(Update{Records: []Record{{Addr: addr.New(2, 0), Stamp: 1, Alive: true}}})
+
+	joiner := newService(t, "2.3", nil)
+	reply, fwd, ok := contact.HandleJoinRequest(joiner.BuildJoinRequest())
+	if len(reply.Records) != 3 {
+		t.Errorf("join reply records = %d, want 3", len(reply.Records))
+	}
+	if !ok || !fwd.Equal(addr.New(2, 0)) {
+		t.Errorf("forward = %v, %v; want 2.0", fwd, ok)
+	}
+	// The contact admitted the joiner.
+	if _, known := contact.Lookup(addr.New(2, 3)); !known {
+		t.Error("contact did not admit joiner")
+	}
+	// The neighbor itself has nobody closer: no forward.
+	neighbor := newService(t, "2.0", nil)
+	_, _, ok = neighbor.HandleJoinRequest(joiner.BuildJoinRequest())
+	if ok {
+		t.Error("immediate neighbor should not forward")
+	}
+}
+
+func TestLeaveTombstonePropagates(t *testing.T) {
+	a := newService(t, "0.0", nil)
+	b := newService(t, "0.1", nil)
+	reply, _, _ := b.HandleJoinRequest(a.BuildJoinRequest())
+	a.Apply(reply)
+
+	leave := a.BuildLeave()
+	b.HandleLeave(leave)
+	rec, _ := b.Lookup(addr.New(0, 0))
+	if rec.Alive {
+		t.Fatal("leave did not tombstone")
+	}
+	// The tombstone must flow onwards through anti-entropy.
+	c := newService(t, "0.2", nil)
+	if upd := b.HandleDigest(c.MakeDigest()); upd != nil {
+		c.Apply(*upd)
+	}
+	recC, known := c.Lookup(addr.New(0, 0))
+	if !known || recC.Alive {
+		t.Error("tombstone did not propagate via pull")
+	}
+}
+
+func TestFailureDetection(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := newService(t, "0.0", &now)
+	neighbor := addr.New(0, 1)
+	distant := addr.New(3, 3)
+	s.Apply(Update{From: neighbor, Records: []Record{
+		{Addr: neighbor, Stamp: 1, Alive: true},
+		{Addr: distant, Stamp: 1, Alive: true},
+	}})
+	// First sweep: nothing suspected (fresh contact).
+	if sus := s.SweepFailures(); len(sus) != 0 {
+		t.Fatalf("premature suspicion: %v", sus)
+	}
+	// Silence beyond the deadline: the neighbor is suspected, the distant
+	// process is not monitored (only immediate neighbors are).
+	now = now.Add(time.Minute)
+	sus := s.SweepFailures()
+	if len(sus) != 1 || !sus[0].Equal(neighbor) {
+		t.Fatalf("suspected = %v, want [0.1]", sus)
+	}
+	rec, _ := s.Lookup(neighbor)
+	if rec.Alive {
+		t.Error("suspected neighbor not tombstoned")
+	}
+	if recD, _ := s.Lookup(distant); !recD.Alive {
+		t.Error("distant process wrongly tombstoned")
+	}
+	// Life signs reset the clock.
+	now = now.Add(time.Minute)
+	s.Apply(Update{From: distant, Records: []Record{{Addr: neighbor, Stamp: 5, Alive: true}}})
+	s.MarkHeard(neighbor)
+	if sus := s.SweepFailures(); len(sus) != 0 {
+		t.Errorf("re-suspected immediately after contact: %v", sus)
+	}
+}
+
+func TestSuspicionConfirmationPhase(t *testing.T) {
+	// With SuspicionSweeps=3, a silent neighbor survives two over-deadline
+	// sweeps and is expelled on the third; any life sign resets the count.
+	now := time.Unix(0, 0)
+	cfg := Config{
+		Self:            addr.New(0, 0),
+		Space:           addr.MustRegular(4, 2),
+		R:               2,
+		SuspectAfter:    10 * time.Second,
+		SuspicionSweeps: 3,
+		Now:             func() time.Time { return now },
+	}
+	s, err := New(cfg, interest.NewSubscription())
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbor := addr.New(0, 1)
+	s.Apply(Update{From: neighbor, Records: []Record{{Addr: neighbor, Stamp: 1, Alive: true}}})
+
+	now = now.Add(time.Minute)
+	if sus := s.SweepFailures(); len(sus) != 0 {
+		t.Fatalf("expelled on first sweep: %v", sus)
+	}
+	if sus := s.SweepFailures(); len(sus) != 0 {
+		t.Fatalf("expelled on second sweep: %v", sus)
+	}
+	// A life sign resets the confirmation counter.
+	s.MarkHeard(neighbor)
+	now = now.Add(time.Minute)
+	if sus := s.SweepFailures(); len(sus) != 0 {
+		t.Fatal("expelled right after contact")
+	}
+	if sus := s.SweepFailures(); len(sus) != 0 {
+		t.Fatal("reset did not take effect")
+	}
+	if sus := s.SweepFailures(); len(sus) != 1 || !sus[0].Equal(neighbor) {
+		t.Fatalf("third consecutive sweep should expel, got %v", sus)
+	}
+	rec, _ := s.Lookup(neighbor)
+	if rec.Alive {
+		t.Error("expelled neighbor still alive")
+	}
+}
+
+func TestGossipTargets(t *testing.T) {
+	s := newService(t, "0.0", nil)
+	for i := 1; i < 8; i++ {
+		s.Apply(Update{Records: []Record{{Addr: addr.New(i/4, i%4), Stamp: 1, Alive: true}}})
+	}
+	rng := rand.New(rand.NewSource(1))
+	targets := s.GossipTargets(rng, 3)
+	if len(targets) != 3 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	seen := map[string]bool{}
+	for _, a := range targets {
+		if a.Equal(addr.New(0, 0)) {
+			t.Error("self targeted")
+		}
+		if seen[a.Key()] {
+			t.Error("duplicate target")
+		}
+		seen[a.Key()] = true
+	}
+	// Request exceeding peers caps gracefully.
+	if got := s.GossipTargets(rng, 99); len(got) != 7 {
+		t.Errorf("capped targets = %d, want 7", len(got))
+	}
+}
+
+func TestImmediateNeighborsAndSnapshot(t *testing.T) {
+	s := newService(t, "1.0", nil)
+	s.Apply(Update{Records: []Record{
+		{Addr: addr.New(1, 1), Stamp: 1, Alive: true},
+		{Addr: addr.New(1, 2), Stamp: 1, Alive: false}, // dead: excluded
+		{Addr: addr.New(2, 0), Stamp: 1, Alive: true},  // other subgroup
+	}})
+	nbrs := s.ImmediateNeighbors()
+	if len(nbrs) != 1 || !nbrs[0].Equal(addr.New(1, 1)) {
+		t.Errorf("neighbors = %v", nbrs)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 { // self + 1.1 + 2.0
+		t.Errorf("snapshot = %d members", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if !snap[i-1].Addr.Less(snap[i].Addr) {
+			t.Error("snapshot not sorted")
+		}
+	}
+}
+
+func TestSubscribeBumpsStamp(t *testing.T) {
+	s := newService(t, "0.0", nil)
+	v := s.Version()
+	s.Subscribe(interest.NewSubscription().Where("z", interest.EqInt(1)))
+	rec, _ := s.Lookup(addr.New(0, 0))
+	if rec.Stamp != 2 {
+		t.Errorf("stamp = %d", rec.Stamp)
+	}
+	if s.Version() <= v {
+		t.Error("version not bumped")
+	}
+}
+
+func TestAntiEntropyConvergence(t *testing.T) {
+	// A ring of services, each gossiping digests to a random peer: all must
+	// converge to identical record sets.
+	const n = 8
+	services := make([]*Service, n)
+	for i := range services {
+		services[i] = newService(t, addr.New(i/4, i%4).String(), nil)
+	}
+	// Everyone initially knows only the next ring member (via join).
+	for i, s := range services {
+		next := services[(i+1)%n]
+		reply, _, _ := next.HandleJoinRequest(s.BuildJoinRequest())
+		s.Apply(reply)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 40; round++ {
+		for _, s := range services {
+			for _, to := range s.GossipTargets(rng, 2) {
+				// Route the digest to the owner of `to`.
+				for _, other := range services {
+					if other.Self().Equal(to) {
+						if upd := other.HandleDigest(s.MakeDigest()); upd != nil {
+							s.Apply(*upd)
+						}
+					}
+				}
+			}
+		}
+	}
+	for i, s := range services {
+		if s.Len() != n {
+			t.Errorf("service %d knows %d of %d members", i, s.Len(), n)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package node is the asynchronous pmcast runtime: one goroutine-driven
+// process binding the dissemination algorithm (internal/core), the
+// membership service (internal/membership) and a transport endpoint.
+//
+// A Node periodically executes the gossip task (the paper's "every P
+// milliseconds"), periodically exchanges membership digests (gossip pull),
+// sweeps its failure detector, and rebuilds its tree views whenever the
+// membership version moves. Events are published with Publish and consumed
+// from the Deliveries channel.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/core"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/membership"
+	"pmcast/internal/transport"
+	"pmcast/internal/tree"
+)
+
+// Errors reported by the runtime.
+var (
+	ErrStopped    = errors.New("node: stopped")
+	ErrNotStarted = errors.New("node: not started")
+)
+
+// Config parameterizes a node.
+type Config struct {
+	// Addr is the node's hierarchical address (its place in the tree).
+	Addr addr.Address
+	// Space is the shared address space (depth d and arities).
+	Space addr.Space
+	// R is the redundancy factor.
+	R int
+	// F is the gossip fanout.
+	F int
+	// C is Pittel's constant for round budgets.
+	C float64
+	// Subscription is the node's initial interest.
+	Subscription interest.Subscription
+	// GossipInterval is the gossip period P (default 25ms).
+	GossipInterval time.Duration
+	// MembershipInterval is the digest period (default 4·GossipInterval).
+	MembershipInterval time.Duration
+	// MembershipFanout is how many peers receive each digest (default 2).
+	MembershipFanout int
+	// SuspectAfter configures the failure detector (default 20 membership
+	// intervals; ≤ 0 keeps the default — failure detection is integral to
+	// the membership scheme).
+	SuspectAfter time.Duration
+	// SuspicionSweeps is the number of consecutive over-deadline detector
+	// sweeps before a silent neighbor is expelled (default 1; >1 enables
+	// the Section 6 confirmation phase).
+	SuspicionSweeps int
+	// Threshold is the Section 5.3 tuning parameter h (0 = untuned).
+	Threshold int
+	// LocalDescent enables the Section 3.2 start-depth rule.
+	LocalDescent bool
+	// LeafFloodRate enables the Section 6 leaf-flooding extension (0 = off).
+	LeafFloodRate float64
+	// DeliveryBuffer sizes the Deliveries channel (default 256). When the
+	// consumer lags, further deliveries are dropped and counted.
+	DeliveryBuffer int
+	// Seed seeds the node RNG (0 derives one from the address).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 25 * time.Millisecond
+	}
+	if c.MembershipInterval <= 0 {
+		c.MembershipInterval = 4 * c.GossipInterval
+	}
+	if c.MembershipFanout <= 0 {
+		c.MembershipFanout = 2
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 20 * c.MembershipInterval
+	}
+	if c.DeliveryBuffer <= 0 {
+		c.DeliveryBuffer = 256
+	}
+	if c.Seed == 0 {
+		h := int64(1469598103934665603)
+		for _, b := range []byte(c.Addr.Key()) {
+			h = (h ^ int64(b)) * 1099511628211
+		}
+		c.Seed = h
+	}
+	return c
+}
+
+// Node is one live pmcast process.
+type Node struct {
+	cfg Config
+	ep  *transport.Endpoint
+	mem *membership.Service
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	proc        *core.Process
+	treeSize    int
+	treeVersion uint64
+	seen        map[event.ID]struct{}
+
+	seq        atomic.Uint64
+	deliveries chan event.Event
+	dropped    atomic.Int64
+
+	joinMu      sync.Mutex
+	joinContact addr.Address
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+	started   atomic.Bool
+}
+
+// New attaches a node to the network. The node is inert until Start.
+func New(net *transport.Network, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	mem, err := membership.New(membership.Config{
+		Self:            cfg.Addr,
+		Space:           cfg.Space,
+		R:               cfg.R,
+		SuspectAfter:    cfg.SuspectAfter,
+		SuspicionSweeps: cfg.SuspicionSweeps,
+	}, cfg.Subscription)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := net.Attach(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:        cfg,
+		ep:         ep,
+		mem:        mem,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		seen:       make(map[event.ID]struct{}),
+		deliveries: make(chan event.Event, cfg.DeliveryBuffer),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if err := n.rebuildLocked(); err != nil {
+		ep.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// Addr returns the node address.
+func (n *Node) Addr() addr.Address { return n.cfg.Addr }
+
+// Membership exposes the membership service (read-mostly introspection).
+func (n *Node) Membership() *membership.Service { return n.mem }
+
+// Deliveries streams events matching the node's subscription, each exactly
+// once. The channel closes on Stop.
+func (n *Node) Deliveries() <-chan event.Event { return n.deliveries }
+
+// DroppedDeliveries reports deliveries discarded because the consumer lagged.
+func (n *Node) DroppedDeliveries() int64 { return n.dropped.Load() }
+
+// Start launches the runtime loop.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		n.started.Store(true)
+		go n.run()
+	})
+}
+
+// Stop terminates the runtime, detaches from the network and closes the
+// delivery channel. Safe to call multiple times.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		if n.started.Load() {
+			<-n.done
+		} else {
+			close(n.done)
+		}
+		n.ep.Close()
+		close(n.deliveries)
+	})
+}
+
+// Join bootstraps membership through a known contact: the node announces
+// itself and lets the contact chain forward the announcement towards its
+// immediate neighbors (Section 2.3, "Joining"). The announcement is
+// re-sent on the membership period for as long as the node knows nobody,
+// so a lossy network cannot strand a joiner.
+func (n *Node) Join(contact addr.Address) error {
+	n.joinMu.Lock()
+	n.joinContact = contact
+	n.joinMu.Unlock()
+	return n.ep.Send(contact, n.mem.BuildJoinRequest())
+}
+
+// Leave announces departure to the closest known neighbors and stops the
+// node (Section 2.3, "Leaving").
+func (n *Node) Leave() {
+	leave := n.mem.BuildLeave()
+	for _, nb := range n.mem.ImmediateNeighbors() {
+		_ = n.ep.Send(nb, leave) // best effort; gossip spreads the tombstone
+	}
+	n.Stop()
+}
+
+// Subscribe replaces the node's interests; the change propagates through
+// membership anti-entropy and re-aggregates up the tree.
+func (n *Node) Subscribe(sub interest.Subscription) {
+	n.mem.Subscribe(sub)
+}
+
+// Publish multicasts an event built from the given attributes. The event ID
+// is derived from the node address and a local sequence number.
+func (n *Node) Publish(attrs map[string]event.Value) (event.ID, error) {
+	select {
+	case <-n.stop:
+		return event.ID{}, ErrStopped
+	default:
+	}
+	id := event.ID{Origin: n.cfg.Addr.Key(), Seq: n.seq.Add(1)}
+	ev := event.New(id, attrs)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.rebuildIfStaleLocked(); err != nil {
+		return event.ID{}, err
+	}
+	n.seen[id] = struct{}{}
+	if err := n.proc.Multicast(ev); err != nil {
+		return event.ID{}, err
+	}
+	n.drainDeliveriesLocked()
+	return id, nil
+}
+
+// run is the node's event loop.
+func (n *Node) run() {
+	defer close(n.done)
+	gossip := time.NewTicker(n.cfg.GossipInterval)
+	defer gossip.Stop()
+	memTick := time.NewTicker(n.cfg.MembershipInterval)
+	defer memTick.Stop()
+	sweep := time.NewTicker(n.cfg.SuspectAfter / 2)
+	defer sweep.Stop()
+
+	for {
+		select {
+		case <-n.stop:
+			return
+		case env, ok := <-n.ep.Recv():
+			if !ok {
+				return
+			}
+			n.handle(env)
+		case <-gossip.C:
+			n.tickGossip()
+		case <-memTick.C:
+			n.tickMembership()
+		case <-sweep.C:
+			n.mem.SweepFailures()
+		}
+	}
+}
+
+// handle dispatches one received payload.
+func (n *Node) handle(env transport.Envelope) {
+	n.mem.MarkHeard(env.From)
+	switch msg := env.Payload.(type) {
+	case core.Gossip:
+		n.handleGossip(msg)
+	case membership.Digest:
+		if upd := n.mem.HandleDigest(msg); upd != nil {
+			_ = n.ep.Send(env.From, *upd)
+		}
+	case membership.Update:
+		n.mem.Apply(msg)
+	case membership.JoinRequest:
+		reply, fwd, forwardIt := n.mem.HandleJoinRequest(msg)
+		_ = n.ep.Send(msg.Joiner.Addr, reply)
+		if forwardIt && msg.Hops > 0 {
+			msg.Hops--
+			_ = n.ep.Send(fwd, msg)
+		}
+	case membership.Leave:
+		n.mem.HandleLeave(msg)
+	}
+}
+
+func (n *Node) handleGossip(g core.Gossip) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.seen[g.Event.ID()]; dup {
+		return
+	}
+	if err := n.rebuildIfStaleLocked(); err != nil {
+		return
+	}
+	n.seen[g.Event.ID()] = struct{}{}
+	n.proc.Receive(g)
+	n.drainDeliveriesLocked()
+}
+
+func (n *Node) tickGossip() {
+	n.mu.Lock()
+	if err := n.rebuildIfStaleLocked(); err != nil {
+		n.mu.Unlock()
+		return
+	}
+	sends := n.proc.Tick(n.rng)
+	n.drainDeliveriesLocked()
+	n.mu.Unlock()
+	for _, s := range sends {
+		_ = n.ep.Send(s.To, s.Gossip)
+	}
+}
+
+func (n *Node) tickMembership() {
+	// Bootstrap retry: while the node knows nobody, keep announcing itself
+	// to its join contact (join messages are as lossy as any other).
+	if n.mem.Len() <= 1 {
+		n.joinMu.Lock()
+		contact := n.joinContact
+		n.joinMu.Unlock()
+		if !contact.IsZero() {
+			_ = n.ep.Send(contact, n.mem.BuildJoinRequest())
+		}
+	}
+	n.mu.Lock()
+	targets := n.mem.GossipTargets(n.rng, n.cfg.MembershipFanout)
+	n.mu.Unlock()
+	d := n.mem.MakeDigest()
+	for _, to := range targets {
+		_ = n.ep.Send(to, d)
+	}
+}
+
+// rebuildIfStaleLocked refreshes tree views when membership moved.
+func (n *Node) rebuildIfStaleLocked() error {
+	if v := n.mem.Version(); v != n.treeVersion {
+		return n.rebuildLocked()
+	}
+	return nil
+}
+
+// rebuildLocked reconstructs the tree and protocol state from the current
+// membership snapshot. Buffered gossip entries do not survive a rebuild;
+// gossip redundancy covers the gap (see DESIGN.md).
+func (n *Node) rebuildLocked() error {
+	version := n.mem.Version()
+	members := n.mem.Snapshot()
+	t, err := tree.Build(tree.Config{Space: n.cfg.Space, R: n.cfg.R}, members)
+	if err != nil {
+		return fmt.Errorf("node: rebuilding tree: %w", err)
+	}
+	proc, err := core.BuildProcess(t, n.cfg.Addr, core.Config{
+		D:             n.cfg.Space.Depth(),
+		F:             n.cfg.F,
+		C:             n.cfg.C,
+		Threshold:     n.cfg.Threshold,
+		LocalDescent:  n.cfg.LocalDescent,
+		LeafFloodRate: n.cfg.LeafFloodRate,
+	})
+	if err != nil {
+		return fmt.Errorf("node: rebuilding process: %w", err)
+	}
+	n.proc = proc
+	n.treeSize = len(members)
+	n.treeVersion = version
+	return nil
+}
+
+// drainDeliveriesLocked pushes protocol deliveries to the consumer channel.
+func (n *Node) drainDeliveriesLocked() {
+	for _, ev := range n.proc.Deliveries() {
+		select {
+		case n.deliveries <- ev:
+		default:
+			n.dropped.Add(1)
+		}
+	}
+}
+
+// KnownMembers returns the current alive membership size as seen locally.
+func (n *Node) KnownMembers() int { return n.mem.Len() }

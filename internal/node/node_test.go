@@ -1,0 +1,348 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/transport"
+)
+
+// cluster spins up one node per address with the given subscription chooser
+// and fully meshes their membership via join + anti-entropy.
+func cluster(t *testing.T, net *transport.Network, space addr.Space, addrs []addr.Address,
+	subFor func(addr.Address) interest.Subscription) []*Node {
+	t.Helper()
+	nodes := make([]*Node, len(addrs))
+	for i, a := range addrs {
+		n, err := New(net, Config{
+			Addr:               a,
+			Space:              space,
+			R:                  2,
+			F:                  3,
+			C:                  2,
+			Subscription:       subFor(a),
+			GossipInterval:     4 * time.Millisecond,
+			MembershipInterval: 6 * time.Millisecond,
+			SuspectAfter:       time.Hour, // off unless a test shortens it
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+	// Bootstrap: everyone joins through node 0.
+	for _, n := range nodes[1:] {
+		if err := n.Join(nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		for _, n := range nodes {
+			if n.KnownMembers() != len(nodes) {
+				return false
+			}
+		}
+		return true
+	}, "membership convergence")
+	return nodes
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func gridAddrs(space addr.Space, count int) []addr.Address {
+	out := make([]addr.Address, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, space.AddressAt(i))
+	}
+	return out
+}
+
+func subEq(val int64) interest.Subscription {
+	return interest.NewSubscription().Where("b", interest.EqInt(val))
+}
+
+func TestPublishReachesInterestedOnly(t *testing.T) {
+	net := transport.NewNetwork(transport.Config{})
+	space := addr.MustRegular(3, 2)
+	// Members of subtree 0 and 1 want b=1; subtree 2 wants b=2.
+	subFor := func(a addr.Address) interest.Subscription {
+		if a.Digit(1) < 2 {
+			return subEq(1)
+		}
+		return subEq(2)
+	}
+	nodes := cluster(t, net, space, gridAddrs(space, 9), subFor)
+
+	id, err := nodes[8].Publish(map[string]event.Value{"b": event.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Seq != 1 {
+		t.Errorf("seq = %d", id.Seq)
+	}
+	// All six interested nodes deliver.
+	for _, n := range nodes[:6] {
+		n := n
+		waitFor(t, 5*time.Second, func() bool {
+			select {
+			case ev := <-n.Deliveries():
+				if ev.ID() != id {
+					t.Errorf("node %s delivered wrong event %v", n.Addr(), ev.ID())
+				}
+				return true
+			default:
+				return false
+			}
+		}, "delivery at "+n.Addr().String())
+	}
+	// The uninterested never deliver (give gossip time to settle).
+	time.Sleep(100 * time.Millisecond)
+	for _, n := range nodes[6:] {
+		select {
+		case ev := <-n.Deliveries():
+			t.Errorf("uninterested node %s delivered %v", n.Addr(), ev)
+		default:
+		}
+	}
+}
+
+func TestExactlyOnceDelivery(t *testing.T) {
+	net := transport.NewNetwork(transport.Config{})
+	space := addr.MustRegular(3, 1)
+	nodes := cluster(t, net, space, gridAddrs(space, 3), func(addr.Address) interest.Subscription {
+		return subEq(7)
+	})
+	id, err := nodes[0].Publish(map[string]event.Value{"b": event.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(nodes))
+	deadline := time.After(500 * time.Millisecond)
+	for i := 0; i < len(nodes); {
+		select {
+		case ev := <-nodes[i].Deliveries():
+			if ev.ID() == id {
+				counts[i]++
+			}
+		case <-deadline:
+			i = len(nodes)
+		default:
+			time.Sleep(time.Millisecond)
+			if counts[i] > 0 {
+				i++
+			}
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	for i, n := range nodes {
+		// Drain any extras.
+		for {
+			select {
+			case ev := <-n.Deliveries():
+				if ev.ID() == id {
+					counts[i]++
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if counts[i] != 1 {
+			t.Errorf("node %d delivered %d times", i, counts[i])
+		}
+	}
+}
+
+func TestSubscribeChangesRouting(t *testing.T) {
+	net := transport.NewNetwork(transport.Config{})
+	space := addr.MustRegular(4, 1)
+	nodes := cluster(t, net, space, gridAddrs(space, 4), func(addr.Address) interest.Subscription {
+		return subEq(1)
+	})
+	// Node 3 switches interests to b=2.
+	nodes[3].Subscribe(subEq(2))
+	// Wait for the new subscription to propagate to the publisher.
+	waitFor(t, 5*time.Second, func() bool {
+		rec, ok := nodes[0].Membership().Lookup(nodes[3].Addr())
+		return ok && rec.Stamp >= 2
+	}, "subscription propagation")
+
+	if _, err := nodes[0].Publish(map[string]event.Value{"b": event.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		select {
+		case <-nodes[3].Deliveries():
+			return true
+		default:
+			return false
+		}
+	}, "resubscribed delivery")
+}
+
+func TestLeaveTombstonesAcrossCluster(t *testing.T) {
+	net := transport.NewNetwork(transport.Config{})
+	space := addr.MustRegular(4, 1)
+	nodes := cluster(t, net, space, gridAddrs(space, 4), func(addr.Address) interest.Subscription {
+		return subEq(1)
+	})
+	nodes[2].Leave()
+	waitFor(t, 5*time.Second, func() bool {
+		return nodes[0].KnownMembers() == 3 &&
+			nodes[1].KnownMembers() == 3 &&
+			nodes[3].KnownMembers() == 3
+	}, "leave propagation")
+}
+
+func TestFailureDetectionExpelsSilentNeighbor(t *testing.T) {
+	net := transport.NewNetwork(transport.Config{})
+	space := addr.MustRegular(3, 1)
+	addrs := gridAddrs(space, 3)
+	nodes := make([]*Node, len(addrs))
+	for i, a := range addrs {
+		n, err := New(net, Config{
+			Addr:               a,
+			Space:              space,
+			R:                  2,
+			F:                  2,
+			Subscription:       subEq(1),
+			GossipInterval:     4 * time.Millisecond,
+			MembershipInterval: 5 * time.Millisecond,
+			SuspectAfter:       60 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+	for _, n := range nodes[1:] {
+		if err := n.Join(nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return nodes[0].KnownMembers() == 3 && nodes[1].KnownMembers() == 3
+	}, "initial convergence")
+
+	// Kill node 2 without a leave; the others must expel it.
+	nodes[2].Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		return nodes[0].KnownMembers() == 2 && nodes[1].KnownMembers() == 2
+	}, "failure detection")
+}
+
+func TestPublishAfterStop(t *testing.T) {
+	net := transport.NewNetwork(transport.Config{})
+	space := addr.MustRegular(2, 1)
+	n, err := New(net, Config{
+		Addr: space.AddressAt(0), Space: space, R: 1, F: 1,
+		Subscription: subEq(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	n.Stop()
+	if _, err := n.Publish(map[string]event.Value{"b": event.Int(1)}); err == nil {
+		t.Error("publish after stop accepted")
+	}
+	n.Stop() // idempotent
+}
+
+func TestPartitionHealsAndMembershipReconverges(t *testing.T) {
+	net := transport.NewNetwork(transport.Config{})
+	space := addr.MustRegular(4, 1)
+	nodes := cluster(t, net, space, gridAddrs(space, 4), func(addr.Address) interest.Subscription {
+		return subEq(1)
+	})
+	// Partition node 3 from everyone; events published meanwhile miss it.
+	for _, n := range nodes[:3] {
+		net.BlockBidirectional(n.Addr(), nodes[3].Addr())
+	}
+	if _, err := nodes[0].Publish(map[string]event.Value{"b": event.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes[1:3] {
+		n := n
+		waitFor(t, 5*time.Second, func() bool {
+			select {
+			case <-n.Deliveries():
+				return true
+			default:
+				return false
+			}
+		}, "delivery on majority side")
+	}
+	select {
+	case ev := <-nodes[3].Deliveries():
+		t.Fatalf("partitioned node delivered %v", ev)
+	case <-time.After(60 * time.Millisecond):
+	}
+	// Heal: anti-entropy reconverges and new events reach node 3 again.
+	net.Heal()
+	if _, err := nodes[0].Publish(map[string]event.Value{"b": event.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		select {
+		case <-nodes[3].Deliveries():
+			return true
+		default:
+			return false
+		}
+	}, "post-heal delivery")
+}
+
+func TestLossyNetworkStillDelivers(t *testing.T) {
+	net := transport.NewNetwork(transport.Config{Loss: 0.2, Seed: 5})
+	space := addr.MustRegular(3, 2)
+	nodes := cluster(t, net, space, gridAddrs(space, 9), func(addr.Address) interest.Subscription {
+		return subEq(1)
+	})
+	// Publish several events; gossip redundancy should beat 20% loss.
+	const events = 3
+	for i := 0; i < events; i++ {
+		if _, err := nodes[0].Publish(map[string]event.Value{"b": event.Int(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes[1:] {
+		n := n
+		got := 0
+		waitFor(t, 10*time.Second, func() bool {
+			select {
+			case <-n.Deliveries():
+				got++
+			default:
+			}
+			return got == events
+		}, "lossy delivery at "+n.Addr().String())
+	}
+}

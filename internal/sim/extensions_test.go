@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestLeafFloodKeepsDeliveryCutsRounds(t *testing.T) {
+	base := newSim(t, Params{A: 12, D: 2, R: 3, F: 2})
+	flood := newSim(t, Params{A: 12, D: 2, R: 3, F: 2, LeafFloodRate: 0.4})
+	const pd = 0.8 // dense interests: flooding engages
+	aggBase, err := base.RunMany(pd, 25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggFlood, err := flood.RunMany(pd, 25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggFlood.Delivery.Mean() < aggBase.Delivery.Mean()-0.02 {
+		t.Errorf("leaf flooding hurt delivery: %g vs %g",
+			aggFlood.Delivery.Mean(), aggBase.Delivery.Mean())
+	}
+	if aggFlood.Rounds.Mean() >= aggBase.Rounds.Mean() {
+		t.Errorf("leaf flooding should cut rounds: %g >= %g",
+			aggFlood.Rounds.Mean(), aggBase.Rounds.Mean())
+	}
+}
+
+func TestLeafFloodInactiveBelowGate(t *testing.T) {
+	// With a sparse audience the rate never reaches the gate, so flooding
+	// and baseline behave identically for the same seeds.
+	base := newSim(t, Params{A: 10, D: 2, R: 2, F: 2})
+	gated := newSim(t, Params{A: 10, D: 2, R: 2, F: 2, LeafFloodRate: 0.95})
+	for seed := int64(0); seed < 5; seed++ {
+		rb, err := base.RunMany(0.05, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := gated.RunMany(0.05, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.Messages.Mean() != rg.Messages.Mean() {
+			t.Fatalf("seed %d: gated flood changed behavior: %g vs %g msgs",
+				seed, rg.Messages.Mean(), rb.Messages.Mean())
+		}
+	}
+}
+
+func TestLocalDescentPreservesDelivery(t *testing.T) {
+	base := newSim(t, Params{A: 8, D: 3, R: 2, F: 2, C: 1})
+	descent := newSim(t, Params{A: 8, D: 3, R: 2, F: 2, C: 1, LocalDescent: true})
+	agg, err := base.RunMany(0.3, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggD, err := descent.RunMany(0.3, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggD.Delivery.Mean() < agg.Delivery.Mean()-0.05 {
+		t.Errorf("local descent hurt delivery: %g vs %g",
+			aggD.Delivery.Mean(), agg.Delivery.Mean())
+	}
+}
+
+func TestAssumedLossLengthensBudgetsAndHelps(t *testing.T) {
+	// Under real loss, telling the protocol about it (Eq. 11) must not
+	// reduce delivery compared to assuming a clean network.
+	blind := newSim(t, Params{A: 10, D: 2, R: 2, F: 2, Eps: 0.3, AssumedEps: 0, AssumedTau: 0})
+	aware := newSim(t, Params{A: 10, D: 2, R: 2, F: 2, Eps: 0.3, AssumedEps: -1, AssumedTau: -1})
+	aggBlind, err := blind.RunMany(0.5, 30, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggAware, err := aware.RunMany(0.5, 30, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggAware.Delivery.Mean() < aggBlind.Delivery.Mean()-0.01 {
+		t.Errorf("loss-aware budgets should help: aware %g vs blind %g",
+			aggAware.Delivery.Mean(), aggBlind.Delivery.Mean())
+	}
+	if aggAware.Rounds.Mean() < aggBlind.Rounds.Mean() {
+		t.Errorf("loss-aware budgets should not shorten rounds: %g < %g",
+			aggAware.Rounds.Mean(), aggBlind.Rounds.Mean())
+	}
+}
+
+func TestHigherFanoutImprovesOrMaintainsDelivery(t *testing.T) {
+	low := newSim(t, Params{A: 10, D: 2, R: 2, F: 1})
+	high := newSim(t, Params{A: 10, D: 2, R: 2, F: 4})
+	aggLow, err := low.RunMany(0.3, 30, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggHigh, err := high.RunMany(0.3, 30, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggHigh.Delivery.Mean() < aggLow.Delivery.Mean() {
+		t.Errorf("F=4 delivery %g below F=1 %g",
+			aggHigh.Delivery.Mean(), aggLow.Delivery.Mean())
+	}
+}
+
+func TestThresholdTuningCappedByViewSize(t *testing.T) {
+	// h larger than any view must not crash and must push delivery to ~1.
+	s := newSim(t, Params{A: 5, D: 2, R: 2, F: 3, Threshold: 1000})
+	agg, err := s.RunMany(0.1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Delivery.Mean() < 0.9 {
+		t.Errorf("max tuning delivery = %g", agg.Delivery.Mean())
+	}
+}

@@ -1,0 +1,472 @@
+// Package sim is the round-synchronous Monte-Carlo simulator reproducing the
+// paper's evaluation (Section 5): a fully populated regular tree of n = a^d
+// processes runs the pmcast protocol (internal/core) on a single event whose
+// audience is drawn Bernoulli(p_d), under i.i.d. message loss ε and crash
+// fraction τ, exactly the stochastic model of the paper's analysis
+// (Section 4.1).
+//
+// The simulator drives the same core.Process state machine as the live
+// runtime; only the views are synthetic (regular-tree index arithmetic and
+// Bernoulli interests instead of content-based subscriptions), which keeps a
+// 10 000-process run cheap enough for statistically meaningful sweeps.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/core"
+	"pmcast/internal/event"
+	"pmcast/internal/stats"
+)
+
+// Errors reported by the simulator.
+var (
+	ErrBadShape  = errors.New("sim: tree shape requires a ≥ R ≥ 1 and d ≥ 1")
+	ErrBadRate   = errors.New("sim: probability outside valid range")
+	ErrNoQuiesce = errors.New("sim: dissemination did not quiesce")
+)
+
+// Params configures a simulation campaign. The zero value is invalid; use
+// the documented paper configurations, e.g. Figure 4's
+// {A: 22, D: 3, R: 3, F: 2}.
+type Params struct {
+	// A, D, R: regular tree arity, depth and redundancy factor.
+	A, D, R int
+	// F is the gossip fanout.
+	F int
+	// C is Pittel's additive constant used in round budgets.
+	C float64
+	// Eps is the actual message loss probability ε of the network.
+	Eps float64
+	// Tau is the fraction of processes crashed during a run (τ = f/n).
+	Tau float64
+	// AssumedEps and AssumedTau are what the protocol assumes when sizing
+	// its round budgets (conservative values per Section 3.3); they default
+	// to Eps and Tau when negative.
+	AssumedEps float64
+	AssumedTau float64
+	// Threshold is the Section 5.3 tuning parameter h (0 = untuned).
+	Threshold int
+	// LocalDescent enables the Section 3.2 start-depth optimization.
+	LocalDescent bool
+	// LeafFloodRate enables the Section 6 leaf-flooding extension (0 = off).
+	LeafFloodRate float64
+	// MaxRounds bounds a single run (safety net); 0 means 64·d.
+	MaxRounds int
+}
+
+func (p Params) withDefaults() Params {
+	if p.AssumedEps < 0 {
+		p.AssumedEps = p.Eps
+	}
+	if p.AssumedTau < 0 {
+		p.AssumedTau = p.Tau
+	}
+	if p.MaxRounds == 0 {
+		p.MaxRounds = 64 * p.D
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.D < 1 || p.R < 1 || p.A < p.R {
+		return fmt.Errorf("%w: a=%d d=%d R=%d", ErrBadShape, p.A, p.D, p.R)
+	}
+	if p.F < 1 {
+		return fmt.Errorf("%w: fanout %d", ErrBadShape, p.F)
+	}
+	for _, v := range []float64{p.Eps, p.Tau} {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("%w: ε/τ %g", ErrBadRate, v)
+		}
+	}
+	return nil
+}
+
+// N returns the population size a^d.
+func (p Params) N() int {
+	n := 1
+	for i := 0; i < p.D; i++ {
+		n *= p.A
+	}
+	return n
+}
+
+// Result captures one simulated dissemination.
+type Result struct {
+	// Interested is the drawn audience size.
+	Interested int
+	// DeliveredInterested counts interested processes that delivered.
+	DeliveredInterested int
+	// Uninterested is n − Interested.
+	Uninterested int
+	// InfectedUninterested counts uninterested processes that received the
+	// event (pure-forwarding delegates, plus tuning-induced receptions).
+	InfectedUninterested int
+	// Rounds is the number of gossip periods until the group quiesced.
+	Rounds int
+	// Messages is the number of gossip sends emitted (including lost ones).
+	Messages int
+	// Publisher is the index of the multicasting process.
+	Publisher int
+}
+
+// DeliveryRate returns DeliveredInterested/Interested (1 when nobody was
+// interested: vacuous success).
+func (r Result) DeliveryRate() float64 {
+	if r.Interested == 0 {
+		return 1
+	}
+	return float64(r.DeliveredInterested) / float64(r.Interested)
+}
+
+// UninterestedReceptionRate returns InfectedUninterested/Uninterested.
+func (r Result) UninterestedReceptionRate() float64 {
+	if r.Uninterested == 0 {
+		return 0
+	}
+	return float64(r.InfectedUninterested) / float64(r.Uninterested)
+}
+
+// Aggregate summarizes a batch of runs.
+type Aggregate struct {
+	// Delivery aggregates per-run delivery rates (Figure 4/6/7 y-axis).
+	Delivery stats.Accumulator
+	// UninterestedReception aggregates per-run uninterested reception rates
+	// (Figure 5 y-axis).
+	UninterestedReception stats.Accumulator
+	// Rounds and Messages aggregate dissemination cost.
+	Rounds   stats.Accumulator
+	Messages stats.Accumulator
+}
+
+// Simulator owns the reusable per-configuration state: the process array
+// with their synthetic views. A Simulator is not safe for concurrent use;
+// run independent Simulators for parallel sweeps.
+type Simulator struct {
+	params Params
+	n      int
+	space  addr.Space
+	addrs  []addr.Address
+	procs  []*core.Process
+	run    *runState
+	// strides[l] = a^(d−l): leaves covered by a subtree whose prefix has
+	// length l.
+	strides []int
+}
+
+// New validates the parameters and builds the process population once;
+// individual runs then only redraw interests, crashes and the publisher.
+func New(params Params) (*Simulator, error) {
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	space, err := addr.Regular(params.A, params.D)
+	if err != nil {
+		return nil, err
+	}
+	n := params.N()
+	s := &Simulator{
+		params:  params,
+		n:       n,
+		space:   space,
+		addrs:   make([]addr.Address, n),
+		procs:   make([]*core.Process, n),
+		run:     newRunState(params.A, params.D),
+		strides: make([]int, params.D+1),
+	}
+	for l := 0; l <= params.D; l++ {
+		s.strides[l] = pow(params.A, params.D-l)
+	}
+	for i := 0; i < n; i++ {
+		s.addrs[i] = space.AddressAt(i)
+	}
+	cfg := core.Config{
+		D:             params.D,
+		F:             params.F,
+		C:             params.C,
+		AssumedLoss:   params.AssumedEps,
+		AssumedCrash:  params.AssumedTau,
+		Threshold:     params.Threshold,
+		LocalDescent:  params.LocalDescent,
+		LeafFloodRate: params.LeafFloodRate,
+	}
+	for i := 0; i < n; i++ {
+		views := make([]core.DepthView, params.D)
+		for depth := 1; depth <= params.D; depth++ {
+			views[depth-1] = s.viewFor(i, depth)
+		}
+		self := i
+		proc, err := core.NewProcess(s.addrs[i], cfg, views, func(event.Event) bool {
+			return s.run.interested[self]
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.procs[i] = proc
+	}
+	return s, nil
+}
+
+// Params returns the simulator configuration (with defaults resolved).
+func (s *Simulator) Params() Params { return s.params }
+
+// Run simulates one dissemination with audience rate pd, reusing the process
+// population. rng drives every stochastic choice, so equal seeds give equal
+// runs.
+func (s *Simulator) Run(pd float64, rng *rand.Rand) (Result, error) {
+	if pd < 0 || pd > 1 {
+		return Result{}, fmt.Errorf("%w: pd=%g", ErrBadRate, pd)
+	}
+	s.run.redraw(pd, s.params.Tau, rng)
+	for _, p := range s.procs {
+		p.Reset()
+	}
+
+	publisher := rng.Intn(s.n)
+	for s.run.crashed[publisher] {
+		publisher = rng.Intn(s.n)
+	}
+	ev := event.NewBuilder().Int("sim", 1).Build(event.ID{Origin: "sim", Seq: 1})
+	if err := s.procs[publisher].Multicast(ev); err != nil {
+		return Result{}, err
+	}
+
+	// The active set is kept in deterministic insertion order so a fixed
+	// seed reproduces a run exactly (map iteration would not).
+	active := make([]int, 0, 256)
+	isActive := make([]bool, s.n)
+	activate := func(idx int) {
+		if !isActive[idx] {
+			isActive[idx] = true
+			active = append(active, idx)
+		}
+	}
+	activate(publisher)
+	rounds, messages := 0, 0
+	for len(active) > 0 {
+		if rounds >= s.params.MaxRounds {
+			return Result{}, fmt.Errorf("%w after %d rounds", ErrNoQuiesce, rounds)
+		}
+		rounds++
+		var sends []core.Send
+		for _, idx := range active {
+			if s.run.crashed[idx] {
+				continue
+			}
+			sends = append(sends, s.procs[idx].Tick(rng)...)
+		}
+		messages += len(sends)
+		for _, snd := range sends {
+			if s.params.Eps > 0 && rng.Float64() < s.params.Eps {
+				continue // lost in transit
+			}
+			dst := s.space.Index(snd.To)
+			if s.run.crashed[dst] {
+				continue
+			}
+			s.procs[dst].Receive(snd.Gossip)
+			activate(dst)
+		}
+		// Retire drained and crashed processes.
+		next := active[:0]
+		for _, idx := range active {
+			if !s.run.crashed[idx] && s.procs[idx].Pending() > 0 {
+				next = append(next, idx)
+			} else {
+				isActive[idx] = false
+			}
+		}
+		active = next
+	}
+
+	res := Result{Rounds: rounds, Messages: messages, Publisher: publisher}
+	evID := ev.ID()
+	for i := 0; i < s.n; i++ {
+		if s.run.interested[i] {
+			res.Interested++
+			if s.procs[i].HasSeen(evID) {
+				res.DeliveredInterested++
+			}
+		} else {
+			res.Uninterested++
+			if i != publisher && s.procs[i].HasSeen(evID) {
+				res.InfectedUninterested++
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunMany executes runs independent simulations and aggregates them.
+func (s *Simulator) RunMany(pd float64, runs int, seed int64) (Aggregate, error) {
+	var agg Aggregate
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < runs; i++ {
+		res, err := s.Run(pd, rng)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		if res.Interested > 0 {
+			agg.Delivery.Add(res.DeliveryRate())
+		}
+		agg.UninterestedReception.Add(res.UninterestedReceptionRate())
+		agg.Rounds.Add(float64(res.Rounds))
+		agg.Messages.Add(float64(res.Messages))
+	}
+	return agg, nil
+}
+
+func pow(a, k int) int {
+	out := 1
+	for i := 0; i < k; i++ {
+		out *= a
+	}
+	return out
+}
+
+// runState holds the per-run random draws shared by all synthetic views.
+type runState struct {
+	a, d int
+	// interested[i] is the Bernoulli(p_d) audience bit of leaf i.
+	interested []bool
+	// subInterested[l][s]: subtree s (prefix length l) contains an
+	// interested leaf. Level d is the leaves themselves; level 0 the root.
+	subInterested [][]bool
+	// crashed[i]: process i crashed during this run.
+	crashed []bool
+}
+
+func newRunState(a, d int) *runState {
+	rs := &runState{a: a, d: d}
+	n := pow(a, d)
+	rs.interested = make([]bool, n)
+	rs.crashed = make([]bool, n)
+	rs.subInterested = make([][]bool, d+1)
+	for l := 0; l <= d; l++ {
+		rs.subInterested[l] = make([]bool, pow(a, l))
+	}
+	return rs
+}
+
+// redraw resamples interests and crashes and rebuilds subtree aggregates.
+func (rs *runState) redraw(pd, tau float64, rng *rand.Rand) {
+	n := len(rs.interested)
+	for i := 0; i < n; i++ {
+		rs.interested[i] = rng.Float64() < pd
+		rs.crashed[i] = tau > 0 && rng.Float64() < tau
+		rs.subInterested[rs.d][i] = rs.interested[i]
+	}
+	for l := rs.d - 1; l >= 0; l-- {
+		level := rs.subInterested[l]
+		below := rs.subInterested[l+1]
+		for sIdx := range level {
+			v := false
+			base := sIdx * rs.a
+			for c := 0; c < rs.a; c++ {
+				if below[base+c] {
+					v = true
+					break
+				}
+			}
+			level[sIdx] = v
+		}
+	}
+}
+
+// simView is the synthetic DepthView of one process at one depth: index
+// arithmetic over the regular tree plus the shared runState bits. With the
+// smallest-address election, the delegates of any subtree are exactly its R
+// lowest leaf indices, so membership reduces to modular arithmetic.
+type simView struct {
+	sim   *Simulator
+	depth int // tree depth i of the view
+	group int // prefix index (length depth−1) of the owning process
+	perR  int // delegates per line: R at inner depths, 1 at the leaves
+	self  int // position of the owner in the view, −1 if not a member
+	owner int // owning process index (for MatchingSubgroups selfIn)
+}
+
+var _ core.DepthView = (*simView)(nil)
+
+// viewFor builds the depth view of process i.
+func (s *Simulator) viewFor(i, depth int) *simView {
+	p := s.params
+	group := i / s.strides[depth-1]
+	perR := p.R
+	if depth == p.D {
+		perR = 1
+	}
+	v := &simView{sim: s, depth: depth, group: group, perR: perR, self: -1, owner: i}
+	// The owner is a member iff it is among the R delegates of its child
+	// subtree (always, trivially, at depth d).
+	childStride := s.strides[depth]
+	sub := i / childStride // child-subtree index (prefix length depth)
+	offset := i - sub*childStride
+	if offset < perR {
+		c := sub - group*p.A
+		v.self = c*perR + offset
+	}
+	return v
+}
+
+// Size implements core.DepthView.
+func (v *simView) Size() int { return v.sim.params.A * v.perR }
+
+// MemberAt implements core.DepthView.
+func (v *simView) MemberAt(k int) addr.Address {
+	return v.sim.addrs[v.memberIndex(k)]
+}
+
+// memberIndex maps a view position to a process index.
+func (v *simView) memberIndex(k int) int {
+	c, j := k/v.perR, k%v.perR
+	sub := v.group*v.sim.params.A + c
+	return sub*v.sim.strides[v.depth] + j
+}
+
+// SelfIndex implements core.DepthView.
+func (v *simView) SelfIndex() int { return v.self }
+
+// SusceptibleAt implements core.DepthView: member k is susceptible iff the
+// subtree it represents at this depth contains an interested leaf.
+func (v *simView) SusceptibleAt(_ event.Event, k int) bool {
+	sub := v.group*v.sim.params.A + k/v.perR
+	return v.sim.run.subInterested[v.depth][sub]
+}
+
+// Rate implements core.DepthView (GETRATE): matching lines over total lines,
+// which equals susceptible members over group size since every line
+// contributes perR delegates.
+func (v *simView) Rate(event.Event) float64 {
+	hits := 0
+	base := v.group * v.sim.params.A
+	level := v.sim.run.subInterested[v.depth]
+	for c := 0; c < v.sim.params.A; c++ {
+		if level[base+c] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(v.sim.params.A)
+}
+
+// MatchingSubgroups implements core.DepthView.
+func (v *simView) MatchingSubgroups(event.Event) (int, bool) {
+	total, selfIn := 0, false
+	base := v.group * v.sim.params.A
+	level := v.sim.run.subInterested[v.depth]
+	ownSub := v.owner / v.sim.strides[v.depth]
+	for c := 0; c < v.sim.params.A; c++ {
+		if level[base+c] {
+			total++
+			if base+c == ownSub {
+				selfIn = true
+			}
+		}
+	}
+	return total, selfIn
+}

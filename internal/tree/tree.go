@@ -1,0 +1,436 @@
+// Package tree implements pmcast's membership orchestration (paper
+// Section 2): the compound spanning tree obtained by recursively electing R
+// delegates per subgroup and merging them with the delegates of neighbor
+// subgroups, together with the per-depth view tables every process keeps for
+// the prefixes on its path to the root.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/interest"
+)
+
+// Common errors.
+var (
+	ErrUnknownMember   = errors.New("tree: unknown member")
+	ErrDuplicateMember = errors.New("tree: member already present")
+	ErrBadRedundancy   = errors.New("tree: redundancy factor R must be ≥ 1")
+	ErrSpaceMismatch   = errors.New("tree: address does not fit the space")
+)
+
+// Member associates a process address with its individual subscription.
+type Member struct {
+	Addr addr.Address
+	Sub  interest.Subscription
+}
+
+// ElectionStrategy chooses R delegates out of a candidate set. The choice
+// must be deterministic: every process of a subgroup computes the same set
+// without explicit agreement (paper Section 2.3, "Delegate selection").
+type ElectionStrategy interface {
+	// Elect returns min(r, len(candidates)) delegates. Candidates arrive
+	// sorted by address; the returned slice must be a (possibly reordered)
+	// subset.
+	Elect(candidates []addr.Address, r int) []addr.Address
+}
+
+// SmallestAddress elects the R smallest addresses — the paper's default.
+type SmallestAddress struct{}
+
+var _ ElectionStrategy = SmallestAddress{}
+
+// Elect implements ElectionStrategy.
+func (SmallestAddress) Elect(candidates []addr.Address, r int) []addr.Address {
+	if r > len(candidates) {
+		r = len(candidates)
+	}
+	out := make([]addr.Address, r)
+	copy(out, candidates[:r])
+	return out
+}
+
+// ScoredElection elects the R candidates with the highest score, breaking
+// ties by smallest address. It models the paper's suggested alternative
+// criteria (computing power, memory, nature of interests).
+type ScoredElection struct {
+	// Score maps an address to its fitness; higher is better. Must be
+	// deterministic across processes.
+	Score func(addr.Address) float64
+}
+
+var _ ElectionStrategy = ScoredElection{}
+
+// Elect implements ElectionStrategy.
+func (e ScoredElection) Elect(candidates []addr.Address, r int) []addr.Address {
+	if r > len(candidates) {
+		r = len(candidates)
+	}
+	ranked := make([]addr.Address, len(candidates))
+	copy(ranked, candidates)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := e.Score(ranked[i]), e.Score(ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].Less(ranked[j])
+	})
+	return ranked[:r]
+}
+
+// Config parameterizes tree construction.
+type Config struct {
+	// Space bounds addresses (depth d and arities).
+	Space addr.Space
+	// R is the redundancy factor: delegates elected per subgroup. The paper
+	// recommends R > 1 (typically 3–4) for membership reliability.
+	R int
+	// Election selects delegates; nil means SmallestAddress.
+	Election ElectionStrategy
+	// SummaryBound caps disjuncts per regrouped interest summary;
+	// 0 means interest.DefaultMaxDisjuncts.
+	SummaryBound int
+}
+
+// node is one prefix of the trie: a subgroup and, once computed, its
+// delegates, process count (‖prefix‖, Eq. 4) and regrouped interest summary.
+type node struct {
+	prefix    addr.Prefix
+	children  map[int]*node // keyed by next digit
+	member    *Member       // set only at full depth (leaf)
+	delegates []addr.Address
+	count     int
+	summary   *interest.Summary
+}
+
+// Tree is the compound spanning tree over a concrete member population.
+// It is a value snapshot: membership changes go through Add/Remove which
+// incrementally recompute the affected root path. Tree is not safe for
+// concurrent mutation; the membership layer serializes access.
+type Tree struct {
+	cfg      Config
+	election ElectionStrategy
+	root     *node
+	members  map[string]*Member
+}
+
+// New builds an empty tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.R < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadRedundancy, cfg.R)
+	}
+	if cfg.Space.Depth() == 0 {
+		return nil, fmt.Errorf("%w: zero space", ErrSpaceMismatch)
+	}
+	el := cfg.Election
+	if el == nil {
+		el = SmallestAddress{}
+	}
+	return &Tree{
+		cfg:      cfg,
+		election: el,
+		root:     &node{prefix: addr.Root(), children: make(map[int]*node)},
+		members:  make(map[string]*Member),
+	}, nil
+}
+
+// Build constructs a tree over an initial member set in one pass: members
+// are inserted without intermediate aggregation and the whole trie is
+// recomputed bottom-up once, which is what the live runtime does on every
+// membership snapshot.
+func Build(cfg Config, members []Member) (*Tree, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		if err := t.insertRaw(m); err != nil {
+			return nil, err
+		}
+	}
+	t.recomputeAll(t.root)
+	return t, nil
+}
+
+// insertRaw attaches a member without recomputing aggregates.
+func (t *Tree) insertRaw(m Member) error {
+	if err := t.cfg.Space.Validate(m.Addr); err != nil {
+		return fmt.Errorf("%w: %v", ErrSpaceMismatch, err)
+	}
+	key := m.Addr.Key()
+	if _, ok := t.members[key]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateMember, m.Addr)
+	}
+	stored := m
+	t.members[key] = &stored
+	n := t.root
+	for i := 1; i <= t.Depth(); i++ {
+		digit := m.Addr.Digit(i)
+		child, ok := n.children[digit]
+		if !ok {
+			child = &node{prefix: n.prefix.Child(digit), children: make(map[int]*node)}
+			n.children[digit] = child
+		}
+		n = child
+	}
+	n.member = &stored
+	return nil
+}
+
+// recomputeAll refreshes aggregates postorder.
+func (t *Tree) recomputeAll(n *node) {
+	for _, child := range n.children {
+		t.recomputeAll(child)
+	}
+	t.recompute(n)
+}
+
+// Depth returns the tree depth d.
+func (t *Tree) Depth() int { return t.cfg.Space.Depth() }
+
+// R returns the redundancy factor.
+func (t *Tree) R() int { return t.cfg.R }
+
+// Space returns the address space.
+func (t *Tree) Space() addr.Space { return t.cfg.Space }
+
+// Len returns the current number of members.
+func (t *Tree) Len() int { return len(t.members) }
+
+// Member returns the member with the given address.
+func (t *Tree) Member(a addr.Address) (Member, bool) {
+	m, ok := t.members[a.Key()]
+	if !ok {
+		return Member{}, false
+	}
+	return *m, true
+}
+
+// Members returns all members sorted by address.
+func (t *Tree) Members() []Member {
+	out := make([]Member, 0, len(t.members))
+	for _, m := range t.members {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// Add inserts a member and recomputes delegates, counts and summaries along
+// its root path.
+func (t *Tree) Add(m Member) error {
+	if err := t.cfg.Space.Validate(m.Addr); err != nil {
+		return fmt.Errorf("%w: %v", ErrSpaceMismatch, err)
+	}
+	key := m.Addr.Key()
+	if _, ok := t.members[key]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateMember, m.Addr)
+	}
+	stored := m
+	t.members[key] = &stored
+
+	// Descend/create the path, then attach the leaf.
+	n := t.root
+	path := []*node{n}
+	for i := 1; i <= t.Depth(); i++ {
+		digit := m.Addr.Digit(i)
+		child, ok := n.children[digit]
+		if !ok {
+			child = &node{prefix: n.prefix.Child(digit), children: make(map[int]*node)}
+			n.children[digit] = child
+		}
+		n = child
+		path = append(path, n)
+	}
+	n.member = &stored
+	t.recomputePath(path)
+	return nil
+}
+
+// Remove deletes a member (leave or exclusion after failure detection) and
+// recomputes its root path.
+func (t *Tree) Remove(a addr.Address) error {
+	key := a.Key()
+	if _, ok := t.members[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, a)
+	}
+	delete(t.members, key)
+
+	n := t.root
+	path := []*node{n}
+	for i := 1; i <= t.Depth(); i++ {
+		child, ok := n.children[a.Digit(i)]
+		if !ok {
+			return fmt.Errorf("%w: trie desync at %s", ErrUnknownMember, a)
+		}
+		n = child
+		path = append(path, n)
+	}
+	n.member = nil
+	// Prune empty nodes bottom-up, then recompute the surviving path.
+	for i := len(path) - 1; i >= 1; i-- {
+		cur := path[i]
+		if cur.member == nil && len(cur.children) == 0 {
+			delete(path[i-1].children, cur.prefix.Digit(cur.prefix.Len()))
+			path = path[:i]
+		} else {
+			break
+		}
+	}
+	t.recomputePath(path)
+	return nil
+}
+
+// UpdateSubscription replaces a member's interests and refreshes summaries
+// on its root path.
+func (t *Tree) UpdateSubscription(a addr.Address, sub interest.Subscription) error {
+	m, ok := t.members[a.Key()]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, a)
+	}
+	m.Sub = sub
+
+	n := t.root
+	path := []*node{n}
+	for i := 1; i <= t.Depth(); i++ {
+		n = n.children[a.Digit(i)]
+		path = append(path, n)
+	}
+	t.recomputePath(path)
+	return nil
+}
+
+// recomputePath refreshes count, summary and delegates from the deepest node
+// of the path up to the root.
+func (t *Tree) recomputePath(path []*node) {
+	for i := len(path) - 1; i >= 0; i-- {
+		t.recompute(path[i])
+	}
+}
+
+func (t *Tree) recompute(n *node) {
+	if n.member != nil {
+		n.count = 1
+		n.summary = interest.NewSummaryWithBound(t.cfg.SummaryBound)
+		n.summary.Add(n.member.Sub)
+		n.delegates = []addr.Address{n.member.Addr}
+		return
+	}
+	n.count = 0
+	n.summary = interest.NewSummaryWithBound(t.cfg.SummaryBound)
+	candidates := make([]addr.Address, 0, t.cfg.R*len(n.children))
+	for _, digit := range sortedDigits(n.children) {
+		child := n.children[digit]
+		n.count += child.count
+		n.summary.Merge(child.summary)
+		candidates = append(candidates, child.delegates...)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Less(candidates[j]) })
+	n.delegates = t.election.Elect(candidates, t.cfg.R)
+}
+
+func sortedDigits(children map[int]*node) []int {
+	digits := make([]int, 0, len(children))
+	for d := range children {
+		digits = append(digits, d)
+	}
+	sort.Ints(digits)
+	return digits
+}
+
+// lookup returns the node for the prefix, or nil.
+func (t *Tree) lookup(p addr.Prefix) *node {
+	n := t.root
+	for i := 1; i <= p.Len(); i++ {
+		child, ok := n.children[p.Digit(i)]
+		if !ok {
+			return nil
+		}
+		n = child
+	}
+	return n
+}
+
+// Count returns ‖prefix‖, the number of processes in the subtree (Eq. 4).
+func (t *Tree) Count(p addr.Prefix) int {
+	n := t.lookup(p)
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+// Delegates returns the elected delegates representing the subtree at the
+// given prefix (the processes populating the parent node on its behalf).
+func (t *Tree) Delegates(p addr.Prefix) []addr.Address {
+	n := t.lookup(p)
+	if n == nil {
+		return nil
+	}
+	out := make([]addr.Address, len(n.delegates))
+	copy(out, n.delegates)
+	return out
+}
+
+// Summary returns the regrouped interest summary of the subtree.
+func (t *Tree) Summary(p addr.Prefix) *interest.Summary {
+	n := t.lookup(p)
+	if n == nil {
+		return nil
+	}
+	return n.summary
+}
+
+// IsDelegate reports whether process a represents its depth-i subtree, i.e.
+// appears in the group of depth i. Every process is trivially a "delegate"
+// at depth d (it appears in its leaf group).
+func (t *Tree) IsDelegate(a addr.Address, depth int) bool {
+	if depth == t.Depth() {
+		_, ok := t.members[a.Key()]
+		return ok
+	}
+	// a represents its subtree rooted at prefix of length depth.
+	n := t.lookup(a.Prefix(depth + 1))
+	if n == nil {
+		return false
+	}
+	for _, d := range n.delegates {
+		if d.Equal(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// TopDepth returns the smallest depth at which the process appears (1 if it
+// is a root delegate). Processes participate in gossiping from their top
+// depth down to depth d.
+func (t *Tree) TopDepth(a addr.Address) int {
+	for i := 1; i < t.Depth(); i++ {
+		if t.IsDelegate(a, i) {
+			return i
+		}
+	}
+	return t.Depth()
+}
+
+// KnownProcesses computes the total membership knowledge of a process
+// (Eq. 2): its immediate neighbors plus R delegates per subgroup at every
+// shallower depth, with multiplicity (a delegate of depth i is counted again
+// at every depth below, as in the paper's expression).
+func (t *Tree) KnownProcesses(a addr.Address) int {
+	total := 0
+	for depth := 1; depth <= t.Depth(); depth++ {
+		v := t.ViewAt(a, depth)
+		if v == nil {
+			continue
+		}
+		for _, line := range v.Lines {
+			total += len(line.Delegates)
+		}
+	}
+	return total
+}

@@ -1,0 +1,402 @@
+package tree
+
+import (
+	"testing"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+)
+
+// fullTree builds a fully populated regular tree with arity a, depth d,
+// redundancy r. Each member subscribes to b = <its index mod 7>.
+func fullTree(t *testing.T, a, d, r int) *Tree {
+	t.Helper()
+	space := addr.MustRegular(a, d)
+	members := make([]Member, 0, space.Capacity())
+	for i := 0; i < space.Capacity(); i++ {
+		members = append(members, Member{
+			Addr: space.AddressAt(i),
+			Sub:  interest.NewSubscription().Where("b", interest.EqInt(int64(i%7))),
+		})
+	}
+	tr, err := Build(Config{Space: space, R: r}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildValidation(t *testing.T) {
+	space := addr.MustRegular(3, 2)
+	if _, err := New(Config{Space: space, R: 0}); err == nil {
+		t.Error("R=0 accepted")
+	}
+	if _, err := New(Config{R: 3}); err == nil {
+		t.Error("zero space accepted")
+	}
+	tr, err := New(Config{Space: space, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(Member{Addr: addr.New(5, 0)}); err == nil {
+		t.Error("out-of-space address accepted")
+	}
+	if err := tr.Add(Member{Addr: addr.New(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(Member{Addr: addr.New(1, 1)}); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestSmallestAddressElection(t *testing.T) {
+	tr := fullTree(t, 3, 2, 2)
+	// Leaf subgroup 1.*: members 1.0,1.1,1.2 → delegates 1.0,1.1.
+	dels := tr.Delegates(addr.NewPrefix(1))
+	if len(dels) != 2 {
+		t.Fatalf("delegates = %v", dels)
+	}
+	if dels[0].String() != "1.0" || dels[1].String() != "1.1" {
+		t.Errorf("delegates = %v, want [1.0 1.1]", dels)
+	}
+	// Root: candidates are delegates of 0.*,1.*,2.* → 0.0,0.1,1.0,1.1,2.0,2.1;
+	// the two smallest are 0.0 and 0.1.
+	rootDels := tr.Delegates(addr.Root())
+	if rootDels[0].String() != "0.0" || rootDels[1].String() != "0.1" {
+		t.Errorf("root delegates = %v", rootDels)
+	}
+}
+
+func TestScoredElection(t *testing.T) {
+	space := addr.MustRegular(4, 1)
+	score := func(a addr.Address) float64 { return float64(a.Digit(1)) } // prefer big digits
+	tr, err := Build(Config{Space: space, R: 2, Election: ScoredElection{Score: score}},
+		[]Member{{Addr: addr.New(0)}, {Addr: addr.New(1)}, {Addr: addr.New(2)}, {Addr: addr.New(3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dels := tr.Delegates(addr.Root())
+	if len(dels) != 2 || dels[0].Digit(1) != 3 || dels[1].Digit(1) != 2 {
+		t.Errorf("scored delegates = %v, want [3 2]", dels)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := fullTree(t, 3, 3, 2)
+	if got := tr.Count(addr.Root()); got != 27 {
+		t.Errorf("root count = %d", got)
+	}
+	if got := tr.Count(addr.NewPrefix(1)); got != 9 {
+		t.Errorf("subtree count = %d", got)
+	}
+	if got := tr.Count(addr.NewPrefix(1, 2)); got != 3 {
+		t.Errorf("leaf group count = %d", got)
+	}
+	if got := tr.Count(addr.NewPrefix(2, 2, 2).Child(0)); got != 0 {
+		t.Errorf("nonexistent prefix count = %d", got)
+	}
+	if tr.Len() != 27 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestViewStructure(t *testing.T) {
+	tr := fullTree(t, 3, 3, 2)
+	p := addr.New(1, 2, 0)
+
+	// Depth 1 view: root group, 3 lines (subtrees 0,1,2), R delegates each.
+	v1 := tr.ViewAt(p, 1)
+	if v1.NumLines() != 3 || v1.GroupSize() != 6 {
+		t.Fatalf("depth1: lines=%d size=%d", v1.NumLines(), v1.GroupSize())
+	}
+	if v1.LeafLevel {
+		t.Error("depth1 marked leaf")
+	}
+	// Depth 3 view: leaf group 1.2.*, 3 single-process lines.
+	v3 := tr.ViewAt(p, 3)
+	if v3.NumLines() != 3 || v3.GroupSize() != 3 {
+		t.Fatalf("depth3: lines=%d size=%d", v3.NumLines(), v3.GroupSize())
+	}
+	if !v3.LeafLevel {
+		t.Error("depth3 not marked leaf")
+	}
+	for _, l := range v3.Lines {
+		if len(l.Delegates) != 1 || l.Count != 1 {
+			t.Errorf("leaf line %+v", l)
+		}
+	}
+	// All processes sharing the prefix share the view.
+	q := addr.New(1, 2, 2)
+	vq := tr.ViewAt(q, 3)
+	if vq.Prefix.Key() != v3.Prefix.Key() {
+		t.Error("prefix-sharing processes got different views")
+	}
+	// Out-of-range depths.
+	if tr.ViewAt(p, 0) != nil || tr.ViewAt(p, 4) != nil {
+		t.Error("out-of-range views not nil")
+	}
+}
+
+func TestViewSizesMatchEq12(t *testing.T) {
+	// Regular tree: m_i = R·a for 1 ≤ i < d, m_d = a (Eq. 12).
+	a, d, r := 4, 3, 2
+	tr := fullTree(t, a, d, r)
+	p := addr.New(2, 1, 3)
+	for depth := 1; depth <= d; depth++ {
+		v := tr.ViewAt(p, depth)
+		want := r * a
+		if depth == d {
+			want = a
+		}
+		if got := v.GroupSize(); got != want {
+			t.Errorf("depth %d group size = %d, want %d", depth, got, want)
+		}
+	}
+	// Eq. 2 total: m = R·a·(d−1) + a.
+	wantTotal := r*a*(d-1) + a
+	if got := tr.KnownProcesses(p); got != wantTotal {
+		t.Errorf("known processes = %d, want %d", got, wantTotal)
+	}
+}
+
+func TestIsDelegateAndTopDepth(t *testing.T) {
+	tr := fullTree(t, 3, 3, 2)
+	// 0.0.0 is the smallest address: delegate at every depth, top depth 1.
+	top := addr.New(0, 0, 0)
+	for depth := 1; depth <= 3; depth++ {
+		if !tr.IsDelegate(top, depth) {
+			t.Errorf("0.0.0 not delegate at depth %d", depth)
+		}
+	}
+	if tr.TopDepth(top) != 1 {
+		t.Errorf("TopDepth(0.0.0) = %d", tr.TopDepth(top))
+	}
+	// 2.2.2 is the largest: never a delegate above depth d.
+	bottom := addr.New(2, 2, 2)
+	if tr.IsDelegate(bottom, 1) || tr.IsDelegate(bottom, 2) {
+		t.Error("2.2.2 should not be a delegate above leaf level")
+	}
+	if !tr.IsDelegate(bottom, 3) {
+		t.Error("every member appears at depth d")
+	}
+	if tr.TopDepth(bottom) != 3 {
+		t.Errorf("TopDepth(2.2.2) = %d", tr.TopDepth(bottom))
+	}
+	// 1.0.0 is the smallest address of subtree 1, so it represents subtree 1
+	// in the root group: top depth 1.
+	if !tr.IsDelegate(addr.New(1, 0, 0), 1) {
+		t.Error("1.0.0 should represent subtree 1 at the root")
+	}
+	// 1.1.0 is a delegate of leaf group 1.1 (depth-2 group member) but not
+	// among subtree 1's delegates (1.0.0, 1.0.1 are smaller).
+	mid := addr.New(1, 1, 0)
+	if tr.IsDelegate(mid, 1) {
+		t.Error("1.1.0 unexpectedly a root-group member")
+	}
+	if !tr.IsDelegate(mid, 2) {
+		t.Error("1.1.0 should represent leaf group 1.1 at depth 2")
+	}
+	if tr.TopDepth(mid) != 2 {
+		t.Errorf("TopDepth(1.1.0) = %d", tr.TopDepth(mid))
+	}
+}
+
+func TestSummariesAggregateUpward(t *testing.T) {
+	space := addr.MustRegular(2, 2)
+	members := []Member{
+		{Addr: addr.New(0, 0), Sub: interest.NewSubscription().Where("b", interest.EqInt(1))},
+		{Addr: addr.New(0, 1), Sub: interest.NewSubscription().Where("b", interest.EqInt(2))},
+		{Addr: addr.New(1, 0), Sub: interest.NewSubscription().Where("b", interest.EqInt(3))},
+		{Addr: addr.New(1, 1), Sub: interest.NewSubscription().Where("b", interest.EqInt(4))},
+	}
+	tr, err := Build(Config{Space: space, R: 1}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB := func(v int64) event.Event {
+		return event.NewBuilder().Int("b", v).Build(event.ID{})
+	}
+	// Subtree 0 summary covers b∈{1,2} but not 3.
+	s0 := tr.Summary(addr.NewPrefix(0))
+	if !s0.Matches(evB(1)) || !s0.Matches(evB(2)) || s0.Matches(evB(3)) {
+		t.Errorf("subtree 0 summary wrong: %v", s0)
+	}
+	// Root summary covers all.
+	sr := tr.Summary(addr.Root())
+	for v := int64(1); v <= 4; v++ {
+		if !sr.Matches(evB(v)) {
+			t.Errorf("root summary misses b=%d: %v", v, sr)
+		}
+	}
+	if sr.Matches(evB(9)) {
+		t.Errorf("root summary over-matches: %v", sr)
+	}
+}
+
+func TestRemoveReelectsDelegates(t *testing.T) {
+	tr := fullTree(t, 3, 2, 2)
+	// Initially leaf group 0.*: delegates 0.0, 0.1.
+	if err := tr.Remove(addr.New(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	dels := tr.Delegates(addr.NewPrefix(0))
+	if len(dels) != 2 || dels[0].String() != "0.1" || dels[1].String() != "0.2" {
+		t.Errorf("after removal delegates = %v", dels)
+	}
+	// Root delegates must no longer include 0.0.
+	for _, d := range tr.Delegates(addr.Root()) {
+		if d.String() == "0.0" {
+			t.Error("removed member still a root delegate")
+		}
+	}
+	if _, ok := tr.Member(addr.New(0, 0)); ok {
+		t.Error("member still present after Remove")
+	}
+	if err := tr.Remove(addr.New(0, 0)); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+func TestRemoveWholeSubtreePrunes(t *testing.T) {
+	tr := fullTree(t, 2, 2, 1)
+	for _, a := range []addr.Address{addr.New(1, 0), addr.New(1, 1)} {
+		if err := tr.Remove(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Count(addr.NewPrefix(1)) != 0 {
+		t.Error("emptied subtree still counted")
+	}
+	v := tr.ViewOf(addr.Root(), 1)
+	if v.NumLines() != 1 {
+		t.Errorf("root view lines = %d, want 1", v.NumLines())
+	}
+	if tr.Count(addr.Root()) != 2 {
+		t.Errorf("root count = %d", tr.Count(addr.Root()))
+	}
+}
+
+func TestUpdateSubscription(t *testing.T) {
+	tr := fullTree(t, 2, 2, 1)
+	newSub := interest.NewSubscription().Where("b", interest.EqInt(999))
+	if err := tr.UpdateSubscription(addr.New(1, 1), newSub); err != nil {
+		t.Fatal(err)
+	}
+	ev := event.NewBuilder().Int("b", 999).Build(event.ID{})
+	if !tr.Summary(addr.Root()).Matches(ev) {
+		t.Error("updated interest did not propagate to root summary")
+	}
+	if err := tr.UpdateSubscription(addr.New(0, 0).Prefix(1).Address(9, 9), newSub); err == nil {
+		t.Error("update of unknown member accepted")
+	}
+}
+
+func TestSusceptibleAndRate(t *testing.T) {
+	// Two of four leaf subgroups interested.
+	space := addr.MustRegular(2, 2)
+	subFor := func(v int64) interest.Subscription {
+		return interest.NewSubscription().Where("b", interest.EqInt(v))
+	}
+	members := []Member{
+		{Addr: addr.New(0, 0), Sub: subFor(1)},
+		{Addr: addr.New(0, 1), Sub: subFor(1)},
+		{Addr: addr.New(1, 0), Sub: subFor(2)},
+		{Addr: addr.New(1, 1), Sub: subFor(2)},
+	}
+	tr, err := Build(Config{Space: space, R: 1}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := event.NewBuilder().Int("b", 1).Build(event.ID{})
+	v := tr.ViewOf(addr.Root(), 1)
+	sus := v.SusceptibleMembers(ev)
+	if len(sus) != 1 || sus[0].String() != "0.0" {
+		t.Errorf("susceptible = %v", sus)
+	}
+	if got := v.MatchingRate(ev); got != 0.5 {
+		t.Errorf("rate = %g, want 0.5", got)
+	}
+	if got := v.MatchingLines(ev); got != 1 {
+		t.Errorf("matching lines = %d", got)
+	}
+	if _, ok := v.Line(0); !ok {
+		t.Error("line 0 missing")
+	}
+	if _, ok := v.Line(7); ok {
+		t.Error("phantom line found")
+	}
+}
+
+func TestViewsStack(t *testing.T) {
+	tr := fullTree(t, 3, 3, 2)
+	views := tr.Views(addr.New(1, 1, 1))
+	if len(views) != 3 {
+		t.Fatalf("views = %d", len(views))
+	}
+	for i, v := range views {
+		if v == nil {
+			t.Fatalf("view %d nil", i)
+		}
+		if v.Depth != i+1 {
+			t.Errorf("view %d depth = %d", i, v.Depth)
+		}
+	}
+	if views[1].Prefix.String() != "1" {
+		t.Errorf("depth2 prefix = %s", views[1].Prefix)
+	}
+}
+
+func TestRenderViewContainsPaperShape(t *testing.T) {
+	tr := fullTree(t, 2, 2, 1)
+	out := RenderView(tr.ViewOf(addr.NewPrefix(0), 2))
+	if out == "" || out == "<no view>" {
+		t.Fatalf("render = %q", out)
+	}
+	if RenderView(nil) != "<no view>" {
+		t.Error("nil render wrong")
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	tr := fullTree(t, 3, 2, 1)
+	ms := tr.Members()
+	if len(ms) != 9 {
+		t.Fatalf("members = %d", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if !ms[i-1].Addr.Less(ms[i].Addr) {
+			t.Fatal("members not sorted")
+		}
+	}
+}
+
+func TestPartialPopulationViews(t *testing.T) {
+	// Irregular population: only some subgroups exist; views skip missing
+	// lines and delegates degrade gracefully when |subgroup| < R.
+	space := addr.MustRegular(4, 2)
+	members := []Member{
+		{Addr: addr.New(0, 0)},
+		{Addr: addr.New(2, 1)},
+		{Addr: addr.New(2, 3)},
+	}
+	tr, err := Build(Config{Space: space, R: 3}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tr.ViewOf(addr.Root(), 1)
+	if v.NumLines() != 2 {
+		t.Fatalf("lines = %d, want 2", v.NumLines())
+	}
+	l0, _ := v.Line(0)
+	if len(l0.Delegates) != 1 {
+		t.Errorf("subgroup 0 delegates = %v", l0.Delegates)
+	}
+	l2, _ := v.Line(2)
+	if len(l2.Delegates) != 2 {
+		t.Errorf("subgroup 2 delegates = %v", l2.Delegates)
+	}
+	if tr.Count(addr.Root()) != 3 {
+		t.Errorf("count = %d", tr.Count(addr.Root()))
+	}
+}

@@ -1,0 +1,157 @@
+// Package wire frames pmcast protocol messages into a compact binary format
+// so the runtime can run over a real byte-oriented transport (UDP/TCP). The
+// in-memory transport passes Go values directly; this codec is the seam a
+// production deployment plugs a socket into.
+//
+// Frame format: one kind byte followed by the message payload. All integers
+// are varints, floats IEEE 754 little-endian, collections length-prefixed
+// (package binenc).
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/binenc"
+	"pmcast/internal/core"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/membership"
+)
+
+// Decoding errors.
+var (
+	ErrUnknownKind = errors.New("wire: unknown message kind")
+	ErrBadPayload  = errors.New("wire: malformed payload")
+)
+
+// Message kinds start at 1 so a zero byte is detectably invalid.
+const (
+	kindGossip byte = iota + 1
+	kindDigest
+	kindUpdate
+	kindJoinRequest
+	kindLeave
+)
+
+// Encode frames one protocol message. Supported types: core.Gossip,
+// membership.Digest, membership.Update, membership.JoinRequest,
+// membership.Leave.
+func Encode(msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case core.Gossip:
+		b := []byte{kindGossip}
+		b = event.AppendEvent(b, m.Event)
+		b = binenc.AppendUvarint(b, uint64(m.Depth))
+		b = binenc.AppendFloat(b, m.Rate)
+		b = binenc.AppendUvarint(b, uint64(m.Round))
+		return b, nil
+	case membership.Digest:
+		b := []byte{kindDigest}
+		b = addr.AppendAddress(b, m.From)
+		b = binenc.AppendUvarint(b, uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			b = binenc.AppendString(b, e.Key)
+			b = binenc.AppendUvarint(b, e.Stamp)
+		}
+		return b, nil
+	case membership.Update:
+		b := []byte{kindUpdate}
+		b = addr.AppendAddress(b, m.From)
+		b = binenc.AppendUvarint(b, uint64(len(m.Records)))
+		for _, rec := range m.Records {
+			b = appendRecord(b, rec)
+		}
+		return b, nil
+	case membership.JoinRequest:
+		b := []byte{kindJoinRequest}
+		b = appendRecord(b, m.Joiner)
+		b = binenc.AppendUvarint(b, uint64(m.Hops))
+		return b, nil
+	case membership.Leave:
+		b := []byte{kindLeave}
+		b = addr.AppendAddress(b, m.Addr)
+		b = binenc.AppendUvarint(b, m.Stamp)
+		return b, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, msg)
+	}
+}
+
+// Decode unframes a message encoded by Encode.
+func Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrBadPayload)
+	}
+	r := binenc.NewReader(data[1:])
+	switch data[0] {
+	case kindGossip:
+		g := core.Gossip{
+			Event: event.ReadEvent(r),
+			Depth: int(r.Uvarint()),
+			Rate:  r.Float(),
+			Round: int(r.Uvarint()),
+		}
+		return g, finish(r)
+	case kindDigest:
+		d := membership.Digest{From: addr.ReadAddress(r)}
+		n := r.Count(2)
+		d.Entries = make([]membership.DigestEntry, 0, n)
+		for i := 0; i < n; i++ {
+			d.Entries = append(d.Entries, membership.DigestEntry{
+				Key:   r.String(),
+				Stamp: r.Uvarint(),
+			})
+		}
+		return d, finish(r)
+	case kindUpdate:
+		u := membership.Update{From: addr.ReadAddress(r)}
+		n := r.Count(3)
+		u.Records = make([]membership.Record, 0, n)
+		for i := 0; i < n; i++ {
+			u.Records = append(u.Records, readRecord(r))
+		}
+		return u, finish(r)
+	case kindJoinRequest:
+		jr := membership.JoinRequest{
+			Joiner: readRecord(r),
+		}
+		jr.Hops = int(r.Uvarint())
+		return jr, finish(r)
+	case kindLeave:
+		l := membership.Leave{
+			Addr:  addr.ReadAddress(r),
+			Stamp: r.Uvarint(),
+		}
+		return l, finish(r)
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrUnknownKind, data[0])
+	}
+}
+
+func appendRecord(b []byte, rec membership.Record) []byte {
+	b = addr.AppendAddress(b, rec.Addr)
+	b = interest.AppendSubscription(b, rec.Sub)
+	b = binenc.AppendUvarint(b, rec.Stamp)
+	return binenc.AppendBool(b, rec.Alive)
+}
+
+func readRecord(r *binenc.Reader) membership.Record {
+	return membership.Record{
+		Addr:  addr.ReadAddress(r),
+		Sub:   interest.ReadSubscription(r),
+		Stamp: r.Uvarint(),
+		Alive: r.Bool(),
+	}
+}
+
+func finish(r *binenc.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, r.Len())
+	}
+	return nil
+}
