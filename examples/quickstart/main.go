@@ -26,16 +26,16 @@ func main() {
 	}
 	nodes := make([]*pmcast.Node, 0, len(specs))
 	for _, sp := range specs {
-		n, err := pmcast.NewNode(net, pmcast.NodeConfig{
-			Addr:               pmcast.MustParseAddress(sp.addr),
-			Space:              space,
-			R:                  1,
-			F:                  2,
-			C:                  2,
-			Subscription:       sp.sub,
-			GossipInterval:     5 * time.Millisecond,
-			MembershipInterval: 10 * time.Millisecond,
-		})
+		n, err := pmcast.NewNode(net,
+			pmcast.WithAddr(pmcast.MustParseAddress(sp.addr)),
+			pmcast.WithSpace(space),
+			pmcast.WithRedundancy(1),
+			pmcast.WithFanout(2),
+			pmcast.WithPittelC(2),
+			pmcast.WithSubscription(sp.sub),
+			pmcast.WithGossipInterval(5*time.Millisecond),
+			pmcast.WithMembershipInterval(10*time.Millisecond),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -19,17 +19,17 @@ func main() {
 	space := pmcast.MustRegularSpace(3, 3) // building.floor.room
 
 	mkNode := func(a string, sub pmcast.Subscription) *pmcast.Node {
-		n, err := pmcast.NewNode(net, pmcast.NodeConfig{
-			Addr:               pmcast.MustParseAddress(a),
-			Space:              space,
-			R:                  2,
-			F:                  3,
-			C:                  2,
-			Subscription:       sub,
-			GossipInterval:     4 * time.Millisecond,
-			MembershipInterval: 6 * time.Millisecond,
-			SuspectAfter:       150 * time.Millisecond,
-		})
+		n, err := pmcast.NewNode(net,
+			pmcast.WithAddr(pmcast.MustParseAddress(a)),
+			pmcast.WithSpace(space),
+			pmcast.WithRedundancy(2),
+			pmcast.WithFanout(3),
+			pmcast.WithPittelC(2),
+			pmcast.WithSubscription(sub),
+			pmcast.WithGossipInterval(4*time.Millisecond),
+			pmcast.WithMembershipInterval(6*time.Millisecond),
+			pmcast.WithSuspectAfter(150*time.Millisecond),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

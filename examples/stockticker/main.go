@@ -38,16 +38,16 @@ func main() {
 	traders := make([]*trader, 0, space.Capacity())
 	for i := 0; i < space.Capacity(); i++ {
 		sub := randomSubscription(rng)
-		n, err := pmcast.NewNode(net, pmcast.NodeConfig{
-			Addr:               space.AddressAt(i),
-			Space:              space,
-			R:                  2,
-			F:                  3,
-			C:                  2,
-			Subscription:       sub,
-			GossipInterval:     4 * time.Millisecond,
-			MembershipInterval: 8 * time.Millisecond,
-		})
+		n, err := pmcast.NewNode(net,
+			pmcast.WithAddr(space.AddressAt(i)),
+			pmcast.WithSpace(space),
+			pmcast.WithRedundancy(2),
+			pmcast.WithFanout(3),
+			pmcast.WithPittelC(2),
+			pmcast.WithSubscription(sub),
+			pmcast.WithGossipInterval(4*time.Millisecond),
+			pmcast.WithMembershipInterval(8*time.Millisecond),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module pmcast
+
+go 1.24

@@ -102,7 +102,7 @@ func (c Config) withDefaults() Config {
 // Node is one live pmcast process.
 type Node struct {
 	cfg Config
-	ep  *transport.Endpoint
+	ep  transport.Endpoint
 	mem *membership.Service
 
 	mu          sync.Mutex
@@ -126,8 +126,10 @@ type Node struct {
 	started   atomic.Bool
 }
 
-// New attaches a node to the network. The node is inert until Start.
-func New(net *transport.Network, cfg Config) (*Node, error) {
+// New attaches a node to a transport fabric — any implementation of the
+// transport.Transport interface: the in-memory simulation network, the UDP
+// backend, or whatever a deployment plugs in. The node is inert until Start.
+func New(tr transport.Transport, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
 	mem, err := membership.New(membership.Config{
 		Self:            cfg.Addr,
@@ -139,7 +141,7 @@ func New(net *transport.Network, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	ep, err := net.Attach(cfg.Addr)
+	ep, err := tr.Attach(cfg.Addr)
 	if err != nil {
 		return nil, err
 	}

@@ -11,8 +11,9 @@ import (
 )
 
 // cluster spins up one node per address with the given subscription chooser
-// and fully meshes their membership via join + anti-entropy.
-func cluster(t *testing.T, net *transport.Network, space addr.Space, addrs []addr.Address,
+// and fully meshes their membership via join + anti-entropy. It works over
+// any transport backend.
+func cluster(t *testing.T, net transport.Transport, space addr.Space, addrs []addr.Address,
 	subFor func(addr.Address) interest.Subscription) []*Node {
 	t.Helper()
 	nodes := make([]*Node, len(addrs))

@@ -1,0 +1,189 @@
+package node
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/transport"
+	"pmcast/internal/transport/udp"
+)
+
+// The seeded 64-node scenario of the transport-parity contract: a regular
+// 8×8 tree where the left half of every subgroup (even first digit) wants
+// b=0 and the right half wants b=1. Node 0.0 publishes two events of each
+// class; every node must deliver exactly its class — over whichever fabric
+// carries the messages.
+const (
+	parityArity = 8
+	parityDepth = 2
+)
+
+func paritySub(a addr.Address) interest.Subscription {
+	return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%2)))
+}
+
+// runParityScenario drives the scenario over the given transport and
+// returns, per node address, the sorted list of delivered event IDs.
+func runParityScenario(t *testing.T, tr transport.Transport) map[string][]event.ID {
+	t.Helper()
+	space := addr.MustRegular(parityArity, parityDepth)
+	addrs := gridAddrs(space, space.Capacity())
+	nodes := make([]*Node, len(addrs))
+	for i, a := range addrs {
+		n, err := New(tr, Config{
+			Addr:               a,
+			Space:              space,
+			R:                  2,
+			F:                  5,
+			C:                  4,
+			Subscription:       paritySub(a),
+			GossipInterval:     10 * time.Millisecond,
+			MembershipInterval: 15 * time.Millisecond,
+			SuspectAfter:       time.Hour, // failure detection off: no churn here
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+	for _, n := range nodes[1:] {
+		if err := n.Join(nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 60*time.Second, func() bool {
+		for _, n := range nodes {
+			if n.KnownMembers() != len(nodes) {
+				return false
+			}
+		}
+		return true
+	}, fmt.Sprintf("%d-node membership convergence", len(nodes)))
+
+	// Publish two events per interest class from node 0.0.
+	const perClass = 2
+	for i := 0; i < perClass; i++ {
+		for b := int64(0); b < 2; b++ {
+			if _, err := nodes[0].Publish(map[string]event.Value{"b": event.Int(b)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Every node delivers exactly perClass events (its own class).
+	got := make(map[string][]event.ID, len(nodes))
+	for _, n := range nodes {
+		n := n
+		key := n.Addr().Key()
+		waitFor(t, 60*time.Second, func() bool {
+			select {
+			case ev := <-n.Deliveries():
+				got[key] = append(got[key], ev.ID())
+			default:
+			}
+			return len(got[key]) >= perClass
+		}, "deliveries at "+key)
+	}
+	// Let any stray duplicates or misroutes surface, then drain.
+	time.Sleep(150 * time.Millisecond)
+	for _, n := range nodes {
+		for {
+			select {
+			case ev := <-n.Deliveries():
+				got[n.Addr().Key()] = append(got[n.Addr().Key()], ev.ID())
+				continue
+			default:
+			}
+			break
+		}
+		if d := n.DroppedDeliveries(); d != 0 {
+			t.Errorf("%s dropped %d deliveries", n.Addr(), d)
+		}
+	}
+	for key := range got {
+		sort.Slice(got[key], func(i, j int) bool {
+			return got[key][i].Seq < got[key][j].Seq
+		})
+	}
+	return got
+}
+
+// expectedParityDeliveries is the ground truth: publisher 0.0 assigns Seq
+// 1..4 alternating classes b=0,1,0,1; a node with first digit x delivers
+// exactly the events of class x%2.
+func expectedParityDeliveries() map[string][]event.ID {
+	space := addr.MustRegular(parityArity, parityDepth)
+	origin := space.AddressAt(0).Key()
+	byClass := map[int][]event.ID{
+		0: {{Origin: origin, Seq: 1}, {Origin: origin, Seq: 3}},
+		1: {{Origin: origin, Seq: 2}, {Origin: origin, Seq: 4}},
+	}
+	want := make(map[string][]event.ID, space.Capacity())
+	for i := 0; i < space.Capacity(); i++ {
+		a := space.AddressAt(i)
+		want[a.Key()] = byClass[a.Digit(1)%2]
+	}
+	return want
+}
+
+// TestSeededScenarioParityAcrossFabrics is the acceptance contract of the
+// pluggable transport API: the same seeded 64-node publish/subscribe
+// scenario delivers the same event set over the in-memory fabric and over
+// real UDP loopback sockets.
+func TestSeededScenarioParityAcrossFabrics(t *testing.T) {
+	want := expectedParityDeliveries()
+
+	var overMemory, overUDP map[string][]event.ID
+	t.Run("memory", func(t *testing.T) {
+		net := transport.NewNetwork(transport.Config{Seed: 42})
+		defer net.Close()
+		overMemory = runParityScenario(t, net)
+		if !reflect.DeepEqual(overMemory, want) {
+			t.Errorf("in-memory deliveries diverge from the scenario ground truth:\n got %v\nwant %v",
+				overMemory, want)
+		}
+	})
+	t.Run("udp", func(t *testing.T) {
+		space := addr.MustRegular(parityArity, parityDepth)
+		peers := make(map[string]string, space.Capacity())
+		for i := 0; i < space.Capacity(); i++ {
+			// Ephemeral loopback ports; endpoints register their real
+			// socket at attach time.
+			peers[space.AddressAt(i).String()] = "127.0.0.1:0"
+		}
+		res, err := udp.NewStaticResolver(peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := udp.New(udp.Config{Resolver: res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		overUDP = runParityScenario(t, tr)
+		if !reflect.DeepEqual(overUDP, want) {
+			t.Errorf("UDP deliveries diverge from the scenario ground truth:\n got %v\nwant %v",
+				overUDP, want)
+		}
+	})
+	if overMemory == nil || overUDP == nil {
+		t.Fatal("a fabric run did not complete")
+	}
+	if !reflect.DeepEqual(overMemory, overUDP) {
+		t.Error("fabrics disagree on the delivered event set")
+	}
+}

@@ -1,0 +1,288 @@
+// The in-memory reference fabric: addressable endpoints exchanging opaque
+// payloads with configurable message loss, delivery delay and partitions.
+//
+// It substitutes for the UDP/IP fabric of a real deployment (the paper's
+// environment) while preserving the failure modes the protocol is designed
+// around: silent loss, delay, and unreachability. Tests inject faults
+// deterministically through the Fabric knobs.
+
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pmcast/internal/addr"
+)
+
+// Config tunes the in-memory network fabric.
+type Config struct {
+	// Loss is the probability a message is silently dropped in transit.
+	Loss float64
+	// MinDelay and MaxDelay bound the uniform random delivery delay; both
+	// zero means synchronous hand-off on the sender's goroutine.
+	MinDelay, MaxDelay time.Duration
+	// QueueLen is each endpoint's inbox capacity (default 1024); overflow
+	// drops messages, mirroring UDP socket buffers.
+	QueueLen int
+	// Seed seeds the fault RNG (0 uses a fixed default for reproducibility).
+	Seed int64
+}
+
+// Network is the shared in-memory fabric. Endpoints attach under their
+// address; sends route by address. All methods are safe for concurrent use.
+type Network struct {
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
+	endpoints map[string]*memEndpoint
+	blocked   map[string]bool // "from|to" directed block rules
+	timers    map[*time.Timer]struct{}
+	dropped   int
+	closed    bool
+}
+
+// Network implements the full fault-injection surface.
+var _ Fabric = (*Network)(nil)
+
+// NewNetwork builds a fabric with the given configuration.
+func NewNetwork(cfg Config) *Network {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		endpoints: make(map[string]*memEndpoint),
+		blocked:   make(map[string]bool),
+		timers:    make(map[*time.Timer]struct{}),
+	}
+}
+
+// Attach registers an address and returns its endpoint.
+func (n *Network) Attach(a addr.Address) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	key := a.Key()
+	if _, ok := n.endpoints[key]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateAddr, a)
+	}
+	ep := &memEndpoint{
+		addr: a,
+		net:  n,
+		in:   make(chan Envelope, n.cfg.QueueLen),
+	}
+	n.endpoints[key] = ep
+	return ep, nil
+}
+
+// Detach unregisters an address; its endpoint stops receiving.
+func (n *Network) Detach(a addr.Address) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[a.Key()]
+	if ok {
+		delete(n.endpoints, a.Key())
+	}
+	n.mu.Unlock()
+	if ok {
+		ep.close()
+	}
+}
+
+// Close shuts the fabric down: every outstanding delayed delivery is
+// cancelled (no timer or goroutine outlives the network — long simulation
+// campaigns create and discard many networks) and every endpoint is
+// detached. Subsequent Attach and Send calls fail with ErrClosed.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	timers := n.timers
+	n.timers = make(map[*time.Timer]struct{})
+	endpoints := n.endpoints
+	n.endpoints = make(map[string]*memEndpoint)
+	n.mu.Unlock()
+
+	for t := range timers {
+		t.Stop()
+	}
+	for _, ep := range endpoints {
+		ep.close()
+	}
+	return nil
+}
+
+// SetLoss changes the loss probability at runtime (fault injection).
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Loss = p
+}
+
+// Block severs the directed link from → to (partition injection).
+func (n *Network) Block(from, to addr.Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[from.Key()+"|"+to.Key()] = true
+}
+
+// BlockBidirectional severs both directions between two addresses.
+func (n *Network) BlockBidirectional(a, b addr.Address) {
+	n.Block(a, b)
+	n.Block(b, a)
+}
+
+// Heal removes every block rule.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[string]bool)
+}
+
+// Dropped returns the number of messages lost so far (loss, partitions,
+// overflow and unknown destinations).
+func (n *Network) Dropped() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// Size returns the number of attached endpoints.
+func (n *Network) Size() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.endpoints)
+}
+
+// route delivers one message subject to faults. Returns ErrUnknownAddr only
+// for routing errors the sender can act on — faults are silent, as on a
+// real network.
+func (n *Network) route(from, to addr.Address, payload any) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[to.Key()]
+	if !ok {
+		n.dropped++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
+	}
+	if n.blocked[from.Key()+"|"+to.Key()] {
+		n.dropped++
+		n.mu.Unlock()
+		return nil // silent partition
+	}
+	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
+		n.dropped++
+		n.mu.Unlock()
+		return nil // silent loss
+	}
+	var delay time.Duration
+	if n.cfg.MaxDelay > 0 {
+		span := n.cfg.MaxDelay - n.cfg.MinDelay
+		if span > 0 {
+			delay = n.cfg.MinDelay + time.Duration(n.rng.Int63n(int64(span)))
+		} else {
+			delay = n.cfg.MinDelay
+		}
+	}
+	env := Envelope{From: from, To: to, Payload: payload}
+	if delay == 0 {
+		n.mu.Unlock()
+		n.deliver(dst, env)
+		return nil
+	}
+	// Register the timer while still holding mu: the callback also takes mu
+	// first, so it cannot observe the map before the timer is tracked, and
+	// Close cancels anything still registered.
+	var timer *time.Timer
+	timer = time.AfterFunc(delay, func() {
+		n.mu.Lock()
+		_, live := n.timers[timer]
+		delete(n.timers, timer)
+		n.mu.Unlock()
+		if live {
+			n.deliver(dst, env)
+		}
+	})
+	n.timers[timer] = struct{}{}
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *Network) deliver(dst *memEndpoint, env Envelope) {
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.closed {
+		n.countDrop()
+		return
+	}
+	select {
+	case dst.in <- env:
+	default:
+		n.countDrop() // queue overflow
+	}
+}
+
+func (n *Network) countDrop() {
+	n.mu.Lock()
+	n.dropped++
+	n.mu.Unlock()
+}
+
+// memEndpoint is one attached process's interface to the in-memory fabric.
+type memEndpoint struct {
+	addr addr.Address
+	net  *Network
+
+	mu     sync.Mutex
+	closed bool
+	in     chan Envelope
+}
+
+// Addr returns the endpoint's address.
+func (e *memEndpoint) Addr() addr.Address { return e.addr }
+
+// Send routes a payload to the destination address. Loss and partitions are
+// silent; only unknown destinations and a closed endpoint return errors.
+func (e *memEndpoint) Send(to addr.Address, payload any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return e.net.route(e.addr, to, payload)
+}
+
+// Recv exposes the inbox. The channel closes when the endpoint is detached.
+func (e *memEndpoint) Recv() <-chan Envelope { return e.in }
+
+// Close detaches the endpoint from the network.
+func (e *memEndpoint) Close() error {
+	e.net.Detach(e.addr)
+	return nil
+}
+
+func (e *memEndpoint) close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.in)
+	}
+}

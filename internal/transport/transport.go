@@ -1,24 +1,28 @@
-// Package transport provides the in-memory network the asynchronous pmcast
-// runtime runs on: addressable endpoints exchanging opaque payloads with
-// configurable message loss, delivery delay and partitions.
+// Package transport defines the pluggable network fabric the asynchronous
+// pmcast runtime runs on, and provides the in-memory reference
+// implementation (Network).
 //
-// It substitutes for the UDP/IP fabric of a real deployment (the paper's
-// environment) while preserving the failure modes the protocol is designed
-// around: silent loss, delay, and unreachability. Tests inject faults
-// deterministically through the knobs below.
+// The runtime depends only on the two small interfaces below: a Transport
+// attaches endpoints by hierarchical address, and an Endpoint exchanges
+// opaque protocol messages. Backends decide what "the network" is — the
+// in-memory Network in this package simulates the UDP/IP fabric of the
+// paper's environment (silent loss, delay, partitions, bounded queues),
+// while internal/transport/udp frames the same messages over real UDP
+// sockets via the internal/wire codec.
+//
+// Simulated fabrics additionally expose their fault-injection knobs through
+// the narrow Fabric interface; tests that need loss or partitions assert to
+// it (or use *Network directly) without widening the runtime's dependency.
 package transport
 
 import (
 	"errors"
-	"fmt"
-	"math/rand"
-	"sync"
-	"time"
 
 	"pmcast/internal/addr"
 )
 
-// Errors reported by the network.
+// Errors reported by transports. Backends wrap these sentinel values so
+// callers can errors.Is across implementations.
 var (
 	ErrClosed        = errors.New("transport: endpoint closed")
 	ErrDuplicateAddr = errors.New("transport: address already attached")
@@ -31,218 +35,45 @@ type Envelope struct {
 	Payload  any
 }
 
-// Config tunes the network fabric.
-type Config struct {
-	// Loss is the probability a message is silently dropped in transit.
-	Loss float64
-	// MinDelay and MaxDelay bound the uniform random delivery delay; both
-	// zero means synchronous hand-off on the sender's goroutine.
-	MinDelay, MaxDelay time.Duration
-	// QueueLen is each endpoint's inbox capacity (default 1024); overflow
-	// drops messages, mirroring UDP socket buffers.
-	QueueLen int
-	// Seed seeds the fault RNG (0 uses a fixed default for reproducibility).
-	Seed int64
-}
-
-// Network is the shared fabric. Endpoints attach under their address; sends
-// route by address. All methods are safe for concurrent use.
-type Network struct {
-	mu        sync.Mutex
-	cfg       Config
-	rng       *rand.Rand
-	endpoints map[string]*Endpoint
-	blocked   map[string]bool // "from|to" directed block rules
-	dropped   int
-}
-
-// NewNetwork builds a fabric with the given configuration.
-func NewNetwork(cfg Config) *Network {
-	if cfg.QueueLen <= 0 {
-		cfg.QueueLen = 1024
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	return &Network{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(seed)),
-		endpoints: make(map[string]*Endpoint),
-		blocked:   make(map[string]bool),
-	}
-}
-
-// Attach registers an address and returns its endpoint.
-func (n *Network) Attach(a addr.Address) (*Endpoint, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	key := a.Key()
-	if _, ok := n.endpoints[key]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrDuplicateAddr, a)
-	}
-	ep := &Endpoint{
-		addr: a,
-		net:  n,
-		in:   make(chan Envelope, n.cfg.QueueLen),
-	}
-	n.endpoints[key] = ep
-	return ep, nil
-}
-
-// Detach unregisters an address; its endpoint stops receiving.
-func (n *Network) Detach(a addr.Address) {
-	n.mu.Lock()
-	ep, ok := n.endpoints[a.Key()]
-	if ok {
-		delete(n.endpoints, a.Key())
-	}
-	n.mu.Unlock()
-	if ok {
-		ep.close()
-	}
-}
-
-// SetLoss changes the loss probability at runtime (fault injection).
-func (n *Network) SetLoss(p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.cfg.Loss = p
-}
-
-// Block severs the directed link from → to (partition injection).
-func (n *Network) Block(from, to addr.Address) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.blocked[from.Key()+"|"+to.Key()] = true
-}
-
-// BlockBidirectional severs both directions between two addresses.
-func (n *Network) BlockBidirectional(a, b addr.Address) {
-	n.Block(a, b)
-	n.Block(b, a)
-}
-
-// Heal removes every block rule.
-func (n *Network) Heal() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.blocked = make(map[string]bool)
-}
-
-// Dropped returns the number of messages lost so far (loss, partitions,
-// overflow and unknown destinations).
-func (n *Network) Dropped() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropped
-}
-
-// Size returns the number of attached endpoints.
-func (n *Network) Size() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.endpoints)
-}
-
-// route delivers one message subject to faults. Called with e held by the
-// sender; returns ErrUnknownAddr only for routing errors the sender can act
-// on — faults are silent, as on a real network.
-func (n *Network) route(from, to addr.Address, payload any) error {
-	n.mu.Lock()
-	dst, ok := n.endpoints[to.Key()]
-	if !ok {
-		n.dropped++
-		n.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
-	}
-	if n.blocked[from.Key()+"|"+to.Key()] {
-		n.dropped++
-		n.mu.Unlock()
-		return nil // silent partition
-	}
-	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
-		n.dropped++
-		n.mu.Unlock()
-		return nil // silent loss
-	}
-	var delay time.Duration
-	if n.cfg.MaxDelay > 0 {
-		span := n.cfg.MaxDelay - n.cfg.MinDelay
-		if span > 0 {
-			delay = n.cfg.MinDelay + time.Duration(n.rng.Int63n(int64(span)))
-		} else {
-			delay = n.cfg.MinDelay
-		}
-	}
-	n.mu.Unlock()
-
-	env := Envelope{From: from, To: to, Payload: payload}
-	if delay == 0 {
-		n.deliver(dst, env)
-		return nil
-	}
-	timer := time.AfterFunc(delay, func() { n.deliver(dst, env) })
-	_ = timer // fires once; endpoint close tolerates late deliveries
-	return nil
-}
-
-func (n *Network) deliver(dst *Endpoint, env Envelope) {
-	dst.mu.Lock()
-	defer dst.mu.Unlock()
-	if dst.closed {
-		n.countDrop()
-		return
-	}
-	select {
-	case dst.in <- env:
-	default:
-		n.countDrop() // queue overflow
-	}
-}
-
-func (n *Network) countDrop() {
-	n.mu.Lock()
-	n.dropped++
-	n.mu.Unlock()
+// Transport is a network fabric processes attach to by address. All
+// implementations are safe for concurrent use.
+type Transport interface {
+	// Attach registers an address and returns its live endpoint.
+	Attach(a addr.Address) (Endpoint, error)
+	// Close tears the whole fabric down: every attached endpoint is
+	// closed and pending deliveries are cancelled. Safe to call twice.
+	Close() error
 }
 
 // Endpoint is one attached process's network interface.
-type Endpoint struct {
-	addr addr.Address
-	net  *Network
-
-	mu     sync.Mutex
-	closed bool
-	in     chan Envelope
+type Endpoint interface {
+	// Addr returns the endpoint's address.
+	Addr() addr.Address
+	// Send routes a protocol message to the destination address. Loss is
+	// silent, as on a real network; only unknown destinations and a
+	// closed endpoint return errors.
+	Send(to addr.Address, payload any) error
+	// Recv exposes the inbox. The channel closes when the endpoint does.
+	Recv() <-chan Envelope
+	// Close detaches the endpoint from the fabric.
+	Close() error
 }
 
-// Addr returns the endpoint's address.
-func (e *Endpoint) Addr() addr.Address { return e.addr }
-
-// Send routes a payload to the destination address. Loss and partitions are
-// silent; only unknown destinations and a closed endpoint return errors.
-func (e *Endpoint) Send(to addr.Address, payload any) error {
-	e.mu.Lock()
-	closed := e.closed
-	e.mu.Unlock()
-	if closed {
-		return ErrClosed
-	}
-	return e.net.route(e.addr, to, payload)
-}
-
-// Recv exposes the inbox. The channel closes when the endpoint is detached.
-func (e *Endpoint) Recv() <-chan Envelope { return e.in }
-
-// Close detaches the endpoint from the network.
-func (e *Endpoint) Close() { e.net.Detach(e.addr) }
-
-func (e *Endpoint) close() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.closed {
-		e.closed = true
-		close(e.in)
-	}
+// Fabric is the fault-injection surface of simulated transports. The
+// in-memory Network implements it; tests drive loss, partitions and drop
+// accounting through this interface without depending on the concrete type.
+type Fabric interface {
+	Transport
+	// SetLoss changes the message loss probability at runtime.
+	SetLoss(p float64)
+	// Block severs the directed link from → to.
+	Block(from, to addr.Address)
+	// BlockBidirectional severs both directions between two addresses.
+	BlockBidirectional(a, b addr.Address)
+	// Heal removes every block rule.
+	Heal()
+	// Dropped returns the number of messages lost so far.
+	Dropped() int
+	// Size returns the number of attached endpoints.
+	Size() int
 }

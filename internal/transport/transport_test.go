@@ -153,6 +153,70 @@ func TestCloseStopsReception(t *testing.T) {
 	b.Close()
 }
 
+func TestNetworkCloseCancelsDelayedDeliveries(t *testing.T) {
+	net := NewNetwork(Config{MinDelay: 50 * time.Millisecond, MaxDelay: 60 * time.Millisecond})
+	a, _ := net.Attach(addr.New(1))
+	b, _ := net.Attach(addr.New(2))
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.Addr(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close before any timer fires: all in-flight deliveries are cancelled
+	// and no timer remains registered.
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	net.mu.Lock()
+	pending := len(net.timers)
+	net.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("timers still tracked after Close: %d", pending)
+	}
+	select {
+	case env, ok := <-b.Recv():
+		if ok {
+			t.Fatalf("delivery after Close: %+v", env)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Error("recv channel not closed")
+	}
+}
+
+func TestNetworkCloseRejectsFurtherUse(t *testing.T) {
+	net := NewNetwork(Config{})
+	a, _ := net.Attach(addr.New(1))
+	b, _ := net.Attach(addr.New(2))
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if net.Size() != 0 {
+		t.Errorf("size after close = %d", net.Size())
+	}
+	if err := a.Send(b.Addr(), "x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("send on closed network = %v", err)
+	}
+	if _, err := net.Attach(addr.New(3)); !errors.Is(err, ErrClosed) {
+		t.Errorf("attach on closed network = %v", err)
+	}
+}
+
+func TestNetworkImplementsFabric(t *testing.T) {
+	var f Fabric = NewNetwork(Config{})
+	ep, err := f.Attach(addr.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetLoss(1)
+	f.Heal()
+	if f.Size() != 1 || ep.Addr().Depth() != 1 {
+		t.Errorf("fabric view wrong: size=%d", f.Size())
+	}
+}
+
 func TestQueueOverflowDrops(t *testing.T) {
 	net := NewNetwork(Config{QueueLen: 2})
 	a, _ := net.Attach(addr.New(1))

@@ -1,0 +1,312 @@
+// Package udp is the real-socket transport backend: it frames pmcast
+// protocol messages with the internal/wire codec and ships them as UDP
+// datagrams, one endpoint per bound socket.
+//
+// Addressing is two-layered. Processes keep their hierarchical pmcast
+// address (addr.Address, the tree coordinate); a Resolver maps that address
+// to a socket address. The StaticResolver is the simplest useful mapping —
+// a table populated up front (a deployment manifest) or lazily by
+// endpoints that bind ephemeral ports and register themselves.
+//
+// Datagram layout: the sender's pmcast address (addr.AppendAddress) followed
+// by one wire frame. UDP preserves message boundaries, so no further
+// delimiting is needed; datagrams that fail to parse are counted and
+// dropped, exactly like line noise on a real fabric.
+package udp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/binenc"
+	"pmcast/internal/transport"
+	"pmcast/internal/wire"
+)
+
+// Resolver maps a pmcast tree address to the UDP socket it listens on.
+type Resolver interface {
+	// Resolve returns the socket address for a. Unknown addresses report
+	// an error wrapping transport.ErrUnknownAddr.
+	Resolve(a addr.Address) (*net.UDPAddr, error)
+}
+
+// Registrar is the optional write side of a Resolver. When an endpoint is
+// told to bind port 0 (ephemeral), the transport registers the actual bound
+// socket back so in-process peers can resolve it — the pattern tests and
+// single-host clusters use.
+type Registrar interface {
+	Register(a addr.Address, ua *net.UDPAddr)
+}
+
+// StaticResolver is a concurrency-safe static table from address keys to
+// socket addresses. It implements both Resolver and Registrar.
+type StaticResolver struct {
+	mu    sync.RWMutex
+	table map[string]*net.UDPAddr
+}
+
+// NewStaticResolver builds a resolver from dotted pmcast addresses to
+// "host:port" strings, e.g. {"0.1": "127.0.0.1:7701"}. A port of 0 means
+// "bind ephemeral and register the real port" (single-process use).
+func NewStaticResolver(peers map[string]string) (*StaticResolver, error) {
+	r := &StaticResolver{table: make(map[string]*net.UDPAddr, len(peers))}
+	for key, hostport := range peers {
+		a, err := addr.Parse(key)
+		if err != nil {
+			return nil, fmt.Errorf("udp: resolver key %q: %w", key, err)
+		}
+		ua, err := net.ResolveUDPAddr("udp", hostport)
+		if err != nil {
+			return nil, fmt.Errorf("udp: resolver value %q: %w", hostport, err)
+		}
+		r.table[a.Key()] = ua
+	}
+	return r, nil
+}
+
+// Resolve implements Resolver.
+func (r *StaticResolver) Resolve(a addr.Address) (*net.UDPAddr, error) {
+	r.mu.RLock()
+	ua, ok := r.table[a.Key()]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s has no socket mapping", transport.ErrUnknownAddr, a)
+	}
+	return ua, nil
+}
+
+// Register implements Registrar.
+func (r *StaticResolver) Register(a addr.Address, ua *net.UDPAddr) {
+	r.mu.Lock()
+	r.table[a.Key()] = ua
+	r.mu.Unlock()
+}
+
+// Config tunes the UDP transport.
+type Config struct {
+	// Resolver maps tree addresses to sockets. Required.
+	Resolver Resolver
+	// QueueLen is each endpoint's decoded-inbox capacity (default 1024);
+	// overflow drops messages, like a full socket buffer.
+	QueueLen int
+	// MaxDatagram bounds datagram size in bytes (default 64 KiB − 1, the
+	// UDP maximum). Sends that encode larger fail with an error.
+	MaxDatagram int
+}
+
+// Transport binds UDP sockets for attached addresses. It implements
+// transport.Transport.
+type Transport struct {
+	cfg Config
+
+	mu        sync.Mutex
+	endpoints map[string]*endpoint
+	closed    bool
+
+	malformed atomic.Int64
+	dropped   atomic.Int64
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New builds a UDP transport over the given resolver.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Resolver == nil {
+		return nil, fmt.Errorf("udp: config requires a Resolver")
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	if cfg.MaxDatagram <= 0 {
+		cfg.MaxDatagram = 64<<10 - 1
+	}
+	return &Transport{
+		cfg:       cfg,
+		endpoints: make(map[string]*endpoint),
+	}, nil
+}
+
+// Attach binds the socket the resolver assigns to a and starts its receive
+// loop. If the resolved port is 0 the endpoint binds an ephemeral port and,
+// when the resolver is also a Registrar, publishes the real socket back.
+func (t *Transport) Attach(a addr.Address) (transport.Endpoint, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if _, ok := t.endpoints[a.Key()]; ok {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", transport.ErrDuplicateAddr, a)
+	}
+	t.mu.Unlock()
+
+	bind, err := t.cfg.Resolver.Resolve(a)
+	if err != nil {
+		return nil, fmt.Errorf("udp: attaching %s: %w", a, err)
+	}
+	conn, err := net.ListenUDP("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("udp: binding %s for %s: %w", bind, a, err)
+	}
+	ep := &endpoint{
+		addr: a,
+		tr:   t,
+		conn: conn,
+		in:   make(chan transport.Envelope, t.cfg.QueueLen),
+		done: make(chan struct{}),
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, transport.ErrClosed
+	}
+	if _, ok := t.endpoints[a.Key()]; ok {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s", transport.ErrDuplicateAddr, a)
+	}
+	t.endpoints[a.Key()] = ep
+	t.mu.Unlock()
+
+	// Publish the ephemeral socket only after winning the insert: a losing
+	// duplicate Attach closes its conn, and must not leave the resolver
+	// pointing at that dead socket.
+	if bind.Port == 0 {
+		if reg, ok := t.cfg.Resolver.(Registrar); ok {
+			reg.Register(a, conn.LocalAddr().(*net.UDPAddr))
+		}
+	}
+	go ep.readLoop(t.cfg.MaxDatagram)
+	return ep, nil
+}
+
+// Close shuts every endpoint down and rejects further attaches.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	endpoints := t.endpoints
+	t.endpoints = make(map[string]*endpoint)
+	t.mu.Unlock()
+	for _, ep := range endpoints {
+		ep.shutdown()
+	}
+	return nil
+}
+
+// Malformed reports datagrams discarded because they failed to parse.
+func (t *Transport) Malformed() int64 { return t.malformed.Load() }
+
+// Dropped reports decoded messages discarded because an inbox was full.
+func (t *Transport) Dropped() int64 { return t.dropped.Load() }
+
+func (t *Transport) detach(ep *endpoint) {
+	t.mu.Lock()
+	if cur, ok := t.endpoints[ep.addr.Key()]; ok && cur == ep {
+		delete(t.endpoints, ep.addr.Key())
+	}
+	t.mu.Unlock()
+}
+
+// endpoint is one bound UDP socket speaking the wire framing.
+type endpoint struct {
+	addr addr.Address
+	tr   *Transport
+	conn *net.UDPConn
+	in   chan transport.Envelope
+	done chan struct{}
+
+	closeOnce sync.Once
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+// Addr returns the endpoint's pmcast address.
+func (e *endpoint) Addr() addr.Address { return e.addr }
+
+// Send encodes one protocol message and ships it as a single datagram.
+func (e *endpoint) Send(to addr.Address, payload any) error {
+	select {
+	case <-e.done:
+		return transport.ErrClosed
+	default:
+	}
+	frame, err := wire.Encode(payload)
+	if err != nil {
+		return fmt.Errorf("udp: encoding for %s: %w", to, err)
+	}
+	buf := addr.AppendAddress(make([]byte, 0, len(frame)+8), e.addr)
+	buf = append(buf, frame...)
+	if len(buf) > e.tr.cfg.MaxDatagram {
+		return fmt.Errorf("udp: message for %s is %d bytes, above the %d-byte datagram bound",
+			to, len(buf), e.tr.cfg.MaxDatagram)
+	}
+	dst, err := e.tr.cfg.Resolver.Resolve(to)
+	if err != nil {
+		return err
+	}
+	if _, err := e.conn.WriteToUDP(buf, dst); err != nil {
+		select {
+		case <-e.done:
+			return transport.ErrClosed
+		default:
+		}
+		return fmt.Errorf("udp: sending to %s (%s): %w", to, dst, err)
+	}
+	return nil
+}
+
+// Recv exposes the decoded inbox. The channel closes when the endpoint does.
+func (e *endpoint) Recv() <-chan transport.Envelope { return e.in }
+
+// Close unbinds the socket and stops the receive loop.
+func (e *endpoint) Close() error {
+	e.tr.detach(e)
+	e.shutdown()
+	return nil
+}
+
+func (e *endpoint) shutdown() {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.conn.Close() // unblocks the read loop, which closes e.in
+	})
+}
+
+// readLoop turns datagrams into envelopes until the socket closes.
+func (e *endpoint) readLoop(maxDatagram int) {
+	defer close(e.in)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed (or fatally broken): endpoint is done
+		}
+		r := binenc.NewReader(buf[:n])
+		from := addr.ReadAddress(r)
+		if r.Err() != nil {
+			e.tr.malformed.Add(1)
+			continue
+		}
+		payload, err := wire.Decode(buf[n-r.Len() : n])
+		if err != nil {
+			e.tr.malformed.Add(1)
+			continue
+		}
+		env := transport.Envelope{From: from, To: e.addr, Payload: payload}
+		select {
+		case e.in <- env:
+		default:
+			e.tr.dropped.Add(1) // inbox overflow, like a full socket buffer
+		}
+	}
+}

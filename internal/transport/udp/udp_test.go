@@ -1,0 +1,282 @@
+package udp
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/core"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/membership"
+	"pmcast/internal/transport"
+)
+
+// pair attaches two loopback endpoints that can resolve each other.
+func pair(t *testing.T) (transport.Endpoint, transport.Endpoint, *Transport) {
+	t.Helper()
+	res, err := NewStaticResolver(map[string]string{
+		"0.0": "127.0.0.1:0",
+		"0.1": "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Config{Resolver: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	a, err := tr.Attach(addr.MustParse("0.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Attach(addr.MustParse("0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, tr
+}
+
+func recvOne(t *testing.T, ep transport.Endpoint) transport.Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed early")
+		}
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatal("no datagram arrived")
+	}
+	panic("unreachable")
+}
+
+func sampleEvent() event.Event {
+	return event.NewBuilder().
+		Int("b", -42).
+		Float("c", 155.6).
+		Str("e", "Bob").
+		Bool("urgent", true).
+		Build(event.ID{Origin: "128.178.73.3", Seq: 77})
+}
+
+func sampleSub() interest.Subscription {
+	return interest.NewSubscription().
+		Where("b", interest.EqInt(2)).
+		Where("c", interest.Between(10, 220)).
+		Where("e", interest.OneOf("Bob", "Tom"))
+}
+
+// TestEveryWireKindRoundTrips ships each protocol message kind through a
+// real loopback socket and asserts the decoded payload is identical to what
+// the in-memory fabric would have handed over.
+func TestEveryWireKindRoundTrips(t *testing.T) {
+	a, b, _ := pair(t)
+	msgs := []any{
+		core.Gossip{Event: sampleEvent(), Depth: 3, Rate: 0.4375, Round: 7},
+		membership.Digest{
+			From: addr.New(0, 0),
+			Entries: []membership.DigestEntry{
+				{Key: "0.0", Stamp: 5},
+				{Key: "0.1", Stamp: 9},
+			},
+		},
+		membership.Update{
+			From: addr.New(0, 0),
+			Records: []membership.Record{
+				{Addr: addr.New(0, 1), Sub: sampleSub(), Stamp: 9, Alive: true},
+				{Addr: addr.New(0, 0), Sub: interest.NewSubscription(), Stamp: 3, Alive: false},
+			},
+		},
+		membership.JoinRequest{
+			Joiner: membership.Record{Addr: addr.New(0, 0), Sub: sampleSub(), Stamp: 1, Alive: true},
+			Hops:   4,
+		},
+		membership.Leave{Addr: addr.New(0, 0), Stamp: 12},
+	}
+	for _, msg := range msgs {
+		if err := a.Send(b.Addr(), msg); err != nil {
+			t.Fatalf("send %T: %v", msg, err)
+		}
+		env := recvOne(t, b)
+		if !env.From.Equal(a.Addr()) || !env.To.Equal(b.Addr()) {
+			t.Errorf("%T envelope addressed %s → %s", msg, env.From, env.To)
+		}
+		if g, ok := msg.(core.Gossip); ok {
+			// Events hide their attributes behind an unexported map; compare
+			// semantically instead of reflectively.
+			got, ok := env.Payload.(core.Gossip)
+			if !ok {
+				t.Fatalf("payload = %T, want core.Gossip", env.Payload)
+			}
+			if got.Depth != g.Depth || got.Rate != g.Rate || got.Round != g.Round ||
+				got.Event.ID() != g.Event.ID() || got.Event.Len() != g.Event.Len() {
+				t.Errorf("gossip mutated in flight: %+v", got)
+			}
+			for _, name := range g.Event.Names() {
+				if !got.Event.Attr(name).Equal(g.Event.Attr(name)) {
+					t.Errorf("attr %s = %v", name, got.Event.Attr(name))
+				}
+			}
+			continue
+		}
+		if !wireEqual(env.Payload, msg) {
+			t.Errorf("%T mutated in flight:\n got %+v\nwant %+v", msg, env.Payload, msg)
+		}
+	}
+}
+
+// wireEqual compares protocol messages up to subscription semantics (the
+// subscription's internal criterion order is canonicalized by the codec).
+func wireEqual(got, want any) bool {
+	switch w := want.(type) {
+	case membership.Update:
+		g, ok := got.(membership.Update)
+		if !ok || !g.From.Equal(w.From) || len(g.Records) != len(w.Records) {
+			return false
+		}
+		for i := range w.Records {
+			if !recordEqual(g.Records[i], w.Records[i]) {
+				return false
+			}
+		}
+		return true
+	case membership.JoinRequest:
+		g, ok := got.(membership.JoinRequest)
+		return ok && g.Hops == w.Hops && recordEqual(g.Joiner, w.Joiner)
+	default:
+		return reflect.DeepEqual(got, want)
+	}
+}
+
+func recordEqual(got, want membership.Record) bool {
+	return got.Addr.Equal(want.Addr) && got.Stamp == want.Stamp &&
+		got.Alive == want.Alive && got.Sub.Equal(want.Sub)
+}
+
+func TestSendToUnknownAddress(t *testing.T) {
+	a, _, _ := pair(t)
+	err := a.Send(addr.MustParse("9.9"), membership.Leave{Addr: a.Addr(), Stamp: 1})
+	if !errors.Is(err, transport.ErrUnknownAddr) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSendRejectsUnframeableMessage(t *testing.T) {
+	a, b, _ := pair(t)
+	if err := a.Send(b.Addr(), "not a protocol message"); err == nil {
+		t.Error("foreign payload accepted")
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	res, _ := NewStaticResolver(map[string]string{"0.0": "127.0.0.1:0", "0.1": "127.0.0.1:0"})
+	tr, err := New(Config{Resolver: res, MaxDatagram: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	a, err := tr.Attach(addr.MustParse("0.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := membership.Update{From: a.Addr()}
+	for i := 0; i < 32; i++ {
+		big.Records = append(big.Records, membership.Record{
+			Addr: addr.New(0, i), Sub: sampleSub(), Stamp: uint64(i), Alive: true,
+		})
+	}
+	if err := a.Send(addr.MustParse("0.1"), big); err == nil {
+		t.Error("oversize datagram accepted")
+	}
+}
+
+func TestMalformedDatagramsAreCountedAndSkipped(t *testing.T) {
+	a, b, tr := pair(t)
+	// Straight to the socket, bypassing the framing.
+	dst, err := tr.cfg.Resolver.Resolve(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	// The endpoint must survive and keep delivering well-formed traffic.
+	if err := a.Send(b.Addr(), membership.Leave{Addr: a.Addr(), Stamp: 3}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b)
+	if l, ok := env.Payload.(membership.Leave); !ok || l.Stamp != 3 {
+		t.Errorf("payload = %+v", env.Payload)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Malformed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if tr.Malformed() == 0 {
+		t.Error("malformed datagram not counted")
+	}
+}
+
+func TestDuplicateAttach(t *testing.T) {
+	_, _, tr := pair(t)
+	if _, err := tr.Attach(addr.MustParse("0.0")); !errors.Is(err, transport.ErrDuplicateAddr) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEndpointClose(t *testing.T) {
+	a, b, _ := pair(t)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(a.Addr(), membership.Leave{Addr: b.Addr(), Stamp: 1}); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("send from closed endpoint = %v", err)
+	}
+	select {
+	case _, ok := <-b.Recv():
+		if ok {
+			t.Error("unexpected envelope after close")
+		}
+	case <-time.After(time.Second):
+		t.Error("recv channel did not close")
+	}
+	b.Close() // idempotent
+}
+
+func TestTransportCloseShutsEverythingDown(t *testing.T) {
+	a, b, tr := pair(t)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Addr(), membership.Leave{Addr: a.Addr(), Stamp: 1}); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("send after transport close = %v", err)
+	}
+	if _, err := tr.Attach(addr.MustParse("1.0")); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("attach after close = %v", err)
+	}
+}
+
+func TestResolverValidation(t *testing.T) {
+	if _, err := NewStaticResolver(map[string]string{"not an addr": "127.0.0.1:1"}); err == nil {
+		t.Error("bad address key accepted")
+	}
+	if _, err := NewStaticResolver(map[string]string{"0.0": "::bad::"}); err == nil {
+		t.Error("bad socket address accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing resolver accepted")
+	}
+}

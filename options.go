@@ -1,0 +1,99 @@
+package pmcast
+
+import "time"
+
+// NodeOption configures one knob of a node under construction. Options keep
+// NewNode's signature stable while NodeConfig grows: adding a knob adds an
+// option, never a breaking change.
+type NodeOption func(*NodeConfig)
+
+// WithConfig replaces the whole configuration at once — the bulk escape
+// hatch for callers that already hold a NodeConfig. Options applied after
+// it refine the given config.
+func WithConfig(cfg NodeConfig) NodeOption {
+	return func(c *NodeConfig) { *c = cfg }
+}
+
+// WithAddr sets the node's hierarchical address (its place in the tree).
+func WithAddr(a Address) NodeOption {
+	return func(c *NodeConfig) { c.Addr = a }
+}
+
+// WithSpace sets the shared address space (depth d and arities).
+func WithSpace(s Space) NodeOption {
+	return func(c *NodeConfig) { c.Space = s }
+}
+
+// WithRedundancy sets the redundancy factor R (delegates per subgroup).
+func WithRedundancy(r int) NodeOption {
+	return func(c *NodeConfig) { c.R = r }
+}
+
+// WithFanout sets the gossip fanout F.
+func WithFanout(f int) NodeOption {
+	return func(c *NodeConfig) { c.F = f }
+}
+
+// WithPittelC sets Pittel's constant c for round budgets (Eq. 3).
+func WithPittelC(v float64) NodeOption {
+	return func(c *NodeConfig) { c.C = v }
+}
+
+// WithSubscription sets the node's initial interest.
+func WithSubscription(sub Subscription) NodeOption {
+	return func(c *NodeConfig) { c.Subscription = sub }
+}
+
+// WithGossipInterval sets the gossip period P (default 25ms).
+func WithGossipInterval(d time.Duration) NodeOption {
+	return func(c *NodeConfig) { c.GossipInterval = d }
+}
+
+// WithMembershipInterval sets the membership digest period (default
+// 4·GossipInterval).
+func WithMembershipInterval(d time.Duration) NodeOption {
+	return func(c *NodeConfig) { c.MembershipInterval = d }
+}
+
+// WithMembershipFanout sets how many peers receive each digest (default 2).
+func WithMembershipFanout(f int) NodeOption {
+	return func(c *NodeConfig) { c.MembershipFanout = f }
+}
+
+// WithSuspectAfter configures the failure detector's silence deadline
+// (default 20 membership intervals).
+func WithSuspectAfter(d time.Duration) NodeOption {
+	return func(c *NodeConfig) { c.SuspectAfter = d }
+}
+
+// WithSuspicionSweeps sets how many consecutive over-deadline sweeps expel
+// a silent neighbor (default 1; >1 enables the Section 6 confirmation
+// phase).
+func WithSuspicionSweeps(n int) NodeOption {
+	return func(c *NodeConfig) { c.SuspicionSweeps = n }
+}
+
+// WithThreshold sets the Section 5.3 tuning parameter h (0 = untuned).
+func WithThreshold(h int) NodeOption {
+	return func(c *NodeConfig) { c.Threshold = h }
+}
+
+// WithLocalDescent enables the Section 3.2 start-depth rule.
+func WithLocalDescent(on bool) NodeOption {
+	return func(c *NodeConfig) { c.LocalDescent = on }
+}
+
+// WithLeafFlooding enables the Section 6 leaf-flooding extension (0 = off).
+func WithLeafFlooding(rate float64) NodeOption {
+	return func(c *NodeConfig) { c.LeafFloodRate = rate }
+}
+
+// WithDeliveryBuffer sizes the Deliveries channel (default 256).
+func WithDeliveryBuffer(n int) NodeOption {
+	return func(c *NodeConfig) { c.DeliveryBuffer = n }
+}
+
+// WithSeed seeds the node RNG (0 derives one from the address).
+func WithSeed(seed int64) NodeOption {
+	return func(c *NodeConfig) { c.Seed = seed }
+}

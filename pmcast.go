@@ -11,17 +11,18 @@
 //   - simulation:      NewSimulator (the paper's Monte-Carlo evaluation)
 //   - analysis:        NewTreeModel (the paper's stochastic model, Eq. 3–18)
 //
-// Quickstart:
+// Nodes run over a pluggable Transport: the in-memory simulation fabric
+// (NewNetwork) or real UDP sockets (NewUDPTransport). Quickstart:
 //
 //	net := pmcast.NewNetwork(pmcast.NetworkConfig{})
 //	space := pmcast.MustRegularSpace(4, 2) // 16 addresses: x.y, 0 ≤ x,y < 4
-//	n, _ := pmcast.NewNode(net, pmcast.NodeConfig{
-//		Addr:         pmcast.MustParseAddress("0.1"),
-//		Space:        space,
-//		R:            2,
-//		F:            3,
-//		Subscription: pmcast.Where("price", pmcast.Gt(100)),
-//	})
+//	n, _ := pmcast.NewNode(net,
+//		pmcast.WithAddr(pmcast.MustParseAddress("0.1")),
+//		pmcast.WithSpace(space),
+//		pmcast.WithRedundancy(2),
+//		pmcast.WithFanout(3),
+//		pmcast.WithSubscription(pmcast.Where("price", pmcast.Gt(100))),
+//	)
 //	n.Start()
 //	defer n.Stop()
 //
@@ -37,6 +38,7 @@ import (
 	"pmcast/internal/node"
 	"pmcast/internal/sim"
 	"pmcast/internal/transport"
+	"pmcast/internal/transport/udp"
 )
 
 // Addressing (paper Section 2.2).
@@ -144,23 +146,80 @@ func MatchAll() Subscription { return interest.NewSubscription() }
 // Summarize regroups subscriptions into an over-approximating summary.
 func Summarize(subs ...Subscription) *Summary { return interest.Summarize(subs...) }
 
-// Live runtime.
+// Transport fabric. The runtime depends only on these interfaces; backends
+// decide what "the network" is.
+type (
+	// Transport is a pluggable network fabric processes attach to by
+	// address: the in-memory Network, the UDP backend, or any custom
+	// implementation.
+	Transport = transport.Transport
+	// Endpoint is one attached process's network interface.
+	Endpoint = transport.Endpoint
+	// Envelope is one delivered message.
+	Envelope = transport.Envelope
+	// Fabric is the fault-injection surface of simulated transports
+	// (loss, partitions, drop accounting).
+	Fabric = transport.Fabric
+)
+
+// In-memory fabric (the reference Transport, with fault injection).
 type (
 	// Network is the in-memory transport fabric.
 	Network = transport.Network
 	// NetworkConfig tunes loss, delay and queue sizes.
 	NetworkConfig = transport.Config
-	// Node is a live pmcast process.
-	Node = node.Node
-	// NodeConfig parameterizes a node.
-	NodeConfig = node.Config
 )
 
 // NewNetwork builds an in-memory network fabric.
 func NewNetwork(cfg NetworkConfig) *Network { return transport.NewNetwork(cfg) }
 
-// NewNode attaches a new node to the network; call Start to run it.
-func NewNode(net *Network, cfg NodeConfig) (*Node, error) { return node.New(net, cfg) }
+// UDP fabric (real sockets, wire-codec framing).
+type (
+	// UDPTransport sends pmcast messages as UDP datagrams.
+	UDPTransport = udp.Transport
+	// UDPConfig tunes the UDP transport.
+	UDPConfig = udp.Config
+	// UDPResolver maps tree addresses to UDP sockets.
+	UDPResolver = udp.Resolver
+	// StaticResolver is a static address → socket table; entries with
+	// port 0 bind ephemeral ports and register themselves.
+	StaticResolver = udp.StaticResolver
+)
+
+// NewUDPTransport builds a UDP transport over the configured resolver.
+func NewUDPTransport(cfg UDPConfig) (*UDPTransport, error) { return udp.New(cfg) }
+
+// NewStaticResolver builds a static resolver from dotted pmcast addresses
+// to "host:port" strings, e.g. {"0.1": "127.0.0.1:7701"}.
+func NewStaticResolver(peers map[string]string) (*StaticResolver, error) {
+	return udp.NewStaticResolver(peers)
+}
+
+// Live runtime.
+type (
+	// Node is a live pmcast process.
+	Node = node.Node
+	// NodeConfig parameterizes a node; it is usually assembled through
+	// NodeOption values rather than filled in literally.
+	NodeConfig = node.Config
+)
+
+// NewNode attaches a new node to a transport fabric; call Start to run it.
+// The node is parameterized by functional options, so new tuning knobs can
+// be added without breaking existing callers:
+//
+//	n, err := pmcast.NewNode(tr,
+//		pmcast.WithAddr(a), pmcast.WithSpace(space),
+//		pmcast.WithRedundancy(2), pmcast.WithFanout(3),
+//		pmcast.WithSubscription(sub),
+//	)
+func NewNode(tr Transport, opts ...NodeOption) (*Node, error) {
+	var cfg NodeConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return node.New(tr, cfg)
+}
 
 // Simulation (paper Section 5).
 type (

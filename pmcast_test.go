@@ -22,16 +22,16 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	nodes := make(map[string]*pmcast.Node)
 	for key, sub := range subs {
-		n, err := pmcast.NewNode(net, pmcast.NodeConfig{
-			Addr:               pmcast.MustParseAddress(key),
-			Space:              space,
-			R:                  2,
-			F:                  3,
-			C:                  2,
-			Subscription:       sub,
-			GossipInterval:     4 * time.Millisecond,
-			MembershipInterval: 6 * time.Millisecond,
-		})
+		n, err := pmcast.NewNode(net,
+			pmcast.WithAddr(pmcast.MustParseAddress(key)),
+			pmcast.WithSpace(space),
+			pmcast.WithRedundancy(2),
+			pmcast.WithFanout(3),
+			pmcast.WithPittelC(2),
+			pmcast.WithSubscription(sub),
+			pmcast.WithGossipInterval(4*time.Millisecond),
+			pmcast.WithMembershipInterval(6*time.Millisecond),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,6 +86,101 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	select {
 	case ev := <-nodes["1.1"].Deliveries():
+		t.Errorf("uninterested publisher delivered %v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestFacadeUDPEndToEnd runs the same public-API flow over real loopback
+// UDP sockets: the transport is swapped, nothing else changes.
+func TestFacadeUDPEndToEnd(t *testing.T) {
+	peers := map[string]string{
+		"0.0": "127.0.0.1:0", "0.1": "127.0.0.1:0",
+		"1.0": "127.0.0.1:0", "1.1": "127.0.0.1:0",
+	}
+	res, err := pmcast.NewStaticResolver(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pmcast.NewUDPTransport(pmcast.UDPConfig{Resolver: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	space := pmcast.MustRegularSpace(2, 2)
+	subs := map[string]pmcast.Subscription{
+		"0.0": pmcast.Where("price", pmcast.Gt(100)),
+		"0.1": pmcast.Where("price", pmcast.Lt(10)),
+		"1.0": pmcast.MatchAll(),
+		"1.1": pmcast.Where("symbol", pmcast.OneOf("ACME")),
+	}
+	nodes := make(map[string]*pmcast.Node)
+	for key, sub := range subs {
+		n, err := pmcast.NewNode(tr,
+			pmcast.WithAddr(pmcast.MustParseAddress(key)),
+			pmcast.WithSpace(space),
+			pmcast.WithRedundancy(2),
+			pmcast.WithFanout(3),
+			pmcast.WithPittelC(2),
+			pmcast.WithSubscription(sub),
+			pmcast.WithGossipInterval(4*time.Millisecond),
+			pmcast.WithMembershipInterval(6*time.Millisecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[key] = n
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	contact := nodes["0.0"].Addr()
+	for key, n := range nodes {
+		if key == "0.0" {
+			continue
+		}
+		if err := n.Join(contact); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, n := range nodes {
+			if n.KnownMembers() != len(nodes) {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// price=120, symbol=ACME matches 0.0 (price>100), 1.0 (everything) and
+	// 1.1 (symbol ACME) but not 0.1 (price<10).
+	if _, err := nodes["0.1"].Publish(map[string]pmcast.Value{
+		"price":  pmcast.Float(120),
+		"symbol": pmcast.Str("ACME"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"0.0", "1.0", "1.1"} {
+		select {
+		case ev := <-nodes[key].Deliveries():
+			if v, _ := ev.Attr("price").AsFloat(); v != 120 {
+				t.Errorf("%s delivered wrong event %v", key, ev)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s did not deliver over UDP", key)
+		}
+	}
+	select {
+	case ev := <-nodes["0.1"].Deliveries():
 		t.Errorf("uninterested publisher delivered %v", ev)
 	case <-time.After(50 * time.Millisecond):
 	}
