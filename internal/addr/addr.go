@@ -34,13 +34,37 @@ var (
 // address.
 type Address struct {
 	digits []int
+	// key is the dotted rendering, precomputed at construction: addresses
+	// serve as map keys on every hot path (routing, membership, trees) and
+	// rebuilding the string each time dominated fleet-scale profiles.
+	key string
+}
+
+// makeAddress builds an address around the given digit slice (not copied),
+// precomputing its key.
+func makeAddress(digits []int) Address {
+	return Address{digits: digits, key: renderDigits(digits)}
+}
+
+func renderDigits(digits []int) string {
+	if len(digits) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, v := range digits {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
 }
 
 // New builds an address from the given digit components. The slice is copied.
 func New(digits ...int) Address {
 	d := make([]int, len(digits))
 	copy(d, digits)
-	return Address{digits: d}
+	return makeAddress(d)
 }
 
 // Parse parses a dotted decimal address such as "128.178.73.3".
@@ -60,7 +84,7 @@ func Parse(s string) (Address, error) {
 		}
 		digits[i] = v
 	}
-	return Address{digits: digits}, nil
+	return makeAddress(digits), nil
 }
 
 // MustParse is Parse that panics on error; intended for constants in tests
@@ -93,14 +117,33 @@ func (a Address) IsZero() bool { return len(a.digits) == 0 }
 
 // Prefix returns the prefix of depth i, i.e. the partial address
 // x(1).….x(i−1). Prefix(1) is the empty (root) prefix; Prefix(Depth()+1) is
-// the whole address viewed as a prefix.
+// the whole address viewed as a prefix. The prefix key is sliced from the
+// address's precomputed key, so walking an address's whole root path (as
+// incremental tree maintenance does per membership change) renders nothing.
 func (a Address) Prefix(i int) Prefix {
 	if i < 1 || i > len(a.digits)+1 {
 		panic(fmt.Sprintf("addr: prefix depth %d out of range for depth-%d address", i, len(a.digits)))
 	}
+	if i == 1 {
+		return Prefix{}
+	}
 	d := make([]int, i-1)
 	copy(d, a.digits[:i-1])
-	return Prefix{digits: d}
+	key := ""
+	if a.key != "" {
+		comps, end := 0, len(a.key)
+		for idx := 0; idx < len(a.key); idx++ {
+			if a.key[idx] == '.' {
+				comps++
+				if comps == i-1 {
+					end = idx
+					break
+				}
+			}
+		}
+		key = a.key[:end]
+	}
+	return Prefix{digits: d, key: key}
 }
 
 // HasPrefix reports whether p is a prefix of a.
@@ -173,23 +216,25 @@ func (a Address) String() string {
 	if len(a.digits) == 0 {
 		return "<zero>"
 	}
-	var sb strings.Builder
-	for i, v := range a.digits {
-		if i > 0 {
-			sb.WriteByte('.')
-		}
-		sb.WriteString(strconv.Itoa(v))
-	}
-	return sb.String()
+	return a.Key()
 }
 
-// Key returns a canonical comparable map key for the address.
-func (a Address) Key() string { return a.String() }
+// Key returns a canonical comparable map key for the address: the dotted
+// rendering, precomputed at construction ("" for the zero address).
+func (a Address) Key() string {
+	if a.key == "" && len(a.digits) > 0 {
+		return renderDigits(a.digits) // address built outside the package helpers
+	}
+	return a.key
+}
 
 // Prefix is a partial address x(1).….x(i−1) denoting a subgroup of depth i.
 // The empty prefix denotes the root group.
 type Prefix struct {
 	digits []int
+	// key caches the dotted rendering when the prefix was carved from a
+	// keyed Address; identity lives in digits alone (see Equal).
+	key string
 }
 
 // Root returns the empty prefix (depth 1, the whole group).
@@ -249,7 +294,7 @@ func (p Prefix) Address(rest ...int) Address {
 	d := make([]int, 0, len(p.digits)+len(rest))
 	d = append(d, p.digits...)
 	d = append(d, rest...)
-	return Address{digits: d}
+	return makeAddress(d)
 }
 
 // Contains reports whether address a lies inside the subgroup denoted by p.
@@ -273,15 +318,19 @@ func (p Prefix) String() string {
 	if len(p.digits) == 0 {
 		return "∅"
 	}
-	return Address{digits: p.digits}.String()
+	return p.Key()
 }
 
-// Key returns a canonical comparable map key for the prefix.
+// Key returns a canonical comparable map key for the prefix ("" for the
+// root prefix).
 func (p Prefix) Key() string {
 	if len(p.digits) == 0 {
 		return ""
 	}
-	return Address{digits: p.digits}.String()
+	if p.key != "" {
+		return p.key
+	}
+	return renderDigits(p.digits)
 }
 
 // Space describes a bounded address space: d components with arities
@@ -388,7 +437,7 @@ func (s Space) AddressAt(idx int) Address {
 		digits[i-1] = idx % a
 		idx /= a
 	}
-	return Address{digits: digits}
+	return makeAddress(digits)
 }
 
 // SubtreeSize returns the number of addresses covered by a prefix of the

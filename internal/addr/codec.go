@@ -28,7 +28,7 @@ func ReadAddress(r *binenc.Reader) Address {
 	if r.Err() != nil {
 		return Address{}
 	}
-	return Address{digits: digits}
+	return makeAddress(digits)
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.

@@ -1,0 +1,277 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Epoch is the default origin of a Virtual clock: an arbitrary fixed instant
+// so that traces and reports are stable across runs and machines.
+var Epoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Virtual is a deterministic clock: time is a number that only moves when
+// Advance, AdvanceTo or RunNext is called, and scheduled callbacks run
+// synchronously on the advancing goroutine in strict (due time, scheduling
+// order) order. Two runs that schedule the same work in the same order
+// therefore execute it identically — the property the scenario harness
+// builds its byte-identical traces on.
+//
+// Callbacks may schedule further work (including at the current instant);
+// the queue is re-examined after every callback. All methods are safe for
+// concurrent use, but determinism is only meaningful when a single
+// goroutine advances the clock.
+type Virtual struct {
+	mu    sync.Mutex
+	now   time.Time
+	seq   uint64
+	queue vqueue
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock reading Epoch.
+func NewVirtual() *Virtual { return NewVirtualAt(Epoch) }
+
+// NewVirtualAt returns a virtual clock reading start.
+func NewVirtualAt(start time.Time) *Virtual { return &Virtual{now: start} }
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc implements Clock. Non-positive delays fire at the current
+// instant on the next advance (they never run inline).
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.scheduleLocked(v.now.Add(d), f)
+}
+
+func (v *Virtual) scheduleLocked(when time.Time, f func()) *vtimer {
+	t := &vtimer{v: v, when: when, seq: v.seq, fn: f, pending: true}
+	v.seq++
+	heap.Push(&v.queue, t)
+	return t
+}
+
+// NewTicker implements Clock. A virtual ticker re-schedules itself every d;
+// ticks that find the channel occupied are coalesced like time.Ticker's.
+// Note that consuming such ticks from another goroutine races with the
+// advancing one — deterministic harnesses drive components by callback
+// instead (AfterFunc chains).
+func (v *Virtual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker interval")
+	}
+	vt := &vticker{v: v, d: d, ch: make(chan time.Time, 1)}
+	v.mu.Lock()
+	vt.timer = v.scheduleLocked(v.now.Add(d), vt.fire)
+	v.mu.Unlock()
+	return vt
+}
+
+// Sleep implements Clock: it blocks until another goroutine advances the
+// clock past d. Calling Sleep from the advancing goroutine deadlocks;
+// single-threaded harnesses use AfterFunc instead.
+func (v *Virtual) Sleep(d time.Duration) {
+	done := make(chan struct{})
+	v.AfterFunc(d, func() { close(done) })
+	<-done
+}
+
+// Pending returns the number of scheduled, un-stopped callbacks.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, t := range v.queue {
+		if t.pending {
+			n++
+		}
+	}
+	return n
+}
+
+// NextAt reports the due time of the earliest pending callback.
+func (v *Virtual) NextAt() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.queue) > 0 && !v.queue[0].pending {
+		heap.Pop(&v.queue)
+	}
+	if len(v.queue) == 0 {
+		return time.Time{}, false
+	}
+	return v.queue[0].when, true
+}
+
+// Advance moves the clock forward by d, running every callback that comes
+// due, in order, and returns how many ran. The clock ends exactly d later
+// even if fewer (or no) callbacks were scheduled.
+func (v *Virtual) Advance(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	return v.AdvanceTo(v.Now().Add(d))
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is not in the future),
+// running every callback due at or before t in (time, scheduling) order.
+func (v *Virtual) AdvanceTo(t time.Time) int {
+	ran := 0
+	for {
+		if v.runDueLocked(t) {
+			ran++
+			continue
+		}
+		break
+	}
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.now = t
+	}
+	v.mu.Unlock()
+	return ran
+}
+
+// RunNext advances the clock to the earliest pending callback and runs every
+// callback due at exactly that instant — including ones the callbacks
+// themselves schedule for it. It returns the new current time and the number
+// of callbacks run; zero means the queue was empty.
+func (v *Virtual) RunNext() (time.Time, int) {
+	next, ok := v.NextAt()
+	if !ok {
+		return v.Now(), 0
+	}
+	ran := 0
+	for v.runDueLocked(next) {
+		ran++
+	}
+	v.mu.Lock()
+	if next.After(v.now) {
+		v.now = next
+	}
+	now := v.now
+	v.mu.Unlock()
+	return now, ran
+}
+
+// runDueLocked pops and runs the earliest callback due at or before t,
+// moving the clock to its due time first. It reports whether one ran. The
+// callback executes without the clock lock held, so it may re-enter the
+// clock freely.
+func (v *Virtual) runDueLocked(t time.Time) bool {
+	v.mu.Lock()
+	for len(v.queue) > 0 && !v.queue[0].pending {
+		heap.Pop(&v.queue)
+	}
+	if len(v.queue) == 0 || v.queue[0].when.After(t) {
+		v.mu.Unlock()
+		return false
+	}
+	tm := heap.Pop(&v.queue).(*vtimer)
+	tm.pending = false
+	if tm.when.After(v.now) {
+		v.now = tm.when
+	}
+	v.mu.Unlock()
+	tm.fn()
+	return true
+}
+
+// vtimer is one scheduled callback. The pending flag is guarded by the
+// owning clock's mutex; cancelled entries stay in the heap and are lazily
+// discarded.
+type vtimer struct {
+	v       *Virtual
+	when    time.Time
+	seq     uint64
+	fn      func()
+	pending bool
+	index   int
+}
+
+// Stop implements Timer. Stopping after the callback ran returns false.
+func (t *vtimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	stopped := t.pending
+	t.pending = false
+	return stopped
+}
+
+// vticker is the virtual Ticker: a self-rescheduling callback feeding a
+// capacity-one channel.
+type vticker struct {
+	v  *Virtual
+	d  time.Duration
+	ch chan time.Time
+
+	mu      sync.Mutex
+	timer   *vtimer
+	stopped bool
+}
+
+func (vt *vticker) C() <-chan time.Time { return vt.ch }
+
+func (vt *vticker) Stop() {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	vt.stopped = true
+	if vt.timer != nil {
+		vt.timer.Stop()
+	}
+}
+
+func (vt *vticker) fire() {
+	vt.mu.Lock()
+	if vt.stopped {
+		vt.mu.Unlock()
+		return
+	}
+	vt.v.mu.Lock()
+	vt.timer = vt.v.scheduleLocked(vt.v.now.Add(vt.d), vt.fire)
+	now := vt.v.now
+	vt.v.mu.Unlock()
+	vt.mu.Unlock()
+	select {
+	case vt.ch <- now:
+	default: // receiver lags: coalesce, as time.Ticker does
+	}
+}
+
+// vqueue is a min-heap over (when, seq).
+type vqueue []*vtimer
+
+func (q vqueue) Len() int { return len(q) }
+func (q vqueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q vqueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *vqueue) Push(x any) {
+	t := x.(*vtimer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+func (q *vqueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

@@ -425,6 +425,31 @@ func sampleIndices(rng *rand.Rand, size, excl, k int) []int {
 	return idxs[:k]
 }
 
+// AdoptState carries the gossip buffers, seen-set, pending deliveries and
+// counters of a predecessor process across a view rebuild. Without it every
+// membership change wipes all in-flight disseminations fleet-wide — under
+// churn that turns steady version movement into mass delivery failure (the
+// chaos harness measures exactly this). Buffered entries keep their carried
+// rate and round, as a received gossip would.
+func (p *Process) AdoptState(old *Process) {
+	if old == nil || len(old.gossips) != len(p.gossips) {
+		return
+	}
+	for d := range old.gossips {
+		for id, e := range old.gossips[d] {
+			if _, dup := p.gossips[d][id]; !dup {
+				p.gossips[d][id] = e
+			}
+		}
+	}
+	for id := range old.seen {
+		p.seen[id] = struct{}{}
+	}
+	p.deliveries = append(p.deliveries, old.deliveries...)
+	p.sent += old.sent
+	p.received += old.received
+}
+
 // Deliveries drains the events delivered (HPDELIVER) since the last call.
 func (p *Process) Deliveries() []event.Event {
 	out := p.deliveries

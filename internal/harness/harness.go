@@ -1,0 +1,685 @@
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/clock"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/membership"
+	"pmcast/internal/node"
+	"pmcast/internal/transport"
+)
+
+// membershipRecordSource is one initial-fleet line for the oracle bootstrap.
+type membershipRecordSource struct {
+	a   addr.Address
+	sub interest.Subscription
+}
+
+// oracleUpdate materializes the initial fleet as a full membership update,
+// the "anti-entropy already ran" starting point of large campaigns.
+func oracleUpdate(srcs []membershipRecordSource) membership.Update {
+	recs := make([]membership.Record, len(srcs))
+	for i, s := range srcs {
+		recs[i] = membership.Record{Addr: s.a, Sub: s.sub, Stamp: 1, Alive: true}
+	}
+	return membership.Update{Records: recs}
+}
+
+// Report is the JSON summary of one scenario run. Every field except the
+// wall-clock duration is deterministic for a (scenario, seed) pair.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Nodes    int    `json:"nodes"`
+
+	VirtualMillis int64 `json:"virtual_ms"`
+	WallMillis    int64 `json:"wall_ms"`
+	ClockEvents   int   `json:"clock_events"`
+
+	Published int `json:"published"`
+	Delivered int `json:"delivered"`
+
+	Crashes int `json:"crashes"`
+	Rejoins int `json:"rejoins"`
+	Joins   int `json:"joins"`
+	Fluxes  int `json:"fluxes"`
+
+	AliveAtEnd        int   `json:"alive_at_end"`
+	MembershipMin     int   `json:"membership_min"`
+	MembershipMax     int   `json:"membership_max"`
+	MessagesDropped   int   `json:"messages_dropped"`
+	DeliveriesDropped int64 `json:"deliveries_dropped"`
+
+	// MeanReliability and MinReliability summarize, over published events,
+	// the fraction of eligible processes (interested, alive at publish time
+	// and still alive at the end) that delivered the event.
+	MeanReliability float64 `json:"mean_reliability"`
+	MinReliability  float64 `json:"min_reliability"`
+
+	TraceSHA256 string   `json:"trace_sha256"`
+	TraceBytes  int      `json:"trace_bytes"`
+	Ops         []string `json:"ops"`
+
+	// Events breaks reliability down per published event, in publish order.
+	Events []EventReport `json:"events"`
+}
+
+// EventReport is the per-event delivery outcome.
+type EventReport struct {
+	ID          string  `json:"id"`
+	PublishedAt int64   `json:"published_at_ns"`
+	Eligible    int     `json:"eligible"`
+	Delivered   int     `json:"delivered"`
+	Reliability float64 `json:"reliability"`
+}
+
+// Result is everything a run produced: the report, the raw delivery trace
+// (the byte-identical replay contract) and the per-node delivered event IDs
+// in delivery order.
+type Result struct {
+	Report    Report
+	Trace     []byte
+	Delivered map[string][]event.ID
+}
+
+// handle is one fleet slot: a node generation plus its engine-side state.
+type handle struct {
+	index int
+	a     addr.Address
+	key   string
+	n     *node.Node
+	sub   interest.Subscription
+	alive bool
+	gen   int
+}
+
+// run is the mutable state of one scenario execution.
+type run struct {
+	sc     Scenario
+	seed   int64
+	vc     *clock.Virtual
+	start  time.Time
+	fabric *transport.Network
+	rng    *rand.Rand
+	space  addr.Space
+
+	handles   []*handle // fixed index order — the engine's iteration order
+	nextFresh int       // next unused address index for OpJoin
+
+	trace     bytes.Buffer
+	delivered map[string][]event.ID
+	pubOrder  []event.ID
+	pubAt     map[event.ID]int64
+	eligible  map[event.ID]map[string]bool
+	gotEvent  map[event.ID]map[string]bool
+
+	report Report
+}
+
+// Run executes the scenario under the given seed and returns its result.
+// Identical (scenario, seed) pairs produce byte-identical traces.
+func (s Scenario) Run(seed int64) (*Result, error) {
+	sc, err := s.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	space, err := addr.Regular(sc.Fleet.Arity, sc.Fleet.Depth)
+	if err != nil {
+		return nil, fmt.Errorf("harness: scenario %q: %w", sc.Name, err)
+	}
+	if sc.Nodes > space.Capacity() {
+		return nil, fmt.Errorf("harness: scenario %q wants %d nodes but the space holds %d",
+			sc.Name, sc.Nodes, space.Capacity())
+	}
+	// A campaign is a batch job of a few wall-clock seconds: n full
+	// membership replicas plus n trees stay live for its whole duration,
+	// and on small CPU counts the collector competes with the event loop
+	// for the same cores. Collect whatever a previous campaign left behind,
+	// then run without periodic collection, backstopped by a memory limit
+	// so constrained machines degrade to collecting instead of thrashing.
+	// The previous settings are restored on exit.
+	runtime.GC()
+	prevGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(prevGC)
+	limit := int64(4 << 30)
+	if cur := debug.SetMemoryLimit(-1); cur < limit {
+		limit = cur
+	}
+	prevLimit := debug.SetMemoryLimit(limit)
+	defer debug.SetMemoryLimit(prevLimit)
+	wallStart := time.Now()
+	vc := clock.NewVirtual()
+	fabric := transport.NewNetwork(transport.Config{
+		Loss:     sc.Loss,
+		MinDelay: sc.MinDelay,
+		MaxDelay: sc.MaxDelay,
+		QueueLen: sc.QueueLen,
+		Seed:     seed,
+		Clock:    vc,
+	})
+	defer fabric.Close()
+
+	r := &run{
+		sc:        sc,
+		seed:      seed,
+		vc:        vc,
+		start:     vc.Now(),
+		fabric:    fabric,
+		rng:       rand.New(rand.NewSource(seed)),
+		space:     space,
+		nextFresh: sc.Nodes,
+		delivered: make(map[string][]event.ID),
+		pubAt:     make(map[event.ID]int64),
+		eligible:  make(map[event.ID]map[string]bool),
+		gotEvent:  make(map[event.ID]map[string]bool),
+	}
+	r.report.Scenario = sc.Name
+	r.report.Seed = seed
+	r.report.Nodes = sc.Nodes
+
+	// Spawn the initial fleet.
+	for i := 0; i < sc.Nodes; i++ {
+		if _, err := r.spawn(i, sc.subscriptionFor(space.AddressAt(i), i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.bootstrap(); err != nil {
+		return nil, err
+	}
+	r.pump()
+
+	// Schedule the operation timeline.
+	for _, op := range sc.Ops {
+		op := op
+		if op.At < 0 || op.At > sc.Horizon {
+			return nil, fmt.Errorf("harness: scenario %q: op %s at %v outside horizon %v",
+				sc.Name, op.Kind, op.At, sc.Horizon)
+		}
+		vc.AfterFunc(op.At, func() { r.exec(op) })
+	}
+
+	// The event loop: one virtual instant at a time, then drain every inbox
+	// and delivery channel to quiescence. Single-threaded, hence replayable.
+	end := r.start.Add(sc.Horizon)
+	for {
+		next, ok := vc.NextAt()
+		if !ok || next.After(end) {
+			break
+		}
+		_, ran := vc.RunNext()
+		r.report.ClockEvents += ran
+		r.pump()
+	}
+	vc.AdvanceTo(end)
+	r.pump()
+
+	r.finish(wallStart)
+	res := &Result{
+		Report:    r.report,
+		Trace:     append([]byte(nil), r.trace.Bytes()...),
+		Delivered: r.delivered,
+	}
+	return res, nil
+}
+
+// spawn creates (or re-creates) the node at fleet index i and starts its
+// periodic-task chains on the virtual clock.
+func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
+	a := r.space.AddressAt(i)
+	var h *handle
+	if i < len(r.handles) && r.handles[i] != nil {
+		h = r.handles[i]
+	} else {
+		h = &handle{index: i, a: a, key: a.Key()}
+		for len(r.handles) <= i {
+			r.handles = append(r.handles, nil)
+		}
+		r.handles[i] = h
+	}
+	h.gen++
+	n, err := node.New(r.fabric, node.Config{
+		Addr:               a,
+		Space:              r.space,
+		R:                  r.sc.Fleet.R,
+		F:                  r.sc.Fleet.F,
+		C:                  r.sc.Fleet.C,
+		Threshold:          r.sc.Fleet.Threshold,
+		LocalDescent:       r.sc.Fleet.LocalDescent,
+		LeafFloodRate:      r.sc.Fleet.LeafFloodRate,
+		Subscription:       sub,
+		GossipInterval:     r.sc.Fleet.GossipInterval,
+		MembershipInterval: r.sc.Fleet.MembershipInterval,
+		MembershipFanout:   r.sc.Fleet.MembershipFanout,
+		SuspectAfter:       r.sc.Fleet.SuspectAfter,
+		SuspicionSweeps:    r.sc.Fleet.SuspicionSweeps,
+		DeliveryBuffer:     r.sc.Fleet.DeliveryBuffer,
+		Seed:               mixSeed(r.seed, i, h.gen),
+		Clock:              r.vc,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: spawning node %d (%s): %w", i, a, err)
+	}
+	h.n = n
+	h.sub = sub
+	h.alive = true
+	r.startTickers(h)
+	return h, nil
+}
+
+// startTickers schedules the node's periodic tasks as self-rescheduling
+// virtual-clock callbacks, bound to the node's generation so a crash ends
+// them and a rejoin starts fresh chains.
+func (r *run) startTickers(h *handle) {
+	gen := h.gen
+	chain := func(d time.Duration, task func(*node.Node)) {
+		var fire func()
+		fire = func() {
+			if !h.alive || h.gen != gen {
+				return
+			}
+			task(h.n)
+			r.vc.AfterFunc(d, fire)
+		}
+		r.vc.AfterFunc(d, fire)
+	}
+	chain(r.sc.Fleet.GossipInterval, func(n *node.Node) { n.TickGossip() })
+	chain(r.sc.Fleet.MembershipInterval, func(n *node.Node) { n.TickMembership() })
+	chain(r.sc.Fleet.SuspectAfter/2, func(n *node.Node) { n.SweepFailures() })
+}
+
+// bootstrap converges the initial fleet per the scenario's bootstrap mode.
+func (r *run) bootstrap() error {
+	switch r.sc.Bootstrap {
+	case BootstrapOracle:
+		recs := make([]membershipRecordSource, 0, len(r.handles))
+		for _, h := range r.handles {
+			recs = append(recs, membershipRecordSource{h.a, h.sub})
+		}
+		for _, h := range r.handles {
+			h.n.Membership().Apply(oracleUpdate(recs))
+		}
+		// Fold the oracle roster once and clone it into the rest of the
+		// fleet (identical rosters ⇒ identical folds, checked by roster
+		// hash); clones run in parallel. Both are node-local, deterministic
+		// work a real fleet does on n machines at once — the engine's
+		// single-threaded discipline only matters once protocol events
+		// start flowing.
+		donor := r.handles[0].n
+		if err := donor.WarmViews(); err != nil {
+			return fmt.Errorf("harness: warming views: %w", err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(r.handles))
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, h := range r.handles[1:] {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, h *handle) {
+				defer wg.Done()
+				errs[i] = h.n.AdoptViewsFrom(donor)
+				<-sem
+			}(i, h)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("harness: adopting views: %w", err)
+			}
+		}
+		return nil
+	case BootstrapJoin:
+		contact := r.handles[0].a
+		for _, h := range r.handles[1:] {
+			if err := h.n.Join(contact); err != nil {
+				return fmt.Errorf("harness: bootstrap join of %s: %w", h.a, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("harness: unknown bootstrap mode %q", r.sc.Bootstrap)
+	}
+}
+
+// pump drains every alive node's inbox and delivery channel until the whole
+// fleet is quiescent at the current virtual instant. Iteration is in fixed
+// fleet-index order, so the trace order is deterministic.
+func (r *run) pump() {
+	for {
+		moved := false
+		for _, h := range r.handles {
+			if h == nil || !h.alive {
+				continue
+			}
+			if h.n.PumpInbox() > 0 {
+				moved = true
+			}
+			r.drainDeliveries(h)
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// drainDeliveries appends the node's pending deliveries to the trace.
+func (r *run) drainDeliveries(h *handle) {
+	for {
+		select {
+		case ev, ok := <-h.n.Deliveries():
+			if !ok {
+				return
+			}
+			id := ev.ID()
+			fmt.Fprintf(&r.trace, "%d %s %s#%d\n",
+				r.vc.Now().Sub(r.start).Nanoseconds(), h.key, id.Origin, id.Seq)
+			r.delivered[h.key] = append(r.delivered[h.key], id)
+			r.report.Delivered++
+			if set, ok := r.gotEvent[id]; ok {
+				set[h.key] = true
+			}
+		default:
+			return
+		}
+	}
+}
+
+// exec runs one scheduled operation at its virtual instant.
+func (r *run) exec(op Op) {
+	at := r.vc.Now().Sub(r.start)
+	logf := func(format string, args ...any) {
+		r.report.Ops = append(r.report.Ops,
+			fmt.Sprintf("t=%s %s", at, fmt.Sprintf(format, args...)))
+	}
+	switch op.Kind {
+	case OpPublish:
+		count := max(1, op.Count)
+		for k := 0; k < count; k++ {
+			h := r.pickPublisher(op.Node)
+			if h == nil {
+				logf("publish: no eligible publisher")
+				return
+			}
+			class := op.Class
+			if class < 0 {
+				class = int64(r.rng.Intn(r.sc.Fleet.Classes))
+			}
+			attrs := map[string]event.Value{"b": event.Int(class)}
+			id, err := h.n.Publish(attrs)
+			if err != nil {
+				logf("publish from %s failed: %v", h.key, err)
+				continue
+			}
+			r.report.Published++
+			ev := event.New(id, attrs)
+			r.pubOrder = append(r.pubOrder, id)
+			r.pubAt[id] = at.Nanoseconds()
+			elig := make(map[string]bool)
+			for _, o := range r.handles {
+				if o != nil && o.alive && o.sub.Matches(ev) {
+					elig[o.key] = true
+				}
+			}
+			r.eligible[id] = elig
+			r.gotEvent[id] = make(map[string]bool)
+			logf("publish %s#%d class=%d from %s (%d eligible)",
+				id.Origin, id.Seq, class, h.key, len(elig))
+		}
+	case OpCrash:
+		victims := r.pickAlive(op.Count)
+		for _, h := range victims {
+			r.drainDeliveries(h)
+			h.alive = false
+			h.n.Stop()
+			// A crashed process delivers nothing further: it leaves every
+			// event's eligible set (a rejoin is a new process and old
+			// events' gossip has expired by then).
+			for _, set := range r.eligible {
+				delete(set, h.key)
+			}
+			r.report.Crashes++
+		}
+		logf("crash %d nodes: %s", len(victims), keysOf(victims))
+	case OpRejoin:
+		var crashed []*handle
+		for _, h := range r.handles {
+			if h != nil && !h.alive {
+				crashed = append(crashed, h)
+			}
+		}
+		picked := r.pickFrom(crashed, op.Count)
+		var revived []*handle
+		for _, h := range picked {
+			nh, err := r.spawn(h.index, h.sub)
+			if err != nil {
+				logf("rejoin of %s failed: %v", h.key, err)
+				continue
+			}
+			if c := r.contact(nh); c != nil {
+				_ = nh.n.Join(c.a)
+			}
+			revived = append(revived, nh)
+			r.report.Rejoins++
+		}
+		logf("rejoin %d nodes: %s", len(revived), keysOf(revived))
+	case OpJoin:
+		var joined []*handle
+		for k := 0; k < op.Count && r.nextFresh < r.space.Capacity(); k++ {
+			i := r.nextFresh
+			r.nextFresh++
+			sub := r.sc.subscriptionFor(r.space.AddressAt(i), i)
+			nh, err := r.spawn(i, sub)
+			if err != nil {
+				logf("join of index %d failed: %v", i, err)
+				continue
+			}
+			if c := r.contact(nh); c != nil {
+				_ = nh.n.Join(c.a)
+			}
+			joined = append(joined, nh)
+			r.report.Joins++
+		}
+		logf("join %d fresh nodes: %s", len(joined), keysOf(joined))
+	case OpSetLoss:
+		r.fabric.SetLoss(op.Loss)
+		logf("set-loss %.3f", op.Loss)
+	case OpIsolate:
+		victims := r.pickAlive(op.Count)
+		for _, v := range victims {
+			for _, o := range r.handles {
+				if o != nil && o != v {
+					r.fabric.BlockBidirectional(v.a, o.a)
+				}
+			}
+		}
+		logf("isolate %d nodes: %s", len(victims), keysOf(victims))
+	case OpHeal:
+		r.fabric.Heal()
+		logf("heal")
+	case OpFlux:
+		victims := r.pickAlive(op.Count)
+		for _, h := range victims {
+			class := op.Class
+			if class < 0 {
+				class = int64(r.rng.Intn(r.sc.Fleet.Classes))
+			}
+			sub := interest.NewSubscription().Where("b", interest.EqInt(class))
+			h.sub = sub
+			h.n.Subscribe(sub)
+			r.report.Fluxes++
+		}
+		logf("flux %d nodes: %s", len(victims), keysOf(victims))
+	}
+}
+
+// pickPublisher returns the requested publisher, or a deterministic random
+// pick for −1 — in both cases only first-generation alive nodes qualify.
+// Rejoined generations are excluded: their sequence numbers restart, so
+// their event IDs would collide with the crashed generation's and
+// subscribers' seen-sets would silently drop the "duplicates".
+func (r *run) pickPublisher(idx int) *handle {
+	if idx >= 0 {
+		if idx < len(r.handles) && r.handles[idx] != nil &&
+			r.handles[idx].alive && r.handles[idx].gen == 1 {
+			return r.handles[idx]
+		}
+		return nil
+	}
+	var pool []*handle
+	for _, h := range r.handles {
+		if h != nil && h.alive && h.gen == 1 {
+			pool = append(pool, h)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	return pool[r.rng.Intn(len(pool))]
+}
+
+// pickAlive draws count distinct alive nodes, deterministically.
+func (r *run) pickAlive(count int) []*handle {
+	var pool []*handle
+	for _, h := range r.handles {
+		if h != nil && h.alive {
+			pool = append(pool, h)
+		}
+	}
+	return r.pickFrom(pool, count)
+}
+
+// pickFrom draws count distinct handles from the pool via a partial
+// Fisher–Yates on the engine RNG, returning them in fleet-index order.
+func (r *run) pickFrom(pool []*handle, count int) []*handle {
+	if count > len(pool) {
+		count = len(pool)
+	}
+	for i := 0; i < count; i++ {
+		j := i + r.rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	picked := append([]*handle(nil), pool[:count]...)
+	sort.Slice(picked, func(i, j int) bool { return picked[i].index < picked[j].index })
+	return picked
+}
+
+// contact returns the lowest-index alive node other than h, for joins.
+func (r *run) contact(h *handle) *handle {
+	for _, o := range r.handles {
+		if o != nil && o.alive && o != h {
+			return o
+		}
+	}
+	return nil
+}
+
+// finish computes the end-of-run report fields and stops the fleet.
+func (r *run) finish(wallStart time.Time) {
+	r.report.VirtualMillis = r.vc.Now().Sub(r.start).Milliseconds()
+
+	memMin, memMax := -1, 0
+	for _, h := range r.handles {
+		if h == nil || !h.alive {
+			continue
+		}
+		r.report.AliveAtEnd++
+		l := h.n.KnownMembers()
+		if memMin < 0 || l < memMin {
+			memMin = l
+		}
+		if l > memMax {
+			memMax = l
+		}
+		r.report.DeliveriesDropped += h.n.DroppedDeliveries()
+	}
+	if memMin < 0 {
+		memMin = 0
+	}
+	r.report.MembershipMin, r.report.MembershipMax = memMin, memMax
+	r.report.MessagesDropped = r.fabric.Dropped()
+
+	// Reliability over events: delivered / eligible, eligibility restricted
+	// to processes still alive at the end (crashes already removed).
+	var sum float64
+	evs := 0
+	r.report.MinReliability = 1
+	for _, id := range r.pubOrder {
+		elig := r.eligible[id]
+		er := EventReport{
+			ID:          fmt.Sprintf("%s#%d", id.Origin, id.Seq),
+			PublishedAt: r.pubAt[id],
+			Eligible:    len(elig),
+		}
+		for key := range elig {
+			if r.gotEvent[id][key] {
+				er.Delivered++
+			}
+		}
+		if len(elig) > 0 {
+			er.Reliability = float64(er.Delivered) / float64(len(elig))
+			sum += er.Reliability
+			evs++
+			if er.Reliability < r.report.MinReliability {
+				r.report.MinReliability = er.Reliability
+			}
+		}
+		r.report.Events = append(r.report.Events, er)
+	}
+	if evs > 0 {
+		r.report.MeanReliability = sum / float64(evs)
+	} else {
+		r.report.MinReliability = 0
+	}
+
+	sumHash := sha256.Sum256(r.trace.Bytes())
+	r.report.TraceSHA256 = hex.EncodeToString(sumHash[:])
+	r.report.TraceBytes = r.trace.Len()
+	r.report.WallMillis = time.Since(wallStart).Milliseconds()
+
+	for _, h := range r.handles {
+		if h != nil && h.alive {
+			h.alive = false
+			h.n.Stop()
+		}
+	}
+}
+
+// keysOf renders a handle list for the op log.
+func keysOf(hs []*handle) string {
+	var b bytes.Buffer
+	for i, h := range hs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(h.key)
+	}
+	if b.Len() == 0 {
+		return "(none)"
+	}
+	return b.String()
+}
+
+// mixSeed derives a per-(node, generation) RNG seed from the campaign seed
+// with a splitmix64 round, so fleets under different campaign seeds behave
+// differently while staying deterministic.
+func mixSeed(seed int64, index, gen int) int64 {
+	z := uint64(seed) + uint64(index)*0x9e3779b97f4a7c15 + uint64(gen)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // a zero node seed would fall back to the address-derived default
+	}
+	return int64(z)
+}

@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestSameSeedByteIdenticalTrace is the reproducibility contract of the
+// whole virtual-time runtime: two runs of a scenario under the same seed
+// produce byte-identical delivery traces (and, being derived from them,
+// identical hashes and delivery counts).
+func TestSameSeedByteIdenticalTrace(t *testing.T) {
+	first, err := Smoke16().Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Smoke16().Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Trace) == 0 {
+		t.Fatal("scenario produced an empty delivery trace")
+	}
+	if !bytes.Equal(first.Trace, second.Trace) {
+		t.Errorf("same-seed traces diverge:\n run1 %d bytes sha=%s\n run2 %d bytes sha=%s",
+			len(first.Trace), first.Report.TraceSHA256,
+			len(second.Trace), second.Report.TraceSHA256)
+	}
+	if first.Report.TraceSHA256 != second.Report.TraceSHA256 {
+		t.Error("trace hashes diverge")
+	}
+	if first.Report.Delivered != second.Report.Delivered ||
+		first.Report.Published != second.Report.Published {
+		t.Errorf("counters diverge: %+v vs %+v", first.Report, second.Report)
+	}
+}
+
+// TestDistinctSeedsDiverge guards against the opposite failure: the seed
+// actually reaching the randomness (fault RNG, publisher choice, gossip
+// targets). Two seeds agreeing byte-for-byte would mean it doesn't.
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, err := Smoke16().Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Smoke16().Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Trace, b.Trace) {
+		t.Error("seeds 1 and 2 produced identical traces — the seed is not reaching the RNGs")
+	}
+}
+
+func TestSmoke16Delivers(t *testing.T) {
+	res, err := Smoke16().Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Published != 6 {
+		t.Errorf("published %d events, want 6", rep.Published)
+	}
+	if rep.Crashes != 2 || rep.AliveAtEnd != 14 {
+		t.Errorf("crashes=%d alive=%d, want 2/14", rep.Crashes, rep.AliveAtEnd)
+	}
+	if rep.MeanReliability < 0.99 {
+		t.Errorf("mean reliability %.3f below 0.99 in a loss-free scenario\nops:\n%v",
+			rep.MeanReliability, rep.Ops)
+	}
+	if rep.DeliveriesDropped != 0 {
+		t.Errorf("%d deliveries dropped", rep.DeliveriesDropped)
+	}
+}
+
+// TestChurn1024 is the scale acceptance criterion: a 1024-node churn
+// campaign — crash wave, rejoin wave, subscription flux, ambient loss —
+// runs deterministically and completes in well under five seconds of wall
+// clock despite covering 1.5 virtual seconds of fleet time.
+func TestChurn1024(t *testing.T) {
+	start := time.Now()
+	res, err := Churn1024().Run(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	rep := res.Report
+	t.Logf("churn1024: wall=%v events=%d published=%d delivered=%d rel=%.3f/%.3f dropped=%d",
+		wall, rep.ClockEvents, rep.Published, rep.Delivered,
+		rep.MeanReliability, rep.MinReliability, rep.MessagesDropped)
+
+	if wall > 5*time.Second && !raceEnabled {
+		t.Errorf("campaign took %v wall-clock, want < 5s", wall)
+	}
+	if rep.Crashes != 64 || rep.Rejoins != 32 {
+		t.Errorf("crashes=%d rejoins=%d, want 64/32", rep.Crashes, rep.Rejoins)
+	}
+	if want := 1024 - 64 + 32; rep.AliveAtEnd != want {
+		t.Errorf("alive at end %d, want %d", rep.AliveAtEnd, want)
+	}
+	if rep.Published != 12 {
+		t.Errorf("published %d, want 12", rep.Published)
+	}
+	// Under 2% ambient loss and heavy churn, gossip redundancy must still
+	// reach the overwhelming majority of eligible subscribers.
+	if rep.MeanReliability < 0.9 {
+		t.Errorf("mean reliability %.3f below 0.9\nops:\n%v", rep.MeanReliability, rep.Ops)
+	}
+	if rep.MessagesDropped == 0 {
+		t.Error("no messages dropped despite 2% ambient loss — fault injection inert")
+	}
+}
+
+// TestChurn1024SameSeedReplays re-runs the full-scale campaign and demands
+// byte identity — determinism must survive churn, flux and partitions, not
+// just the happy path.
+func TestChurn1024SameSeedReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full-scale run skipped in -short")
+	}
+	a, err := Churn1024().Run(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn1024().Run(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Trace, b.Trace) {
+		t.Errorf("same-seed churn1024 traces diverge: sha %s vs %s",
+			a.Report.TraceSHA256, b.Report.TraceSHA256)
+	}
+}
+
+func TestLossy256SurvivesLossAndPartition(t *testing.T) {
+	res, err := Lossy256().Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("lossy256: events=%d published=%d delivered=%d rel=%.3f/%.3f dropped=%d",
+		rep.ClockEvents, rep.Published, rep.Delivered,
+		rep.MeanReliability, rep.MinReliability, rep.MessagesDropped)
+	if rep.MessagesDropped == 0 {
+		t.Error("no messages dropped under 15% loss")
+	}
+	if rep.MeanReliability < 0.8 {
+		t.Errorf("mean reliability %.3f below 0.8 under loss\nops:\n%v",
+			rep.MeanReliability, rep.Ops)
+	}
+	if rep.Crashes != 16 || rep.Fluxes != 16 {
+		t.Errorf("crashes=%d fluxes=%d, want 16/16", rep.Crashes, rep.Fluxes)
+	}
+}
+
+func TestRegistryResolvesEveryScenario(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) == 0 {
+		t.Fatal("empty scenario catalog")
+	}
+	for _, name := range names {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name {
+			t.Errorf("scenario %q self-reports as %q", name, s.Name)
+		}
+	}
+	if _, err := Lookup("no-such-campaign"); err == nil {
+		t.Error("unknown scenario resolved")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	s := Smoke16()
+	s.Ops = append(s.Ops, Op{At: s.Horizon + time.Second, Kind: OpHeal})
+	if _, err := s.Run(1); err == nil {
+		t.Error("op beyond the horizon accepted")
+	}
+
+	s = Smoke16()
+	s.Nodes = s.Fleet.Arity*s.Fleet.Arity + 1
+	if _, err := s.Run(1); err == nil {
+		t.Error("fleet larger than the address space accepted")
+	}
+
+	s = Smoke16()
+	s.Nodes = 0
+	if _, err := s.Run(1); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+// TestJoinWaveGrowsFleet exercises OpJoin: fresh addresses join through the
+// live protocol and end up in everyone's membership.
+func TestJoinWaveGrowsFleet(t *testing.T) {
+	s := Scenario{
+		Name: "join-wave",
+		Fleet: Fleet{
+			Arity: 4, Depth: 2,
+			GossipInterval:     10 * time.Millisecond,
+			MembershipInterval: 20 * time.Millisecond,
+			SuspectAfter:       time.Hour,
+		},
+		Nodes:     8,
+		Bootstrap: BootstrapOracle,
+		Horizon:   2 * time.Second,
+	}
+	s.JoinAt(100*time.Millisecond, 4).
+		PublishAt(1500*time.Millisecond, 0, 2, -1)
+	res, err := s.Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Joins != 4 || rep.AliveAtEnd != 12 {
+		t.Errorf("joins=%d alive=%d, want 4/12", rep.Joins, rep.AliveAtEnd)
+	}
+	if rep.MembershipMin != 12 {
+		t.Errorf("membership min %d at end, want 12 (joiners fully propagated)", rep.MembershipMin)
+	}
+	if rep.MeanReliability < 0.99 {
+		t.Errorf("mean reliability %.3f after join wave\nops:\n%v", rep.MeanReliability, rep.Ops)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation slows execution by an order of magnitude — wall-
+// clock budgets are asserted only in uninstrumented builds.
+const raceEnabled = true

@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/interest"
+)
+
+// Scenarios returns the named scenario catalog — the test matrix the chaos
+// CLI and the scheduled CI suite run. Each call builds fresh values, so
+// callers may mutate them freely.
+func Scenarios() map[string]Scenario {
+	return map[string]Scenario{
+		"smoke16":   Smoke16(),
+		"parity64":  Parity64(),
+		"lossy256":  Lossy256(),
+		"churn1024": Churn1024(),
+	}
+}
+
+// Lookup resolves a named scenario.
+func Lookup(name string) (Scenario, error) {
+	s, ok := Scenarios()[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("harness: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	return s, nil
+}
+
+// ScenarioNames lists the catalog in stable order.
+func ScenarioNames() []string {
+	names := make([]string, 0, 4)
+	for name := range Scenarios() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Smoke16 is the quick everything-once campaign: a 16-node fleet that
+// joins from cold, suffers one crash wave and a brief partition, and keeps
+// publishing throughout. It runs in a few milliseconds of wall clock.
+func Smoke16() Scenario {
+	s := Scenario{
+		Name: "smoke16",
+		Fleet: Fleet{
+			Arity: 4, Depth: 2,
+			R: 2, F: 3, C: 3,
+			GossipInterval:     10 * time.Millisecond,
+			MembershipInterval: 20 * time.Millisecond,
+			SuspectAfter:       200 * time.Millisecond,
+			Classes:            2,
+		},
+		Nodes:     16,
+		Bootstrap: BootstrapJoin,
+		MinDelay:  200 * time.Microsecond,
+		MaxDelay:  2 * time.Millisecond,
+		Horizon:   3500 * time.Millisecond,
+	}
+	// Publishes sit outside the partition window: events gossiped while
+	// their publisher (or a subscriber) is isolated exhaust their round
+	// budgets against a wall, which is chaos worth measuring — but the
+	// smoke campaign asserts clean-path reliability.
+	s.PublishAt(800*time.Millisecond, 0, 2, -1).
+		IsolateAt(1*time.Second, 2).
+		HealAt(1300*time.Millisecond).
+		PublishAt(1800*time.Millisecond, -1, 2, -1).
+		CrashAt(2*time.Second, 2).
+		PublishAt(2600*time.Millisecond, -1, 2, -1)
+	return s
+}
+
+// Parity64 is the transport-parity contract of PR 1 re-expressed as a
+// harness scenario: the regular 8×8 tree whose top-level subtrees alternate
+// interest classes (even first digit wants b=0, odd wants b=1), with node
+// 0.0 publishing two events of each class. Its ground truth is exact:
+// every node delivers precisely its class (see internal/node/parity_test.go).
+func Parity64() Scenario {
+	s := Scenario{
+		Name: "parity64",
+		Fleet: Fleet{
+			Arity: 8, Depth: 2,
+			R: 2, F: 5, C: 4,
+			GossipInterval:     10 * time.Millisecond,
+			MembershipInterval: 15 * time.Millisecond,
+			SuspectAfter:       time.Hour, // no churn here: detection off
+			Classes:            2,
+		},
+		Nodes:     64,
+		Bootstrap: BootstrapJoin,
+		MinDelay:  100 * time.Microsecond,
+		MaxDelay:  1 * time.Millisecond,
+		Horizon:   6 * time.Second,
+		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {
+			return interest.NewSubscription().
+				Where("b", interest.EqInt(int64(a.Digit(1)%2)))
+		},
+	}
+	// Seq 1..4 from node 0.0, classes alternating 0,1,0,1 — the same ground
+	// truth the cross-fabric parity test asserts.
+	s.PublishAt(3*time.Second, 0, 1, 0).
+		PublishAt(3*time.Second+10*time.Millisecond, 0, 1, 1).
+		PublishAt(3*time.Second+20*time.Millisecond, 0, 1, 0).
+		PublishAt(3*time.Second+30*time.Millisecond, 0, 1, 1)
+	return s
+}
+
+// Lossy256 stresses the redundancy/forwarding trade-off: 256 nodes under
+// 15% ambient loss and jittered delays, with partitions, subscription flux
+// and a crash wave mid-campaign.
+func Lossy256() Scenario {
+	s := Scenario{
+		Name: "lossy256",
+		Fleet: Fleet{
+			Arity: 4, Depth: 4,
+			R: 2, F: 5, C: 4,
+			GossipInterval:     20 * time.Millisecond,
+			MembershipInterval: 80 * time.Millisecond,
+			SuspectAfter:       500 * time.Millisecond,
+			Classes:            4,
+		},
+		Nodes:     256,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.15,
+		MinDelay:  500 * time.Microsecond,
+		MaxDelay:  5 * time.Millisecond,
+		Horizon:   2200 * time.Millisecond,
+		// Interests cluster by top-level subtree — the deployment the
+		// paper's hierarchical addressing is designed around — so subtree
+		// summaries stay tight; the flux wave then measures what interest
+		// drift does to them.
+		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {
+			return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%4)))
+		},
+	}
+	// Publishes land outside the partition window (events gossiped against a
+	// partition exhaust their budgets and die — that failure mode is
+	// lossy-and-partitioned chaos, measured by min reliability, while the
+	// scheduled publishes measure loss resilience).
+	s.PublishAt(100*time.Millisecond, -1, 4, -1).
+		IsolateAt(300*time.Millisecond, 8).
+		FluxAt(400*time.Millisecond, 16).
+		HealAt(650*time.Millisecond).
+		PublishAt(850*time.Millisecond, -1, 4, -1).
+		CrashAt(1*time.Second, 16).
+		PublishAt(1500*time.Millisecond, -1, 4, -1)
+	return s
+}
+
+// Churn1024 is the scale campaign: a 1024-node fleet (the regular 4^5
+// tree) under ambient loss, hit by a 64-node crash wave, a rejoin wave and
+// subscription flux, publishing before, during and after the churn. On the
+// virtual clock the whole campaign — three seconds of fleet time — runs in
+// well under five seconds of wall clock.
+func Churn1024() Scenario {
+	s := Scenario{
+		Name: "churn1024",
+		Fleet: Fleet{
+			// The deep narrow tree (4^5) keeps subgroups at 4, so the
+			// heartbeat beacon costs 3 sends per node per interval and the
+			// roster digests stay the only O(n) periodic work.
+			Arity: 4, Depth: 5,
+			R: 2, F: 4, C: 3,
+			GossipInterval:     25 * time.Millisecond,
+			MembershipInterval: 300 * time.Millisecond,
+			SuspectAfter:       900 * time.Millisecond,
+			Classes:            4,
+		},
+		Nodes:     1024,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.02,
+		QueueLen:  8192,
+		Horizon:   3 * time.Second,
+		// Interest locality: subscriptions cluster by top-level subtree
+		// (see Lossy256); flux then scatters 64 of them.
+		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {
+			return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%4)))
+		},
+	}
+	// The crash wave lands at 300ms and is expelled by ~1.2–1.65s (deadline
+	// 900ms, sweeps every 450ms). Publishes probe all three regimes: a
+	// healthy fleet, a fleet with 64 undetected corpses in its views, and a
+	// post-churn fleet after rejoins and subscription flux.
+	s.PublishAt(200*time.Millisecond, -1, 4, -1).
+		CrashAt(300*time.Millisecond, 64).
+		PublishAt(800*time.Millisecond, -1, 4, -1).
+		RejoinAt(1700*time.Millisecond, 32).
+		FluxAt(1900*time.Millisecond, 32).
+		PublishAt(2300*time.Millisecond, -1, 4, -1)
+	return s
+}

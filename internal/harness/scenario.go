@@ -1,0 +1,242 @@
+// Package harness is the deterministic scenario engine: it runs fleets of
+// real node.Node runtimes on one virtual clock (internal/clock) over the
+// in-memory fabric, composing loss/partition/heal schedules, node churn
+// (join/crash/rejoin waves) and subscription flux into seeded campaigns.
+//
+// Everything in a run — gossip ticks, membership digests, failure sweeps,
+// delayed message deliveries, fault injections — is a callback on a single
+// virtual-time event queue executed from one goroutine, so a scenario run
+// with the same seed replays byte-identically: the delivery trace (who
+// delivered which event at which virtual instant, in which order) is the
+// reproducibility contract, and 1000-node campaigns that would take minutes
+// of wall-clock finish in milliseconds.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/interest"
+)
+
+// Bootstrap selects how the initial fleet learns about itself.
+type Bootstrap string
+
+const (
+	// BootstrapOracle seeds every node's membership with the full initial
+	// fleet, as if anti-entropy had already converged — the fast start for
+	// large campaigns whose subject is churn, not cold-start joining.
+	BootstrapOracle Bootstrap = "oracle"
+	// BootstrapJoin bootstraps through the real join protocol: every node
+	// joins through node 0 and convergence happens by digest anti-entropy,
+	// all in virtual time.
+	BootstrapJoin Bootstrap = "join"
+)
+
+// Fleet parameterizes every node of a scenario (mirroring node.Config).
+type Fleet struct {
+	// Arity and Depth define the regular address space; its capacity bounds
+	// the fleet plus any fresh joiners.
+	Arity, Depth int
+	// R, F, C are the paper's redundancy factor, gossip fanout and Pittel
+	// constant.
+	R, F int
+	C    float64
+	// Threshold, LocalDescent and LeafFloodRate enable the Section 5.3/3.2/6
+	// extensions.
+	Threshold     int
+	LocalDescent  bool
+	LeafFloodRate float64
+	// GossipInterval, MembershipInterval, MembershipFanout, SuspectAfter and
+	// SuspicionSweeps drive the periodic tasks (all in virtual time).
+	GossipInterval     time.Duration
+	MembershipInterval time.Duration
+	MembershipFanout   int
+	SuspectAfter       time.Duration
+	SuspicionSweeps    int
+	// DeliveryBuffer sizes each node's delivery channel; the engine drains
+	// it after every virtual instant, so bursts rarely need more than the
+	// default.
+	DeliveryBuffer int
+	// Classes partitions interests: node i subscribes to attribute "b" ==
+	// i mod Classes unless SubscriptionFor overrides it, and published
+	// events carry one class value.
+	Classes int
+}
+
+// Scenario is one named, seeded chaos campaign: a fleet, its bootstrap, the
+// ambient fault model, and a schedule of timed operations.
+type Scenario struct {
+	Name  string
+	Fleet Fleet
+	// Nodes is the initial fleet size (addresses 0 … Nodes−1 of the space).
+	Nodes int
+	// Bootstrap is how the fleet converges initially (default oracle).
+	Bootstrap Bootstrap
+	// Loss, MinDelay, MaxDelay and QueueLen configure the fabric's ambient
+	// fault model (see transport.Config). Non-zero delays turn every message
+	// into its own virtual-time event.
+	Loss               float64
+	MinDelay, MaxDelay time.Duration
+	QueueLen           int
+	// Horizon is the virtual duration of the campaign.
+	Horizon time.Duration
+	// Ops is the schedule, executed at their virtual offsets.
+	Ops []Op
+	// SubscriptionFor overrides the modular class scheme (optional). It must
+	// be deterministic; the engine re-evaluates matching against it.
+	SubscriptionFor func(a addr.Address, index int) interest.Subscription
+}
+
+// OpKind enumerates schedulable operations.
+type OpKind string
+
+// The operation vocabulary of the scenario DSL.
+const (
+	// OpPublish publishes Count events of class Class from node Node.
+	OpPublish OpKind = "publish"
+	// OpCrash hard-stops Count random alive nodes (no leave message).
+	OpCrash OpKind = "crash"
+	// OpRejoin revives Count crashed nodes (same address, same interests)
+	// through the join protocol.
+	OpRejoin OpKind = "rejoin"
+	// OpJoin brings Count brand-new nodes (fresh addresses) into the fleet
+	// through the join protocol.
+	OpJoin OpKind = "join"
+	// OpSetLoss sets the fabric loss probability to Loss.
+	OpSetLoss OpKind = "set-loss"
+	// OpIsolate partitions Count random alive nodes from everyone.
+	OpIsolate OpKind = "isolate"
+	// OpHeal removes every partition rule.
+	OpHeal OpKind = "heal"
+	// OpFlux re-subscribes Count random alive nodes to a random class.
+	OpFlux OpKind = "flux"
+)
+
+// Op is one scheduled operation.
+type Op struct {
+	// At is the virtual offset from scenario start.
+	At   time.Duration
+	Kind OpKind
+	// Node selects a publisher index; −1 picks a deterministic random
+	// publisher among never-crashed alive nodes.
+	Node int
+	// Count scales wave-style operations (events, victims, joiners).
+	Count int
+	// Class is the published/re-subscribed class; −1 picks at random.
+	Class int64
+	// Loss is the new loss probability for OpSetLoss.
+	Loss float64
+}
+
+// The fluent schedule builders below make scenario definitions read like a
+// timeline; each returns the scenario for chaining.
+
+// PublishAt schedules count publishes of class from node (−1 = random).
+func (s *Scenario) PublishAt(at time.Duration, node, count int, class int64) *Scenario {
+	s.Ops = append(s.Ops, Op{At: at, Kind: OpPublish, Node: node, Count: count, Class: class})
+	return s
+}
+
+// CrashAt schedules a crash wave of count nodes.
+func (s *Scenario) CrashAt(at time.Duration, count int) *Scenario {
+	s.Ops = append(s.Ops, Op{At: at, Kind: OpCrash, Count: count})
+	return s
+}
+
+// RejoinAt schedules a rejoin wave of count previously crashed nodes.
+func (s *Scenario) RejoinAt(at time.Duration, count int) *Scenario {
+	s.Ops = append(s.Ops, Op{At: at, Kind: OpRejoin, Count: count})
+	return s
+}
+
+// JoinAt schedules count fresh joiners.
+func (s *Scenario) JoinAt(at time.Duration, count int) *Scenario {
+	s.Ops = append(s.Ops, Op{At: at, Kind: OpJoin, Count: count})
+	return s
+}
+
+// SetLossAt schedules a change of the ambient loss probability.
+func (s *Scenario) SetLossAt(at time.Duration, p float64) *Scenario {
+	s.Ops = append(s.Ops, Op{At: at, Kind: OpSetLoss, Loss: p})
+	return s
+}
+
+// IsolateAt schedules a partition isolating count random nodes.
+func (s *Scenario) IsolateAt(at time.Duration, count int) *Scenario {
+	s.Ops = append(s.Ops, Op{At: at, Kind: OpIsolate, Count: count})
+	return s
+}
+
+// HealAt schedules the removal of every partition rule.
+func (s *Scenario) HealAt(at time.Duration) *Scenario {
+	s.Ops = append(s.Ops, Op{At: at, Kind: OpHeal})
+	return s
+}
+
+// FluxAt schedules a subscription-flux wave over count random nodes.
+func (s *Scenario) FluxAt(at time.Duration, count int) *Scenario {
+	s.Ops = append(s.Ops, Op{At: at, Kind: OpFlux, Count: count})
+	return s
+}
+
+// withDefaults fills unset knobs, mirroring node.Config's defaults.
+func (s Scenario) withDefaults() (Scenario, error) {
+	f := &s.Fleet
+	if f.Arity <= 0 || f.Depth <= 0 {
+		return s, fmt.Errorf("harness: scenario %q needs a positive Arity and Depth", s.Name)
+	}
+	if f.R <= 0 {
+		f.R = 2
+	}
+	if f.F <= 0 {
+		f.F = 3
+	}
+	if f.C == 0 {
+		f.C = 3
+	}
+	if f.GossipInterval <= 0 {
+		f.GossipInterval = 25 * time.Millisecond
+	}
+	if f.MembershipInterval <= 0 {
+		f.MembershipInterval = 4 * f.GossipInterval
+	}
+	if f.MembershipFanout <= 0 {
+		f.MembershipFanout = 2
+	}
+	if f.SuspectAfter <= 0 {
+		f.SuspectAfter = 20 * f.MembershipInterval
+	}
+	if f.SuspicionSweeps <= 0 {
+		f.SuspicionSweeps = 1
+	}
+	if f.DeliveryBuffer <= 0 {
+		f.DeliveryBuffer = 1024
+	}
+	if f.Classes <= 0 {
+		f.Classes = 2
+	}
+	if s.Nodes <= 0 {
+		return s, fmt.Errorf("harness: scenario %q needs a positive node count", s.Name)
+	}
+	if s.Bootstrap == "" {
+		s.Bootstrap = BootstrapOracle
+	}
+	if s.QueueLen <= 0 {
+		s.QueueLen = 4096
+	}
+	if s.Horizon <= 0 {
+		s.Horizon = 2 * time.Second
+	}
+	return s, nil
+}
+
+// subscriptionFor evaluates the scenario's interest scheme for one node.
+func (s *Scenario) subscriptionFor(a addr.Address, index int) interest.Subscription {
+	if s.SubscriptionFor != nil {
+		return s.SubscriptionFor(a, index)
+	}
+	return interest.NewSubscription().
+		Where("b", interest.EqInt(int64(index%s.Fleet.Classes)))
+}

@@ -91,11 +91,10 @@ func ReadCriterion(r *binenc.Reader) Criterion {
 // AppendSubscription appends a subscription: attribute count plus sorted
 // (name, criterion) pairs.
 func AppendSubscription(b []byte, s Subscription) []byte {
-	attrs := s.Attrs()
-	b = binenc.AppendUvarint(b, uint64(len(attrs)))
-	for _, a := range attrs {
-		b = binenc.AppendString(b, a)
-		b = AppendCriterion(b, s.criteria[a])
+	b = binenc.AppendUvarint(b, uint64(len(s.criteria)))
+	for i := range s.criteria {
+		b = binenc.AppendString(b, s.criteria[i].attr)
+		b = AppendCriterion(b, s.criteria[i].crit)
 	}
 	return b
 }
@@ -110,7 +109,7 @@ func ReadSubscription(r *binenc.Reader) Subscription {
 		if r.Err() != nil {
 			return NewSubscription()
 		}
-		out.criteria[name] = c
+		out = out.Where(name, c)
 	}
 	return out
 }

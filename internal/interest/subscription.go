@@ -16,6 +16,12 @@ type Matcher interface {
 	Matches(ev event.Event) bool
 }
 
+// attrCriterion is one (attribute, constraint) pair of a conjunction.
+type attrCriterion struct {
+	attr string
+	crit Criterion
+}
+
 // Subscription is a conjunction of per-attribute criteria, one line of a
 // depth-d view table (paper Figure 2): e.g.
 //
@@ -23,63 +29,74 @@ type Matcher interface {
 //
 // Attributes without a criterion are wildcards. The zero Subscription
 // matches every event.
+//
+// The criteria are a slice sorted by attribute, not a map: subscriptions are
+// tiny (a handful of attributes), read constantly on the hot paths — summary
+// regrouping, susceptibility tests, matching-rate scans — and iterated far
+// more often than they are built. Sorted slices make Subsumes/Equal/HullWith
+// linear merge-walks with no iterator or hashing overhead.
 type Subscription struct {
-	// criteria maps attribute name to its constraint. Never contains
-	// wildcard entries (absence means wildcard).
-	criteria map[string]Criterion
+	// criteria is sorted by attribute and never contains wildcard entries
+	// (absence means wildcard).
+	criteria []attrCriterion
 }
 
 var _ Matcher = Subscription{}
 
 // NewSubscription returns an empty (match-all) subscription.
-func NewSubscription() Subscription {
-	return Subscription{criteria: make(map[string]Criterion)}
+func NewSubscription() Subscription { return Subscription{} }
+
+// clone returns an independent copy. Criterion values are immutable once
+// built, so copying the pair slice suffices.
+func (s Subscription) clone() Subscription {
+	if len(s.criteria) == 0 {
+		return Subscription{}
+	}
+	return Subscription{criteria: append([]attrCriterion(nil), s.criteria...)}
+}
+
+// find returns the index of attr in the sorted criteria, or the insertion
+// point with ok=false.
+func (s Subscription) find(attr string) (int, bool) {
+	i := sort.Search(len(s.criteria), func(i int) bool { return s.criteria[i].attr >= attr })
+	return i, i < len(s.criteria) && s.criteria[i].attr == attr
 }
 
 // Where returns a copy of the subscription with an added criterion on the
-// named attribute. Repeated constraints on the same attribute are
-// intersected... conservatively: the latest criterion replaces the previous
-// one if it is subsumed by it, otherwise both are kept by keeping the
-// stricter; in practice callers constrain each attribute once, as in the
-// paper's tables.
+// named attribute. Re-constraining an attribute keeps the latest criterion
+// (callers own the semantics of re-constraining); a wildcard criterion
+// removes the constraint.
 func (s Subscription) Where(attr string, c Criterion) Subscription {
-	out := s.clone()
 	if !c.IsValid() {
 		c = Any()
 	}
-	if c.IsAny() {
-		delete(out.criteria, attr)
-		return out
+	i, ok := s.find(attr)
+	switch {
+	case c.IsAny() && !ok:
+		return s // removing an absent constraint: nothing to copy
+	case c.IsAny():
+		out := make([]attrCriterion, 0, len(s.criteria)-1)
+		out = append(out, s.criteria[:i]...)
+		return Subscription{criteria: append(out, s.criteria[i+1:]...)}
+	case ok:
+		out := append([]attrCriterion(nil), s.criteria...)
+		out[i].crit = c
+		return Subscription{criteria: out}
+	default:
+		out := make([]attrCriterion, 0, len(s.criteria)+1)
+		out = append(out, s.criteria[:i]...)
+		out = append(out, attrCriterion{attr: attr, crit: c})
+		return Subscription{criteria: append(out, s.criteria[i:]...)}
 	}
-	if prev, ok := out.criteria[attr]; ok {
-		// Keep the stricter of the two when one implies the other; otherwise
-		// keep the latest (callers own the semantics of re-constraining).
-		if prev.Subsumes(c) {
-			out.criteria[attr] = c
-		} else {
-			out.criteria[attr] = c // latest wins
-		}
-	} else {
-		out.criteria[attr] = c
-	}
-	return out
-}
-
-func (s Subscription) clone() Subscription {
-	out := Subscription{criteria: make(map[string]Criterion, len(s.criteria)+1)}
-	for k, v := range s.criteria {
-		out.criteria[k] = v
-	}
-	return out
 }
 
 // Matches reports whether the event satisfies every criterion. Events
 // lacking a constrained attribute do not match (events of the considered
 // type carry all attributes; a missing one cannot satisfy a criterion).
 func (s Subscription) Matches(ev event.Event) bool {
-	for attr, c := range s.criteria {
-		v, ok := ev.Lookup(attr)
-		if !ok || !c.Matches(v) {
+	for i := range s.criteria {
+		v, ok := ev.Lookup(s.criteria[i].attr)
+		if !ok || !s.criteria[i].crit.Matches(v) {
 			return false
 		}
 	}
@@ -89,19 +106,18 @@ func (s Subscription) Matches(ev event.Event) bool {
 // Criterion returns the constraint on the named attribute; the wildcard if
 // unconstrained.
 func (s Subscription) Criterion(attr string) Criterion {
-	if c, ok := s.criteria[attr]; ok {
-		return c
+	if i, ok := s.find(attr); ok {
+		return s.criteria[i].crit
 	}
 	return Any()
 }
 
 // Attrs returns the constrained attribute names in sorted order.
 func (s Subscription) Attrs() []string {
-	attrs := make([]string, 0, len(s.criteria))
-	for a := range s.criteria {
-		attrs = append(attrs, a)
+	attrs := make([]string, len(s.criteria))
+	for i := range s.criteria {
+		attrs[i] = s.criteria[i].attr
 	}
-	sort.Strings(attrs)
 	return attrs
 }
 
@@ -111,8 +127,8 @@ func (s Subscription) IsMatchAll() bool { return len(s.criteria) == 0 }
 // IsEmpty reports whether some criterion is unsatisfiable, making the whole
 // conjunction match nothing.
 func (s Subscription) IsEmpty() bool {
-	for _, c := range s.criteria {
-		if c.IsEmpty() {
+	for i := range s.criteria {
+		if s.criteria[i].crit.IsEmpty() {
 			return true
 		}
 	}
@@ -121,19 +137,24 @@ func (s Subscription) IsEmpty() bool {
 
 // Subsumes reports whether every event matched by t is matched by s (s ⊇ t).
 // This holds iff every attribute constrained by s is constrained at least as
-// tightly by t.
+// tightly by t. Both criterion lists are sorted, so this is one merge walk.
 func (s Subscription) Subsumes(t Subscription) bool {
 	if t.IsEmpty() {
 		return true
 	}
-	for attr, sc := range s.criteria {
-		tc, ok := t.criteria[attr]
-		if !ok {
+	j := 0
+	for i := range s.criteria {
+		attr := s.criteria[i].attr
+		for j < len(t.criteria) && t.criteria[j].attr < attr {
+			j++
+		}
+		if j == len(t.criteria) || t.criteria[j].attr != attr {
 			return false // t is wildcard here, s is not
 		}
-		if !sc.Subsumes(tc) {
+		if !s.criteria[i].crit.Subsumes(t.criteria[j].crit) {
 			return false
 		}
+		j++
 	}
 	return true
 }
@@ -147,29 +168,37 @@ func (s Subscription) Equal(t Subscription) bool {
 // over-approximates their disjunction: attributes constrained by both keep
 // the union of their criteria; attributes constrained by only one side are
 // dropped (widened to wildcard). This is the lossy merge step of interest
-// regrouping.
+// regrouping; one merge walk over the sorted criteria.
 func (s Subscription) HullWith(t Subscription) Subscription {
-	out := NewSubscription()
-	for attr, sc := range s.criteria {
-		tc, ok := t.criteria[attr]
-		if !ok {
+	var out []attrCriterion
+	j := 0
+	for i := range s.criteria {
+		attr := s.criteria[i].attr
+		for j < len(t.criteria) && t.criteria[j].attr < attr {
+			j++
+		}
+		if j == len(t.criteria) {
+			break
+		}
+		if t.criteria[j].attr != attr {
 			continue
 		}
-		u := sc.Union(tc)
+		u := s.criteria[i].crit.Union(t.criteria[j].crit)
+		j++
 		if u.IsAny() {
 			continue
 		}
-		out.criteria[attr] = u
+		out = append(out, attrCriterion{attr: attr, crit: u})
 	}
-	return out
+	return Subscription{criteria: out}
 }
 
 // Size is the total number of criterion disjuncts, the complexity measure
 // bounded by regrouping.
 func (s Subscription) Size() int {
 	n := 0
-	for _, c := range s.criteria {
-		n += c.Size()
+	for i := range s.criteria {
+		n += s.criteria[i].crit.Size()
 	}
 	return n
 }
@@ -180,10 +209,9 @@ func (s Subscription) String() string {
 	if len(s.criteria) == 0 {
 		return "*"
 	}
-	attrs := s.Attrs()
-	parts := make([]string, len(attrs))
-	for i, a := range attrs {
-		parts[i] = s.criteria[a].Render(a)
+	parts := make([]string, len(s.criteria))
+	for i := range s.criteria {
+		parts[i] = s.criteria[i].crit.Render(s.criteria[i].attr)
 	}
 	return strings.Join(parts, ", ")
 }

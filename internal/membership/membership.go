@@ -41,15 +41,28 @@ type Record struct {
 	Alive bool
 }
 
-// DigestEntry summarizes one record for anti-entropy comparison.
+// DigestEntry summarizes one record for anti-entropy comparison. Liveness
+// rides along because stamps alone cannot express equal-stamp tombstone
+// precedence: two peers holding (k, alive) and (k, dead) for the same line
+// would otherwise disagree forever — visibly so, since the roster hash
+// covers liveness and every probe between them would escalate to a full
+// digest that transfers nothing.
 type DigestEntry struct {
 	Key   string
 	Stamp uint64
+	Alive bool
 }
 
-// Digest is the gossip-pull probe: the sender's (line, timestamp) pairs.
+// Digest is the gossip-pull probe. Hash and Count summarize the sender's
+// whole roster (incrementally maintained, order-independent); a digest
+// without Entries is a summary probe — the steady-state form, costing O(1)
+// to build and compare. Converged peers exchange only probes; a mismatch
+// escalates to full (line, timestamp) digests via the push-pull reply, so
+// the O(n) roster walk is paid exactly when states actually diverge.
 type Digest struct {
 	From    addr.Address
+	Hash    uint64
+	Count   int
 	Entries []DigestEntry
 }
 
@@ -71,6 +84,18 @@ type JoinRequest struct {
 type Leave struct {
 	Addr  addr.Address
 	Stamp uint64
+}
+
+// Heartbeat is the subgroup liveness beacon: a contentless "I am alive"
+// sent to every immediate neighbor each membership interval. The paper's
+// failure detector is subgroup-local ("every process keeps track of the
+// last time it was contacted" by its immediate neighbors); at fleet scale,
+// digest fan-out alone cannot keep those contact times fresh — the expected
+// silence gap of uniform fan-out grows with n — so the beacon carries the
+// detector while digests carry anti-entropy. Any received message refreshes
+// the contact time; the heartbeat merely guarantees a bounded refresh rate.
+type Heartbeat struct {
+	From addr.Address
 }
 
 // Config parameterizes the service.
@@ -121,7 +146,41 @@ type Service struct {
 	lastHeard map[string]time.Time
 	suspicion map[string]int
 	version   uint64
+	alive     int    // count of alive records, maintained on every transition
+	hash      uint64 // order-independent roster hash, maintained likewise
+
+	// peerCache and neighborCache are the sorted alive-peer and
+	// immediate-neighbor lists, maintained incrementally on every liveness
+	// transition: digest fan-out and heartbeats read them every membership
+	// interval on every node, and rebuilding (or re-sorting) them per tick
+	// dominates fleet-scale campaigns.
+	selfPrefix    addr.Prefix
+	peerCache     []addr.Address
+	neighborCache []addr.Address
+
+	// changelog records the keys touched by each version bump so tree
+	// maintenance can fold deltas without rescanning the whole table; when
+	// it overflows, readers fall back to a full scan.
+	changelog    []changeEntry
+	changelogMin uint64 // changes with version > changelogMin are complete
+
+	// digestCache memoizes the full digest entries per version; mismatch
+	// storms during churn would otherwise rebuild the O(n) slice for every
+	// push-pull reply.
+	digestCache   []DigestEntry
+	digestVersion uint64 // 0 = invalid (version is always ≥ 1)
 }
+
+// changeEntry is one changelog line: the roster key touched when the
+// service moved to the given version.
+type changeEntry struct {
+	version uint64
+	key     string
+}
+
+// changelogCap bounds the changelog; overflow truncates the oldest half and
+// moves changelogMin forward.
+const changelogCap = 8192
 
 // New builds a service seeded with the process's own record.
 func New(cfg Config, selfSub interest.Subscription) (*Service, error) {
@@ -136,14 +195,18 @@ func New(cfg Config, selfSub interest.Subscription) (*Service, error) {
 		cfg.SuspicionSweeps = 1
 	}
 	s := &Service{
-		cfg:       cfg,
-		now:       now,
-		records:   make(map[string]*Record),
-		lastHeard: make(map[string]time.Time),
-		suspicion: make(map[string]int),
+		cfg:        cfg,
+		now:        now,
+		records:    make(map[string]*Record),
+		lastHeard:  make(map[string]time.Time),
+		suspicion:  make(map[string]int),
+		selfPrefix: cfg.Self.Prefix(cfg.Space.Depth()),
 	}
 	s.records[cfg.Self.Key()] = &Record{Addr: cfg.Self, Sub: selfSub, Stamp: 1, Alive: true}
+	s.alive = 1
+	s.hash = recHash(cfg.Self.Key(), 1, true)
 	s.version = 1
+	s.changelog = append(s.changelog, changeEntry{version: 1, key: cfg.Self.Key()})
 	return s, nil
 }
 
@@ -158,17 +221,121 @@ func (s *Service) Version() uint64 {
 	return s.version
 }
 
-// Len returns the number of alive records (including self).
+// Len returns the number of alive records (including self). The count is
+// maintained incrementally — runtimes poll it every tick.
 func (s *Service) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n := 0
-	for _, r := range s.records {
-		if r.Alive {
-			n++
+	return s.alive
+}
+
+// RosterHash returns the order-independent hash of the whole record table
+// (keys, stamps, liveness). Two services with equal hashes hold identical
+// rosters up to hash collision; digests compare it, and co-located runtimes
+// use it to prove their folds interchangeable.
+func (s *Service) RosterHash() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hash
+}
+
+// recHash hashes one roster line (FNV-1a over the key, mixed with stamp and
+// liveness through a splitmix64 finalizer). Line hashes combine by XOR into
+// the Service's order-independent roster hash, so every mutation updates it
+// in O(1).
+func recHash(key string, stamp uint64, alive bool) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	h ^= stamp * 0x9e3779b97f4a7c15
+	if alive {
+		h ^= 0xbf58476d1ce4e5b9
+	}
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// touchHashLocked folds a line transition into the roster hash; zero stamp
+// means no previous line.
+func (s *Service) touchHashLocked(key string, oldStamp uint64, oldAlive bool, newStamp uint64, newAlive bool) {
+	if oldStamp != 0 {
+		s.hash ^= recHash(key, oldStamp, oldAlive)
+	}
+	s.hash ^= recHash(key, newStamp, newAlive)
+}
+
+// setAliveLocked folds one liveness transition into the alive counter and
+// the sorted target caches. Self is counted but never cached (a process
+// does not gossip to itself).
+func (s *Service) setAliveLocked(a addr.Address, key string, nowAlive bool) {
+	if nowAlive {
+		s.alive++
+	} else {
+		s.alive--
+	}
+	if key == s.cfg.Self.Key() {
+		return
+	}
+	if nowAlive {
+		s.peerCache = insortAddr(s.peerCache, a)
+		if a.HasPrefix(s.selfPrefix) {
+			s.neighborCache = insortAddr(s.neighborCache, a)
+		}
+	} else {
+		s.peerCache = removeAddr(s.peerCache, a)
+		if a.HasPrefix(s.selfPrefix) {
+			s.neighborCache = removeAddr(s.neighborCache, a)
 		}
 	}
-	return n
+}
+
+// insortAddr inserts a into the sorted list (no-op if present).
+func insortAddr(list []addr.Address, a addr.Address) []addr.Address {
+	i := sort.Search(len(list), func(i int) bool { return !list[i].Less(a) })
+	if i < len(list) && list[i].Equal(a) {
+		return list
+	}
+	list = append(list, addr.Address{})
+	copy(list[i+1:], list[i:])
+	list[i] = a
+	return list
+}
+
+// removeAddr deletes a from the sorted list (no-op if absent).
+func removeAddr(list []addr.Address, a addr.Address) []addr.Address {
+	i := sort.Search(len(list), func(i int) bool { return !list[i].Less(a) })
+	if i == len(list) || !list[i].Equal(a) {
+		return list
+	}
+	return append(list[:i], list[i+1:]...)
+}
+
+// logChangeLocked appends one changelog line for the given (new) version.
+func (s *Service) logChangeLocked(version uint64, key string) {
+	if len(s.changelog) >= changelogCap {
+		half := len(s.changelog) / 2
+		s.changelogMin = s.changelog[half-1].version
+		s.changelog = append(s.changelog[:0], s.changelog[half:]...)
+	}
+	s.changelog = append(s.changelog, changeEntry{version: version, key: key})
+}
+
+// ChangesSince returns the roster keys touched since the given version
+// (possibly with duplicates), or ok=false when the changelog no longer
+// reaches back that far and the caller must scan the full table.
+func (s *Service) ChangesSince(v uint64) (keys []string, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v < s.changelogMin {
+		return nil, false
+	}
+	i := sort.Search(len(s.changelog), func(i int) bool { return s.changelog[i].version > v })
+	for ; i < len(s.changelog); i++ {
+		keys = append(keys, s.changelog[i].key)
+	}
+	return keys, true
 }
 
 // apply merges one record; the higher stamp wins, tombstones win ties.
@@ -179,6 +346,10 @@ func (s *Service) apply(r Record) bool {
 	if !ok {
 		cp := r
 		s.records[key] = &cp
+		if r.Alive {
+			s.setAliveLocked(r.Addr, key, true)
+		}
+		s.touchHashLocked(key, 0, false, r.Stamp, r.Alive)
 		return true
 	}
 	if r.Stamp < cur.Stamp {
@@ -189,7 +360,9 @@ func (s *Service) apply(r Record) bool {
 	}
 	if r.Stamp == cur.Stamp && cur.Alive && !r.Alive {
 		// Tombstone precedence at equal stamps.
+		s.touchHashLocked(key, cur.Stamp, true, cur.Stamp, false)
 		cur.Alive = false
+		s.setAliveLocked(cur.Addr, key, false)
 		return true
 	}
 	if r.Stamp == cur.Stamp {
@@ -198,10 +371,18 @@ func (s *Service) apply(r Record) bool {
 	// Self-defense: if someone declares us dead, resurrect with a higher
 	// stamp so the correction propagates (we are obviously alive).
 	if key == s.cfg.Self.Key() && !r.Alive {
+		s.touchHashLocked(key, cur.Stamp, cur.Alive, r.Stamp+1, true)
 		cur.Stamp = r.Stamp + 1
+		if !cur.Alive {
+			s.setAliveLocked(cur.Addr, key, true)
+		}
 		cur.Alive = true
 		return true
 	}
+	if cur.Alive != r.Alive {
+		s.setAliveLocked(r.Addr, key, r.Alive)
+	}
+	s.touchHashLocked(key, cur.Stamp, cur.Alive, r.Stamp, r.Alive)
 	*cur = r
 	return true
 }
@@ -214,6 +395,8 @@ func (s *Service) Apply(u Update) int {
 	for _, r := range u.Records {
 		if s.apply(r) {
 			changed++
+			// Log against the version this batch will land on.
+			s.logChangeLocked(s.version+1, r.Addr.Key())
 		}
 	}
 	if changed > 0 {
@@ -223,69 +406,173 @@ func (s *Service) Apply(u Update) int {
 	return changed
 }
 
-// MakeDigest snapshots the service's (line, timestamp) pairs.
+// MakeDigest snapshots the service's (line, timestamp) pairs plus the
+// roster summary. Entry order is unspecified: receivers compare sets, and
+// an O(n log n) sort here would be pure overhead at fleet scale. The entry
+// slice is memoized per version (divergence episodes trigger a push-pull
+// reply per mismatched probe, and rebuilding the O(n) slice each time is
+// the dominant cost of convergence); callers and receivers treat it as
+// read-only.
 func (s *Service) MakeDigest() Digest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.digestVersion != s.version {
+		s.digestCache = make([]DigestEntry, 0, len(s.records))
+		for key, r := range s.records {
+			s.digestCache = append(s.digestCache,
+				DigestEntry{Key: key, Stamp: r.Stamp, Alive: r.Alive})
+		}
+		s.digestVersion = s.version
+	}
+	return Digest{
+		From:    s.cfg.Self,
+		Hash:    s.hash,
+		Count:   len(s.records),
+		Entries: s.digestCache,
+	}
+}
+
+// MakeSummaryDigest snapshots only the roster summary — the O(1) probe the
+// periodic anti-entropy task sends. Receivers whose roster hash matches do
+// nothing; a mismatch makes them answer with a full digest (push-pull), so
+// line-level comparison happens only across actual divergence.
+func (s *Service) MakeSummaryDigest() Digest {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	d := Digest{From: s.cfg.Self, Entries: make([]DigestEntry, 0, len(s.records))}
-	for key, r := range s.records {
-		d.Entries = append(d.Entries, DigestEntry{Key: key, Stamp: r.Stamp})
-	}
-	sort.Slice(d.Entries, func(i, j int) bool { return d.Entries[i].Key < d.Entries[j].Key })
-	return d
+	return Digest{From: s.cfg.Self, Hash: s.hash, Count: len(s.records)}
 }
 
 // HandleDigest implements the pull: it returns an Update carrying every
-// record the gossiper lacks or holds with a smaller timestamp. A nil return
+// record the gossiper lacks or holds with a smaller timestamp. A nil Update
 // means the gossiper is up to date.
-func (s *Service) HandleDigest(d Digest) *Update {
+//
+// The second return value reports the reverse condition: the gossiper holds
+// lines fresher than ours (or lines we lack entirely). Callers answer it by
+// sending our own digest back, turning the exchange into push-pull. Pull
+// alone has a liveness hole the chaos harness exposed: a process falsely
+// expelled during a partition bumps its own stamp (self-defense) but is
+// tombstoned in everyone's views, so no peer ever gossips a digest TO it —
+// and pull semantics give it no way to push its resurrection outward. The
+// counter-digest closes the loop (the resurrected line comes back with the
+// peer's reply), and it cannot ping-pong: it is only sent for strictly
+// fresher lines, and applying the resulting Update equalizes the stamps.
+//
+// The common case — converged peers exchanging identical rosters — is a
+// single allocation-free pass over the digest; the set construction for
+// lines missing from the digest only happens when the line counts prove
+// some exist.
+func (s *Service) HandleDigest(d Digest) (upd *Update, gossiperFresher bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.markHeardLocked(d.From)
-	known := make(map[string]uint64, len(d.Entries))
-	for _, e := range d.Entries {
-		known[e.Key] = e.Stamp
+	if d.Hash == s.hash && d.Count == len(s.records) {
+		return nil, false // identical rosters, probe or full
+	}
+	if len(d.Entries) == 0 {
+		// Mismatched summary probe: request the gossiper's full digest so
+		// the line-level exchange happens (the caller answers fresher=true
+		// with our own full digest).
+		return nil, true
 	}
 	var fresh []Record
-	for key, r := range s.records {
-		if stamp, ok := known[key]; !ok || stamp < r.Stamp {
+	shared := 0
+	for _, e := range d.Entries {
+		r, ok := s.records[e.Key]
+		switch {
+		case !ok:
+			gossiperFresher = true // a line we lack entirely
+		case e.Stamp < r.Stamp:
+			shared++
 			fresh = append(fresh, *r)
+		case e.Stamp > r.Stamp:
+			shared++
+			gossiperFresher = true
+		default:
+			shared++
+			// Equal stamps: tombstone precedence decides who is fresher.
+			if e.Alive && !r.Alive {
+				fresh = append(fresh, *r)
+			} else if !e.Alive && r.Alive {
+				gossiperFresher = true
+			}
+		}
+	}
+	if shared < len(s.records) {
+		// The digest misses lines we hold; identify them.
+		known := make(map[string]struct{}, len(d.Entries))
+		for _, e := range d.Entries {
+			known[e.Key] = struct{}{}
+		}
+		for key, r := range s.records {
+			if _, ok := known[key]; !ok {
+				fresh = append(fresh, *r)
+			}
 		}
 	}
 	if len(fresh) == 0 {
-		return nil
+		return nil, gossiperFresher
 	}
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Addr.Less(fresh[j].Addr) })
-	return &Update{From: s.cfg.Self, Records: fresh}
+	return &Update{From: s.cfg.Self, Records: fresh}, gossiperFresher
 }
 
-// GossipTargets picks up to k random alive peers for digest dissemination.
+// GossipTargets picks up to k distinct random alive peers.
 func (s *Service) GossipTargets(rng *rand.Rand, k int) []addr.Address {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	peers := s.alivePeersLocked()
-	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
-	if k > len(peers) {
-		k = len(peers)
-	}
-	return peers[:k]
+	return pickDistinct(rng, s.peerCache, k, nil)
 }
 
-func (s *Service) alivePeersLocked() []addr.Address {
-	peers := make([]addr.Address, 0, len(s.records))
-	selfKey := s.cfg.Self.Key()
-	keys := make([]string, 0, len(s.records))
-	for key := range s.records {
-		keys = append(keys, key)
+// DigestTargets picks up to k distinct digest destinations, the first drawn
+// from the process's immediate neighbors when it has any. The bias is what
+// keeps the subgroup failure detector sound at scale: a neighbor's "last
+// heard" must refresh every few membership intervals, which uniform fan-out
+// over n ≫ subgroup-size peers cannot guarantee (the expected silence gap is
+// (n/fanout)·interval). The remaining targets are uniform over all alive
+// peers so anti-entropy still mixes globally.
+func (s *Service) DigestTargets(rng *rand.Rand, k int) []addr.Address {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if k <= 0 || len(s.peerCache) == 0 {
+		return nil
 	}
-	sort.Strings(keys) // deterministic base order before shuffling
-	for _, key := range keys {
-		r := s.records[key]
-		if r.Alive && key != selfKey {
-			peers = append(peers, r.Addr)
+	var out []addr.Address
+	used := make(map[string]bool, k)
+	// The neighbor slot only exists when at least one uniform slot remains:
+	// digests are the sole cross-subgroup membership channel, so a fanout
+	// of 1 must mix globally (the heartbeat beacon keeps the subgroup
+	// failure detector fed regardless).
+	if len(s.neighborCache) > 0 && k >= 2 {
+		nb := s.neighborCache[rng.Intn(len(s.neighborCache))]
+		out = append(out, nb)
+		used[nb.Key()] = true
+	}
+	return append(out, pickDistinct(rng, s.peerCache, k-len(out), used)...)
+}
+
+// pickDistinct draws up to k distinct addresses from the sorted pool by
+// deterministic rejection sampling, skipping anything in used.
+func pickDistinct(rng *rand.Rand, pool []addr.Address, k int, used map[string]bool) []addr.Address {
+	avail := len(pool) - len(used)
+	if k > avail {
+		k = avail
+	}
+	if k <= 0 {
+		return nil
+	}
+	if used == nil {
+		used = make(map[string]bool, k)
+	}
+	out := make([]addr.Address, 0, k)
+	for len(out) < k {
+		p := pool[rng.Intn(len(pool))]
+		if used[p.Key()] {
+			continue
 		}
+		used[p.Key()] = true
+		out = append(out, p)
 	}
-	return peers
+	return out
 }
 
 // BuildJoinRequest creates the announcement a joiner sends to its contact.
@@ -304,24 +591,27 @@ func (s *Service) BuildJoinRequest() JoinRequest {
 // been contacted").
 func (s *Service) HandleJoinRequest(jr JoinRequest) (reply Update, forward addr.Address, ok bool) {
 	s.mu.Lock()
-	changed := s.apply(jr.Joiner)
-	if changed {
+	if s.apply(jr.Joiner) {
 		s.version++
+		s.logChangeLocked(s.version, jr.Joiner.Addr.Key())
 	}
 	s.markHeardLocked(jr.Joiner.Addr)
 	records := make([]Record, 0, len(s.records))
 	for _, r := range s.records {
 		records = append(records, *r)
 	}
+	// Choose the forward hop over the sorted alive-peer cache: ties at equal
+	// prefix depth must resolve identically on every process and every run
+	// (map iteration order would make seeded replays diverge).
 	selfDepth := s.cfg.Self.CommonPrefixDepth(jr.Joiner.Addr)
 	var best addr.Address
 	bestDepth := selfDepth
-	for _, r := range s.records {
-		if !r.Alive || r.Addr.Equal(s.cfg.Self) || r.Addr.Equal(jr.Joiner.Addr) {
+	for _, peer := range s.peerCache {
+		if peer.Equal(jr.Joiner.Addr) {
 			continue
 		}
-		if d := r.Addr.CommonPrefixDepth(jr.Joiner.Addr); d > bestDepth {
-			bestDepth, best = d, r.Addr
+		if d := peer.CommonPrefixDepth(jr.Joiner.Addr); d > bestDepth {
+			bestDepth, best = d, peer
 		}
 	}
 	s.mu.Unlock()
@@ -341,8 +631,10 @@ func (s *Service) Subscribe(sub interest.Subscription) {
 	defer s.mu.Unlock()
 	self := s.records[s.cfg.Self.Key()]
 	self.Sub = sub
+	s.touchHashLocked(s.cfg.Self.Key(), self.Stamp, self.Alive, self.Stamp+1, self.Alive)
 	self.Stamp++
 	s.version++
+	s.logChangeLocked(s.version, s.cfg.Self.Key())
 }
 
 // BuildLeave tombstones the process's own record and returns the
@@ -351,9 +643,14 @@ func (s *Service) BuildLeave() Leave {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	self := s.records[s.cfg.Self.Key()]
+	s.touchHashLocked(s.cfg.Self.Key(), self.Stamp, self.Alive, self.Stamp+1, false)
 	self.Stamp++
+	if self.Alive {
+		s.setAliveLocked(s.cfg.Self, s.cfg.Self.Key(), false)
+	}
 	self.Alive = false
 	s.version++
+	s.logChangeLocked(s.version, s.cfg.Self.Key())
 	return Leave{Addr: s.cfg.Self, Stamp: self.Stamp}
 }
 
@@ -363,6 +660,7 @@ func (s *Service) HandleLeave(l Leave) {
 	defer s.mu.Unlock()
 	if s.apply(Record{Addr: l.Addr, Stamp: l.Stamp, Alive: false}) {
 		s.version++
+		s.logChangeLocked(s.version, l.Addr.Key())
 	}
 }
 
@@ -387,15 +685,7 @@ func (s *Service) markHeardLocked(a addr.Address) {
 func (s *Service) ImmediateNeighbors() []addr.Address {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	prefix := s.cfg.Self.Prefix(s.cfg.Space.Depth())
-	var out []addr.Address
-	for _, r := range s.records {
-		if r.Alive && !r.Addr.Equal(s.cfg.Self) && r.Addr.HasPrefix(prefix) {
-			out = append(out, r.Addr)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return append([]addr.Address(nil), s.neighborCache...)
 }
 
 // SweepFailures tombstones immediate neighbors that have been silent longer
@@ -409,12 +699,15 @@ func (s *Service) SweepFailures() []addr.Address {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.now()
-	prefix := s.cfg.Self.Prefix(s.cfg.Space.Depth())
 	var suspected []addr.Address
-	for key, r := range s.records {
-		if !r.Alive || r.Addr.Equal(s.cfg.Self) || !r.Addr.HasPrefix(prefix) {
-			continue
-		}
+	// Walk a snapshot of the neighbor cache (exactly the alive immediate
+	// neighbors, already sorted): expulsion mutates the cache mid-loop, and
+	// scanning the whole record table per sweep would be O(fleet) for a
+	// subgroup-sized concern.
+	neighbors := append([]addr.Address(nil), s.neighborCache...)
+	for _, a := range neighbors {
+		key := a.Key()
+		r := s.records[key]
 		heard, ok := s.lastHeard[key]
 		if !ok {
 			s.lastHeard[key] = now
@@ -426,13 +719,16 @@ func (s *Service) SweepFailures() []addr.Address {
 				continue // confirmation phase (Section 6): not yet expelled
 			}
 			delete(s.suspicion, key)
+			s.touchHashLocked(key, r.Stamp, r.Alive, r.Stamp+1, false)
 			r.Stamp++
 			r.Alive = false
+			s.setAliveLocked(r.Addr, key, false)
 			s.version++
+			s.logChangeLocked(s.version, key)
 			suspected = append(suspected, r.Addr)
 		}
 	}
-	sort.Slice(suspected, func(i, j int) bool { return suspected[i].Less(suspected[j]) })
+	// neighbors was sorted, so suspected already is.
 	return suspected
 }
 
@@ -451,11 +747,28 @@ func (s *Service) Snapshot() []tree.Member {
 	return out
 }
 
-// Lookup returns the record for an address.
-func (s *Service) Lookup(a addr.Address) (Record, bool) {
+// VisitRecords calls fn for every record — alive and tombstoned — in
+// unspecified order. It is the allocation-free dump the runtime's
+// incremental tree maintenance diffs against; callers needing a stable
+// order must sort what they collect.
+func (s *Service) VisitRecords(fn func(Record)) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	r, ok := s.records[a.Key()]
+	for _, r := range s.records {
+		fn(*r)
+	}
+}
+
+// Lookup returns the record for an address.
+func (s *Service) Lookup(a addr.Address) (Record, bool) {
+	return s.LookupKey(a.Key())
+}
+
+// LookupKey returns the record for an address key (see addr.Address.Key).
+func (s *Service) LookupKey(key string) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.records[key]
 	if !ok {
 		return Record{}, false
 	}

@@ -65,14 +65,14 @@ func TestDigestPullCycle(t *testing.T) {
 	// Now a gossips a digest to b; b replies nothing (b's records are all in
 	// a... actually b doesn't know a's subscription updates yet — b learned
 	// a's record from the join, so the digest exchange finds both in sync).
-	if upd := b.HandleDigest(a.MakeDigest()); upd != nil {
+	if upd, _ := b.HandleDigest(a.MakeDigest()); upd != nil {
 		t.Errorf("unexpected update: %+v", upd)
 	}
 	// a updates its subscription; b's digest handling must push the stale
 	// gossiper (a gossips to b, b replies with nothing since b is staler —
 	// pull works the other way: b gossips to a, a replies with fresh line).
 	a.Subscribe(interest.NewSubscription().Where("b", interest.Gt(10)))
-	upd := a.HandleDigest(b.MakeDigest())
+	upd, _ := a.HandleDigest(b.MakeDigest())
 	if upd == nil {
 		t.Fatal("a should push its fresher self record to the gossiper b")
 	}
@@ -165,7 +165,7 @@ func TestLeaveTombstonePropagates(t *testing.T) {
 	}
 	// The tombstone must flow onwards through anti-entropy.
 	c := newService(t, "0.2", nil)
-	if upd := b.HandleDigest(c.MakeDigest()); upd != nil {
+	if upd, _ := b.HandleDigest(c.MakeDigest()); upd != nil {
 		c.Apply(*upd)
 	}
 	recC, known := c.Lookup(addr.New(0, 0))
@@ -336,7 +336,7 @@ func TestAntiEntropyConvergence(t *testing.T) {
 				// Route the digest to the owner of `to`.
 				for _, other := range services {
 					if other.Self().Equal(to) {
-						if upd := other.HandleDigest(s.MakeDigest()); upd != nil {
+						if upd, _ := other.HandleDigest(s.MakeDigest()); upd != nil {
 							s.Apply(*upd)
 						}
 					}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pmcast/internal/addr"
+	"pmcast/internal/clock"
 	"pmcast/internal/core"
 	"pmcast/internal/event"
 	"pmcast/internal/interest"
@@ -71,6 +72,11 @@ type Config struct {
 	DeliveryBuffer int
 	// Seed seeds the node RNG (0 derives one from the address).
 	Seed int64
+	// Clock supplies the node's timers and the membership service's notion
+	// of "now" (default: the real clock). Injecting a clock.Virtual makes
+	// the whole runtime deterministic; see internal/harness, which drives
+	// fleets of nodes in step mode on one virtual clock.
+	Clock clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeliveryBuffer <= 0 {
 		c.DeliveryBuffer = 256
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
 	}
 	if c.Seed == 0 {
 		h := int64(1469598103934665603)
@@ -108,6 +117,8 @@ type Node struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	proc        *core.Process
+	tree        *tree.Tree
+	applied     map[string]appliedRecord
 	treeSize    int
 	treeVersion uint64
 	seen        map[event.ID]struct{}
@@ -137,6 +148,7 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		R:               cfg.R,
 		SuspectAfter:    cfg.SuspectAfter,
 		SuspicionSweeps: cfg.SuspicionSweeps,
+		Now:             cfg.Clock.Now,
 	}, cfg.Subscription)
 	if err != nil {
 		return nil, err
@@ -253,11 +265,11 @@ func (n *Node) Publish(attrs map[string]event.Value) (event.ID, error) {
 // run is the node's event loop.
 func (n *Node) run() {
 	defer close(n.done)
-	gossip := time.NewTicker(n.cfg.GossipInterval)
+	gossip := n.cfg.Clock.NewTicker(n.cfg.GossipInterval)
 	defer gossip.Stop()
-	memTick := time.NewTicker(n.cfg.MembershipInterval)
+	memTick := n.cfg.Clock.NewTicker(n.cfg.MembershipInterval)
 	defer memTick.Stop()
-	sweep := time.NewTicker(n.cfg.SuspectAfter / 2)
+	sweep := n.cfg.Clock.NewTicker(n.cfg.SuspectAfter / 2)
 	defer sweep.Stop()
 
 	for {
@@ -269,11 +281,11 @@ func (n *Node) run() {
 				return
 			}
 			n.handle(env)
-		case <-gossip.C:
+		case <-gossip.C():
 			n.tickGossip()
-		case <-memTick.C:
+		case <-memTick.C():
 			n.tickMembership()
-		case <-sweep.C:
+		case <-sweep.C():
 			n.mem.SweepFailures()
 		}
 	}
@@ -286,8 +298,15 @@ func (n *Node) handle(env transport.Envelope) {
 	case core.Gossip:
 		n.handleGossip(msg)
 	case membership.Digest:
-		if upd := n.mem.HandleDigest(msg); upd != nil {
+		upd, gossiperFresher := n.mem.HandleDigest(msg)
+		if upd != nil {
 			_ = n.ep.Send(env.From, *upd)
+		}
+		if gossiperFresher {
+			// Push-pull: the gossiper knows things we don't — answer with
+			// our own digest so it pushes them (see membership.HandleDigest;
+			// this is also how a falsely-expelled process re-enters views).
+			_ = n.ep.Send(env.From, n.mem.MakeDigest())
 		}
 	case membership.Update:
 		n.mem.Apply(msg)
@@ -300,6 +319,8 @@ func (n *Node) handle(env transport.Envelope) {
 		}
 	case membership.Leave:
 		n.mem.HandleLeave(msg)
+	case membership.Heartbeat:
+		// Liveness only; the MarkHeard above already recorded the contact.
 	}
 }
 
@@ -343,11 +364,18 @@ func (n *Node) tickMembership() {
 		}
 	}
 	n.mu.Lock()
-	targets := n.mem.GossipTargets(n.rng, n.cfg.MembershipFanout)
+	targets := n.mem.DigestTargets(n.rng, n.cfg.MembershipFanout)
 	n.mu.Unlock()
-	d := n.mem.MakeDigest()
+	d := n.mem.MakeSummaryDigest()
 	for _, to := range targets {
 		_ = n.ep.Send(to, d)
+	}
+	// Beacon the whole subgroup: the failure detector deadline is counted in
+	// membership intervals, so every immediate neighbor must hear from us at
+	// interval granularity regardless of where the digests went.
+	hb := membership.Heartbeat{From: n.cfg.Addr}
+	for _, nb := range n.mem.ImmediateNeighbors() {
+		_ = n.ep.Send(nb, hb)
 	}
 }
 
@@ -359,29 +387,100 @@ func (n *Node) rebuildIfStaleLocked() error {
 	return nil
 }
 
-// rebuildLocked reconstructs the tree and protocol state from the current
-// membership snapshot. Buffered gossip entries do not survive a rebuild;
-// gossip redundancy covers the gap (see DESIGN.md).
+// appliedRecord remembers the membership line last folded into the tree, so
+// rebuilds only touch what actually moved.
+type appliedRecord struct {
+	stamp uint64
+	alive bool
+	sub   interest.Subscription
+}
+
+// rebuildLocked folds membership changes into the node's persistent tree
+// incrementally — tree.ApplyDelta recomputes only the affected prefixes —
+// and rebuilds the protocol process over the updated views. A full
+// tree.Build over n members costs ~O(n·d) and at fleet scale every
+// anti-entropy arrival used to pay it; the delta fold makes a churn wave
+// cost proportional to the wave, not the fleet. The rebuilt process adopts
+// its predecessor's gossip buffers, so in-flight disseminations survive
+// membership movement (see DESIGN.md).
 func (n *Node) rebuildLocked() error {
 	version := n.mem.Version()
-	members := n.mem.Snapshot()
-	t, err := tree.Build(tree.Config{Space: n.cfg.Space, R: n.cfg.R}, members)
-	if err != nil {
-		return fmt.Errorf("node: rebuilding tree: %w", err)
+	freshFold := n.tree == nil
+	if freshFold {
+		t, err := tree.New(tree.Config{Space: n.cfg.Space, R: n.cfg.R})
+		if err != nil {
+			return fmt.Errorf("node: building tree: %w", err)
+		}
+		n.tree = t
+		n.applied = make(map[string]appliedRecord)
 	}
-	proc, err := core.BuildProcess(t, n.cfg.Addr, core.Config{
-		D:             n.cfg.Space.Depth(),
-		F:             n.cfg.F,
-		C:             n.cfg.C,
-		Threshold:     n.cfg.Threshold,
-		LocalDescent:  n.cfg.LocalDescent,
-		LeafFloodRate: n.cfg.LeafFloodRate,
-	})
-	if err != nil {
-		return fmt.Errorf("node: rebuilding process: %w", err)
+	var delta tree.Delta
+	fold := func(r membership.Record) {
+		key := r.Addr.Key()
+		prev, ok := n.applied[key]
+		if ok && prev.stamp == r.Stamp && prev.alive == r.Alive {
+			return
+		}
+		switch {
+		case r.Alive && (!ok || !prev.alive):
+			delta.Add = append(delta.Add, tree.Member{Addr: r.Addr, Sub: r.Sub})
+		case r.Alive && !prev.sub.Equal(r.Sub):
+			// Same liveness, new stamp, different interests: re-fold them.
+			delta.Update = append(delta.Update, tree.Member{Addr: r.Addr, Sub: r.Sub})
+		case r.Alive:
+			// A stamp-only bump (e.g. a propagating self-defense
+			// resurrection): the folded state is already right.
+		case ok && prev.alive:
+			delta.Remove = append(delta.Remove, r.Addr)
+		default:
+			// A tombstone for a process never folded in: nothing to undo.
+		}
+		n.applied[key] = appliedRecord{stamp: r.Stamp, alive: r.Alive, sub: r.Sub}
 	}
-	n.proc = proc
-	n.treeSize = len(members)
+	// The membership changelog names exactly the lines that moved since the
+	// last fold. A fresh fold (first build, or recovery after a failed
+	// ApplyDelta dropped the bookkeeping) and a changelog that no longer
+	// reaches back (overflow) both rescan the whole table instead.
+	if keys, ok := n.mem.ChangesSince(n.treeVersion); ok && !freshFold {
+		for _, key := range keys {
+			if r, found := n.mem.LookupKey(key); found {
+				fold(r)
+			}
+		}
+	} else {
+		n.mem.VisitRecords(fold)
+	}
+	changed := len(delta.Add)+len(delta.Update)+len(delta.Remove) > 0
+	if changed {
+		if err := n.tree.ApplyDelta(delta); err != nil {
+			// The fold bookkeeping (n.applied) already advanced past records
+			// a partially-applied delta may not hold; drop the whole fold so
+			// the next rebuild starts from scratch instead of silently
+			// gossiping on a desynced tree (ApplyDelta documents partial
+			// application as fatal).
+			n.tree = nil
+			n.applied = nil
+			return fmt.Errorf("node: updating tree: %w", err)
+		}
+	}
+	if changed || n.proc == nil {
+		proc, err := core.BuildProcess(n.tree, n.cfg.Addr, core.Config{
+			D:             n.cfg.Space.Depth(),
+			F:             n.cfg.F,
+			C:             n.cfg.C,
+			Threshold:     n.cfg.Threshold,
+			LocalDescent:  n.cfg.LocalDescent,
+			LeafFloodRate: n.cfg.LeafFloodRate,
+		})
+		if err != nil {
+			return fmt.Errorf("node: rebuilding process: %w", err)
+		}
+		// In-flight disseminations survive the rebuild: the new process
+		// adopts the old buffers, seen-set and counters.
+		proc.AdoptState(n.proc)
+		n.proc = proc
+		n.treeSize = n.tree.Len()
+	}
 	n.treeVersion = version
 	return nil
 }
@@ -399,3 +498,106 @@ func (n *Node) drainDeliveriesLocked() {
 
 // KnownMembers returns the current alive membership size as seen locally.
 func (n *Node) KnownMembers() int { return n.mem.Len() }
+
+// Step mode.
+//
+// A node normally runs its own goroutine (Start) with the periodic tasks
+// driven by its clock's tickers. The methods below expose the same tasks as
+// synchronous calls so an external scheduler — internal/harness's
+// virtual-time scenario engine — can drive a whole fleet deterministically
+// from a single goroutine: never call Start on a step-driven node, and never
+// mix step calls with a running Start loop.
+
+// HandleEnvelope processes one received message synchronously — the step-
+// mode counterpart of the run loop's receive arm.
+func (n *Node) HandleEnvelope(env transport.Envelope) { n.handle(env) }
+
+// PumpInbox drains and handles every envelope currently queued on the
+// node's endpoint without blocking, returning how many were processed. A
+// closed endpoint pumps zero.
+func (n *Node) PumpInbox() int {
+	handled := 0
+	for {
+		select {
+		case env, ok := <-n.ep.Recv():
+			if !ok {
+				return handled
+			}
+			n.handle(env)
+			handled++
+		default:
+			return handled
+		}
+	}
+}
+
+// WarmViews folds any pending membership changes into the node's tree views
+// immediately instead of lazily at the next tick. The fold is a pure
+// function of the node's own membership state, so a harness may warm many
+// nodes concurrently — after a bootstrap that hands the whole fleet the
+// same initial roster, the per-node folds are the same work a real
+// deployment does on a thousand separate machines.
+func (n *Node) WarmViews() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rebuildIfStaleLocked()
+}
+
+// AdoptViewsFrom copies the donor's folded tree instead of recomputing an
+// identical fold. Legal only when both nodes hold the same membership
+// roster (checked via the roster hash) and the donor is fully folded; both
+// nodes must be quiescent — this is a bootstrap-time tool for harnesses
+// co-hosting many nodes, where n identical folds would otherwise cost n
+// full aggregate recomputations.
+func (n *Node) AdoptViewsFrom(donor *Node) error {
+	if donor == n {
+		return nil
+	}
+	donor.mu.Lock()
+	if donor.treeVersion != donor.mem.Version() {
+		donor.mu.Unlock()
+		return errors.New("node: donor views are stale")
+	}
+	donorHash := donor.mem.RosterHash()
+	clone := donor.tree.Clone()
+	applied := make(map[string]appliedRecord, len(donor.applied))
+	for k, v := range donor.applied {
+		applied[k] = v
+	}
+	donor.mu.Unlock()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.mem.RosterHash() != donorHash {
+		return errors.New("node: donor roster differs")
+	}
+	n.tree = clone
+	n.applied = applied
+	n.treeVersion = n.mem.Version()
+	proc, err := core.BuildProcess(n.tree, n.cfg.Addr, core.Config{
+		D:             n.cfg.Space.Depth(),
+		F:             n.cfg.F,
+		C:             n.cfg.C,
+		Threshold:     n.cfg.Threshold,
+		LocalDescent:  n.cfg.LocalDescent,
+		LeafFloodRate: n.cfg.LeafFloodRate,
+	})
+	if err != nil {
+		return fmt.Errorf("node: rebuilding process: %w", err)
+	}
+	proc.AdoptState(n.proc)
+	n.proc = proc
+	n.treeSize = n.tree.Len()
+	return nil
+}
+
+// TickGossip runs one gossip period (the run loop's gossip arm).
+func (n *Node) TickGossip() { n.tickGossip() }
+
+// TickMembership runs one membership anti-entropy period (the run loop's
+// digest arm), including the join-retry bootstrap.
+func (n *Node) TickMembership() { n.tickMembership() }
+
+// SweepFailures runs one failure-detector sweep, returning the newly
+// expelled addresses.
+func (n *Node) SweepFailures() []addr.Address { return n.mem.SweepFailures() }

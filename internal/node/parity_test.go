@@ -1,4 +1,10 @@
-package node
+// The transport-parity contract, now expressed through the scenario
+// harness: the seeded 64-node publish/subscribe campaign (harness.Parity64)
+// runs deterministically on the virtual clock over the in-memory fabric,
+// and the same scenario driven in real time over UDP loopback sockets must
+// deliver the identical event sets. The test lives in an external package
+// because the harness imports the node runtime.
+package node_test
 
 import (
 	"fmt"
@@ -9,16 +15,17 @@ import (
 
 	"pmcast/internal/addr"
 	"pmcast/internal/event"
+	"pmcast/internal/harness"
 	"pmcast/internal/interest"
-	"pmcast/internal/transport"
+	"pmcast/internal/node"
 	"pmcast/internal/transport/udp"
 )
 
-// The seeded 64-node scenario of the transport-parity contract: a regular
-// 8×8 tree where the left half of every subgroup (even first digit) wants
-// b=0 and the right half wants b=1. Node 0.0 publishes two events of each
-// class; every node must deliver exactly its class — over whichever fabric
-// carries the messages.
+// The scenario constants mirror harness.Parity64: a regular 8×8 tree whose
+// top-level subtrees alternate interest classes — even first digit wants
+// b=0, odd wants b=1. Node 0.0 publishes two events of each class; every
+// node must deliver exactly its class — over whichever fabric carries the
+// messages.
 const (
 	parityArity = 8
 	parityDepth = 2
@@ -28,15 +35,57 @@ func paritySub(a addr.Address) interest.Subscription {
 	return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%2)))
 }
 
-// runParityScenario drives the scenario over the given transport and
-// returns, per node address, the sorted list of delivered event IDs.
-func runParityScenario(t *testing.T, tr transport.Transport) map[string][]event.ID {
+// expectedParityDeliveries is the ground truth: publisher 0.0 assigns Seq
+// 1..4 alternating classes b=0,1,0,1; a node with first digit x delivers
+// exactly the events of class x%2.
+func expectedParityDeliveries() map[string][]event.ID {
+	space := addr.MustRegular(parityArity, parityDepth)
+	origin := space.AddressAt(0).Key()
+	byClass := map[int][]event.ID{
+		0: {{Origin: origin, Seq: 1}, {Origin: origin, Seq: 3}},
+		1: {{Origin: origin, Seq: 2}, {Origin: origin, Seq: 4}},
+	}
+	want := make(map[string][]event.ID, space.Capacity())
+	for i := 0; i < space.Capacity(); i++ {
+		a := space.AddressAt(i)
+		want[a.Key()] = byClass[a.Digit(1)%2]
+	}
+	return want
+}
+
+// sortBySeq normalizes per-node delivery order for set comparison.
+func sortBySeq(got map[string][]event.ID) map[string][]event.ID {
+	for key := range got {
+		sort.Slice(got[key], func(i, j int) bool { return got[key][i].Seq < got[key][j].Seq })
+	}
+	return got
+}
+
+// runParityOverUDP drives the scenario in real time over UDP loopback
+// sockets and returns, per node address, the delivered event IDs.
+func runParityOverUDP(t *testing.T) map[string][]event.ID {
 	t.Helper()
 	space := addr.MustRegular(parityArity, parityDepth)
-	addrs := gridAddrs(space, space.Capacity())
-	nodes := make([]*Node, len(addrs))
-	for i, a := range addrs {
-		n, err := New(tr, Config{
+	peers := make(map[string]string, space.Capacity())
+	for i := 0; i < space.Capacity(); i++ {
+		// Ephemeral loopback ports; endpoints register their real socket at
+		// attach time.
+		peers[space.AddressAt(i).String()] = "127.0.0.1:0"
+	}
+	res, err := udp.NewStaticResolver(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := udp.New(udp.Config{Resolver: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	nodes := make([]*node.Node, space.Capacity())
+	for i := range nodes {
+		a := space.AddressAt(i)
+		n, err := node.New(tr, node.Config{
 			Addr:               a,
 			Space:              space,
 			R:                  2,
@@ -65,7 +114,7 @@ func runParityScenario(t *testing.T, tr transport.Transport) map[string][]event.
 			t.Fatal(err)
 		}
 	}
-	waitFor(t, 60*time.Second, func() bool {
+	waitUntil(t, 60*time.Second, func() bool {
 		for _, n := range nodes {
 			if n.KnownMembers() != len(nodes) {
 				return false
@@ -89,7 +138,7 @@ func runParityScenario(t *testing.T, tr transport.Transport) map[string][]event.
 	for _, n := range nodes {
 		n := n
 		key := n.Addr().Key()
-		waitFor(t, 60*time.Second, func() bool {
+		waitUntil(t, 60*time.Second, func() bool {
 			select {
 			case ev := <-n.Deliveries():
 				got[key] = append(got[key], ev.ID())
@@ -114,76 +163,74 @@ func runParityScenario(t *testing.T, tr transport.Transport) map[string][]event.
 			t.Errorf("%s dropped %d deliveries", n.Addr(), d)
 		}
 	}
-	for key := range got {
-		sort.Slice(got[key], func(i, j int) bool {
-			return got[key][i].Seq < got[key][j].Seq
-		})
-	}
-	return got
+	return sortBySeq(got)
 }
 
-// expectedParityDeliveries is the ground truth: publisher 0.0 assigns Seq
-// 1..4 alternating classes b=0,1,0,1; a node with first digit x delivers
-// exactly the events of class x%2.
-func expectedParityDeliveries() map[string][]event.ID {
-	space := addr.MustRegular(parityArity, parityDepth)
-	origin := space.AddressAt(0).Key()
-	byClass := map[int][]event.ID{
-		0: {{Origin: origin, Seq: 1}, {Origin: origin, Seq: 3}},
-		1: {{Origin: origin, Seq: 2}, {Origin: origin, Seq: 4}},
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
-	want := make(map[string][]event.ID, space.Capacity())
-	for i := 0; i < space.Capacity(); i++ {
-		a := space.AddressAt(i)
-		want[a.Key()] = byClass[a.Digit(1)%2]
-	}
-	return want
+	t.Fatalf("timeout waiting for %s", what)
 }
 
 // TestSeededScenarioParityAcrossFabrics is the acceptance contract of the
-// pluggable transport API: the same seeded 64-node publish/subscribe
-// scenario delivers the same event set over the in-memory fabric and over
-// real UDP loopback sockets.
+// pluggable transport API, upgraded by the virtual-time harness: the
+// deterministic harness run of the parity scenario and a real-time run over
+// UDP loopback sockets must both deliver exactly the scenario ground truth.
 func TestSeededScenarioParityAcrossFabrics(t *testing.T) {
 	want := expectedParityDeliveries()
 
-	var overMemory, overUDP map[string][]event.ID
-	t.Run("memory", func(t *testing.T) {
-		net := transport.NewNetwork(transport.Config{Seed: 42})
-		defer net.Close()
-		overMemory = runParityScenario(t, net)
-		if !reflect.DeepEqual(overMemory, want) {
-			t.Errorf("in-memory deliveries diverge from the scenario ground truth:\n got %v\nwant %v",
-				overMemory, want)
+	var overHarness, overUDP map[string][]event.ID
+	t.Run("harness", func(t *testing.T) {
+		res, err := harness.Parity64().Run(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overHarness = sortBySeq(res.Delivered)
+		if !reflect.DeepEqual(overHarness, want) {
+			t.Errorf("harness deliveries diverge from the scenario ground truth:\n got %v\nwant %v",
+				overHarness, want)
+		}
+		if res.Report.MeanReliability != 1 {
+			t.Errorf("harness run reliability %.3f, want 1.0", res.Report.MeanReliability)
 		}
 	})
 	t.Run("udp", func(t *testing.T) {
-		space := addr.MustRegular(parityArity, parityDepth)
-		peers := make(map[string]string, space.Capacity())
-		for i := 0; i < space.Capacity(); i++ {
-			// Ephemeral loopback ports; endpoints register their real
-			// socket at attach time.
-			peers[space.AddressAt(i).String()] = "127.0.0.1:0"
-		}
-		res, err := udp.NewStaticResolver(peers)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tr, err := udp.New(udp.Config{Resolver: res})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer tr.Close()
-		overUDP = runParityScenario(t, tr)
+		overUDP = runParityOverUDP(t)
 		if !reflect.DeepEqual(overUDP, want) {
 			t.Errorf("UDP deliveries diverge from the scenario ground truth:\n got %v\nwant %v",
 				overUDP, want)
 		}
 	})
-	if overMemory == nil || overUDP == nil {
+	if overHarness == nil || overUDP == nil {
 		t.Fatal("a fabric run did not complete")
 	}
-	if !reflect.DeepEqual(overMemory, overUDP) {
+	if !reflect.DeepEqual(overHarness, overUDP) {
 		t.Error("fabrics disagree on the delivered event set")
+	}
+}
+
+// TestParityScenarioReplaysByteIdentically anchors the harness half of the
+// contract: same scenario, same seed, byte-identical delivery traces.
+func TestParityScenarioReplaysByteIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second harness run skipped in -short")
+	}
+	a, err := harness.Parity64().Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := harness.Parity64().Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.TraceSHA256 != b.Report.TraceSHA256 {
+		t.Errorf("same-seed parity traces diverge: %s vs %s",
+			a.Report.TraceSHA256, b.Report.TraceSHA256)
 	}
 }

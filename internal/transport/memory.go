@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pmcast/internal/addr"
+	"pmcast/internal/clock"
 )
 
 // Config tunes the in-memory network fabric.
@@ -29,17 +30,23 @@ type Config struct {
 	QueueLen int
 	// Seed seeds the fault RNG (0 uses a fixed default for reproducibility).
 	Seed int64
+	// Clock schedules delayed deliveries (default: the real clock). A
+	// clock.Virtual turns in-flight messages into deterministic virtual-time
+	// events — the scenario harness runs whole fleets this way.
+	Clock clock.Clock
 }
 
 // Network is the shared in-memory fabric. Endpoints attach under their
 // address; sends route by address. All methods are safe for concurrent use.
 type Network struct {
+	clk clock.Clock
+
 	mu        sync.Mutex
 	cfg       Config
 	rng       *rand.Rand
 	endpoints map[string]*memEndpoint
 	blocked   map[string]bool // "from|to" directed block rules
-	timers    map[*time.Timer]struct{}
+	timers    map[clock.Timer]struct{}
 	dropped   int
 	closed    bool
 }
@@ -56,12 +63,17 @@ func NewNetwork(cfg Config) *Network {
 	if seed == 0 {
 		seed = 1
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	return &Network{
+		clk:       clk,
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(seed)),
 		endpoints: make(map[string]*memEndpoint),
 		blocked:   make(map[string]bool),
-		timers:    make(map[*time.Timer]struct{}),
+		timers:    make(map[clock.Timer]struct{}),
 	}
 }
 
@@ -110,7 +122,7 @@ func (n *Network) Close() error {
 	}
 	n.closed = true
 	timers := n.timers
-	n.timers = make(map[*time.Timer]struct{})
+	n.timers = make(map[clock.Timer]struct{})
 	endpoints := n.endpoints
 	n.endpoints = make(map[string]*memEndpoint)
 	n.mu.Unlock()
@@ -208,9 +220,11 @@ func (n *Network) route(from, to addr.Address, payload any) error {
 	}
 	// Register the timer while still holding mu: the callback also takes mu
 	// first, so it cannot observe the map before the timer is tracked, and
-	// Close cancels anything still registered.
-	var timer *time.Timer
-	timer = time.AfterFunc(delay, func() {
+	// Close cancels anything still registered. On a virtual clock the
+	// callback only runs when the harness advances time, strictly after this
+	// function returns, so the same invariant holds without real goroutines.
+	var timer clock.Timer
+	timer = n.clk.AfterFunc(delay, func() {
 		n.mu.Lock()
 		_, live := n.timers[timer]
 		delete(n.timers, timer)

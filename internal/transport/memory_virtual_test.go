@@ -1,0 +1,118 @@
+// Virtual-clock behavior of the in-memory fabric: delayed deliveries are
+// clock events, so tests advance time instead of sleeping, and Close
+// cancels every pending delivery deterministically.
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/clock"
+)
+
+func virtualPair(t *testing.T, cfg Config) (*clock.Virtual, *Network, Endpoint, Endpoint) {
+	t.Helper()
+	vc := clock.NewVirtual()
+	cfg.Clock = vc
+	net := NewNetwork(cfg)
+	t.Cleanup(func() { net.Close() })
+	a, err := net.Attach(addr.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Attach(addr.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc, net, a, b
+}
+
+func TestDelayedDeliveryOnVirtualClock(t *testing.T) {
+	vc, _, a, b := virtualPair(t, Config{
+		MinDelay: 5 * time.Millisecond,
+		MaxDelay: 5 * time.Millisecond,
+	})
+	if err := a.Send(b.Addr(), "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Addr(), "m2"); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing moves until the clock does.
+	select {
+	case env := <-b.Recv():
+		t.Fatalf("delivered %v before the clock advanced", env)
+	default:
+	}
+	if vc.Pending() != 2 {
+		t.Fatalf("%d deliveries scheduled, want 2", vc.Pending())
+	}
+	// Short of the delay: still nothing.
+	vc.Advance(4 * time.Millisecond)
+	select {
+	case env := <-b.Recv():
+		t.Fatalf("delivered %v at 4ms with a 5ms delay", env)
+	default:
+	}
+	// Crossing the delay delivers both, in send order.
+	vc.Advance(time.Millisecond)
+	for _, want := range []string{"m1", "m2"} {
+		select {
+		case env := <-b.Recv():
+			if env.Payload != want {
+				t.Errorf("got %v, want %v", env.Payload, want)
+			}
+		default:
+			t.Fatalf("missing delivery %q after the delay elapsed", want)
+		}
+	}
+}
+
+func TestCloseCancelsVirtualDeliveriesDeterministically(t *testing.T) {
+	vc, net, a, b := virtualPair(t, Config{
+		MinDelay: 10 * time.Millisecond,
+		MaxDelay: 20 * time.Millisecond,
+	})
+	for i := 0; i < 8; i++ {
+		if err := a.Send(b.Addr(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vc.Pending() != 8 {
+		t.Fatalf("%d deliveries scheduled, want 8", vc.Pending())
+	}
+	// Close cancels everything synchronously: no sleeping, no draining
+	// goroutines — the clock holds no live callbacks afterwards.
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := vc.Pending(); got != 0 {
+		t.Fatalf("%d deliveries still scheduled after Close", got)
+	}
+	// Advancing past every delay proves cancellation (and the endpoint
+	// channel is closed, not leaking).
+	vc.Advance(time.Second)
+	if env, ok := <-b.Recv(); ok {
+		t.Fatalf("delivery %v leaked through a closed fabric", env)
+	}
+}
+
+func TestDetachDropsPendingVirtualDeliveries(t *testing.T) {
+	vc, net, a, b := virtualPair(t, Config{
+		MinDelay: 5 * time.Millisecond,
+		MaxDelay: 5 * time.Millisecond,
+	})
+	if err := a.Send(b.Addr(), "late"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := net.Dropped()
+	vc.Advance(10 * time.Millisecond)
+	if net.Dropped() != before+1 {
+		t.Errorf("dropped = %d, want %d (in-flight delivery to a closed endpoint)",
+			net.Dropped(), before+1)
+	}
+}

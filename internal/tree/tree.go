@@ -219,6 +219,43 @@ func (t *Tree) Members() []Member {
 	return out
 }
 
+// Clone returns an independent copy of the tree. Member records are deep-
+// copied (incremental updates mutate them in place); summaries and delegate
+// slices are shared, which is safe because recomputation replaces them
+// wholesale instead of mutating them. Cloning costs a trie walk with no
+// aggregate recomputation — the point: many co-located processes folding an
+// identical roster (a harness bootstrap) can fold once and clone.
+func (t *Tree) Clone() *Tree {
+	nt := &Tree{
+		cfg:      t.cfg,
+		election: t.election,
+		members:  make(map[string]*Member, len(t.members)),
+	}
+	for k, m := range t.members {
+		cp := *m
+		nt.members[k] = &cp
+	}
+	nt.root = cloneNode(t.root, nt.members)
+	return nt
+}
+
+func cloneNode(n *node, members map[string]*Member) *node {
+	c := &node{
+		prefix:    n.prefix,
+		children:  make(map[int]*node, len(n.children)),
+		delegates: n.delegates,
+		count:     n.count,
+		summary:   n.summary,
+	}
+	if n.member != nil {
+		c.member = members[n.member.Addr.Key()]
+	}
+	for d, ch := range n.children {
+		c.children[d] = cloneNode(ch, members)
+	}
+	return c
+}
+
 // Add inserts a member and recomputes delegates, counts and summaries along
 // its root path.
 func (t *Tree) Add(m Member) error {
@@ -251,34 +288,21 @@ func (t *Tree) Add(m Member) error {
 }
 
 // Remove deletes a member (leave or exclusion after failure detection) and
-// recomputes its root path.
+// recomputes its surviving root path.
 func (t *Tree) Remove(a addr.Address) error {
-	key := a.Key()
-	if _, ok := t.members[key]; !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownMember, a)
+	if err := t.removeRaw(a); err != nil {
+		return err
 	}
-	delete(t.members, key)
-
+	// Recompute what remains of the root path after pruning.
 	n := t.root
 	path := []*node{n}
 	for i := 1; i <= t.Depth(); i++ {
 		child, ok := n.children[a.Digit(i)]
 		if !ok {
-			return fmt.Errorf("%w: trie desync at %s", ErrUnknownMember, a)
+			break
 		}
 		n = child
 		path = append(path, n)
-	}
-	n.member = nil
-	// Prune empty nodes bottom-up, then recompute the surviving path.
-	for i := len(path) - 1; i >= 1; i-- {
-		cur := path[i]
-		if cur.member == nil && len(cur.children) == 0 {
-			delete(path[i-1].children, cur.prefix.Digit(cur.prefix.Len()))
-			path = path[:i]
-		} else {
-			break
-		}
 	}
 	t.recomputePath(path)
 	return nil
@@ -300,6 +324,138 @@ func (t *Tree) UpdateSubscription(a addr.Address, sub interest.Subscription) err
 		path = append(path, n)
 	}
 	t.recomputePath(path)
+	return nil
+}
+
+// Delta is a batch of membership changes applied with a single bottom-up
+// recompute of the touched prefixes. Applying a wave of k changes through
+// Add/Remove/UpdateSubscription recomputes every ancestor once per change;
+// ApplyDelta recomputes each dirty prefix exactly once, which is what keeps
+// fleet-scale churn (and the initial population of a large tree) cheap.
+type Delta struct {
+	Add    []Member
+	Update []Member
+	Remove []addr.Address
+}
+
+// ApplyDelta applies the batch. On error the structural edits applied so
+// far remain (with their paths recomputed); callers treat that as fatal and
+// rebuild.
+func (t *Tree) ApplyDelta(d Delta) error {
+	// For bulk batches — the initial population, a mass rejoin — path
+	// bookkeeping costs more than sweeping the whole trie once.
+	total := len(d.Add) + len(d.Update) + len(d.Remove)
+	if bulk := total >= 16 && total*2 >= t.Len()+len(d.Add); bulk {
+		return t.applyDeltaBulk(d)
+	}
+	dirty := make(map[string]addr.Prefix)
+	markPath := func(a addr.Address) {
+		for i := 1; i <= t.Depth()+1; i++ {
+			p := a.Prefix(i)
+			dirty[p.Key()] = p
+		}
+	}
+	recomputeDirty := func() {
+		byLen := make([][]addr.Prefix, t.Depth()+2)
+		for _, p := range dirty {
+			byLen[p.Len()] = append(byLen[p.Len()], p)
+		}
+		for l := len(byLen) - 1; l >= 0; l-- {
+			for _, p := range byLen[l] {
+				// A prefix pruned by a removal in the same batch looks up
+				// nil; there is nothing left to recompute there.
+				if n := t.lookup(p); n != nil {
+					t.recompute(n)
+				}
+			}
+		}
+	}
+	for _, m := range d.Add {
+		if err := t.insertRaw(m); err != nil {
+			recomputeDirty()
+			return err
+		}
+		markPath(m.Addr)
+	}
+	for _, m := range d.Update {
+		rec, ok := t.members[m.Addr.Key()]
+		if !ok {
+			recomputeDirty()
+			return fmt.Errorf("%w: %s", ErrUnknownMember, m.Addr)
+		}
+		rec.Sub = m.Sub
+		markPath(m.Addr)
+	}
+	for _, a := range d.Remove {
+		if err := t.removeRaw(a); err != nil {
+			recomputeDirty()
+			return err
+		}
+		markPath(a)
+	}
+	recomputeDirty()
+	return nil
+}
+
+// applyDeltaBulk is ApplyDelta's bulk path: structural edits followed by one
+// whole-trie recompute (the same sweep Build does).
+func (t *Tree) applyDeltaBulk(d Delta) error {
+	var firstErr error
+	for _, m := range d.Add {
+		if err := t.insertRaw(m); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, m := range d.Update {
+			rec, ok := t.members[m.Addr.Key()]
+			if !ok {
+				firstErr = fmt.Errorf("%w: %s", ErrUnknownMember, m.Addr)
+				break
+			}
+			rec.Sub = m.Sub
+		}
+	}
+	if firstErr == nil {
+		for _, a := range d.Remove {
+			if err := t.removeRaw(a); err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	t.recomputeAll(t.root)
+	return firstErr
+}
+
+// removeRaw detaches a member and prunes emptied trie nodes without
+// recomputing aggregates.
+func (t *Tree) removeRaw(a addr.Address) error {
+	key := a.Key()
+	if _, ok := t.members[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, a)
+	}
+	delete(t.members, key)
+	n := t.root
+	path := []*node{n}
+	for i := 1; i <= t.Depth(); i++ {
+		child, ok := n.children[a.Digit(i)]
+		if !ok {
+			return fmt.Errorf("%w: trie desync at %s", ErrUnknownMember, a)
+		}
+		n = child
+		path = append(path, n)
+	}
+	n.member = nil
+	for i := len(path) - 1; i >= 1; i-- {
+		cur := path[i]
+		if cur.member == nil && len(cur.children) == 0 {
+			delete(path[i-1].children, cur.prefix.Digit(cur.prefix.Len()))
+		} else {
+			break
+		}
+	}
 	return nil
 }
 

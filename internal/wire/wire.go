@@ -33,11 +33,12 @@ const (
 	kindUpdate
 	kindJoinRequest
 	kindLeave
+	kindHeartbeat
 )
 
 // Encode frames one protocol message. Supported types: core.Gossip,
 // membership.Digest, membership.Update, membership.JoinRequest,
-// membership.Leave.
+// membership.Leave, membership.Heartbeat.
 func Encode(msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case core.Gossip:
@@ -50,10 +51,13 @@ func Encode(msg any) ([]byte, error) {
 	case membership.Digest:
 		b := []byte{kindDigest}
 		b = addr.AppendAddress(b, m.From)
+		b = binenc.AppendUvarint(b, m.Hash)
+		b = binenc.AppendUvarint(b, uint64(m.Count))
 		b = binenc.AppendUvarint(b, uint64(len(m.Entries)))
 		for _, e := range m.Entries {
 			b = binenc.AppendString(b, e.Key)
 			b = binenc.AppendUvarint(b, e.Stamp)
+			b = binenc.AppendBool(b, e.Alive)
 		}
 		return b, nil
 	case membership.Update:
@@ -74,6 +78,9 @@ func Encode(msg any) ([]byte, error) {
 		b = addr.AppendAddress(b, m.Addr)
 		b = binenc.AppendUvarint(b, m.Stamp)
 		return b, nil
+	case membership.Heartbeat:
+		b := []byte{kindHeartbeat}
+		return addr.AppendAddress(b, m.From), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, msg)
 	}
@@ -96,12 +103,17 @@ func Decode(data []byte) (any, error) {
 		return g, finish(r)
 	case kindDigest:
 		d := membership.Digest{From: addr.ReadAddress(r)}
+		d.Hash = r.Uvarint()
+		d.Count = int(r.Uvarint())
 		n := r.Count(2)
-		d.Entries = make([]membership.DigestEntry, 0, n)
+		if n > 0 {
+			d.Entries = make([]membership.DigestEntry, 0, n)
+		}
 		for i := 0; i < n; i++ {
 			d.Entries = append(d.Entries, membership.DigestEntry{
 				Key:   r.String(),
 				Stamp: r.Uvarint(),
+				Alive: r.Bool(),
 			})
 		}
 		return d, finish(r)
@@ -125,6 +137,9 @@ func Decode(data []byte) (any, error) {
 			Stamp: r.Uvarint(),
 		}
 		return l, finish(r)
+	case kindHeartbeat:
+		hb := membership.Heartbeat{From: addr.ReadAddress(r)}
+		return hb, finish(r)
 	default:
 		return nil, fmt.Errorf("%w: kind %d", ErrUnknownKind, data[0])
 	}

@@ -97,3 +97,11 @@ func WithDeliveryBuffer(n int) NodeOption {
 func WithSeed(seed int64) NodeOption {
 	return func(c *NodeConfig) { c.Seed = seed }
 }
+
+// WithClock supplies the clock driving the node's timers and failure
+// detector (default: the real clock). Injecting a virtual clock
+// (NewVirtualClock) makes the runtime deterministic for tests and replayable
+// chaos campaigns.
+func WithClock(clk Clock) NodeOption {
+	return func(c *NodeConfig) { c.Clock = clk }
+}

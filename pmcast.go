@@ -33,6 +33,7 @@ package pmcast
 import (
 	"pmcast/internal/addr"
 	"pmcast/internal/analysis"
+	"pmcast/internal/clock"
 	"pmcast/internal/event"
 	"pmcast/internal/interest"
 	"pmcast/internal/node"
@@ -145,6 +146,25 @@ func MatchAll() Subscription { return interest.NewSubscription() }
 
 // Summarize regroups subscriptions into an over-approximating summary.
 func Summarize(subs ...Subscription) *Summary { return interest.Summarize(subs...) }
+
+// Time. Everything time-dependent in the runtime — gossip tickers, failure
+// sweeps, delayed fabric deliveries — goes through a Clock, so the same
+// code runs on real timers in production and deterministically on a
+// virtual-time event queue in tests.
+type (
+	// Clock tells time and schedules timers for the runtime.
+	Clock = clock.Clock
+	// VirtualClock is the deterministic clock: time moves only when
+	// advanced, and callbacks run in strict order on the advancing
+	// goroutine.
+	VirtualClock = clock.Virtual
+)
+
+// RealClock returns the production clock (package time).
+func RealClock() Clock { return clock.Real{} }
+
+// NewVirtualClock returns a virtual clock for deterministic runs.
+func NewVirtualClock() *VirtualClock { return clock.NewVirtual() }
 
 // Transport fabric. The runtime depends only on these interfaces; backends
 // decide what "the network" is.
