@@ -17,10 +17,13 @@ import (
 	"pmcast/internal/addr"
 	"pmcast/internal/analysis"
 	"pmcast/internal/baseline"
+	"pmcast/internal/core"
 	"pmcast/internal/event"
+	"pmcast/internal/harness"
 	"pmcast/internal/interest"
 	"pmcast/internal/sim"
 	"pmcast/internal/tree"
+	"pmcast/internal/wire"
 )
 
 // fig45Params are the Figure 4/5 parameters: n ≈ 10000 (a=22, d=3), R=3, F=2.
@@ -241,6 +244,116 @@ func BenchmarkTreeBuild(b *testing.B) {
 		if _, err := tree.Build(tree.Config{Space: space, R: 3}, members); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchBatch builds a representative round envelope: events events of the
+// soak shape (one small integer attribute, tree-address origins).
+func benchBatch(events int) wire.Batch {
+	b := wire.Batch{}
+	for i := 0; i < events; i++ {
+		b.Gossips = append(b.Gossips, core.Gossip{
+			Event: event.NewBuilder().Int("b", int64(i%4)).
+				Build(event.ID{Origin: "0.1.2.3", Seq: uint64(i + 1)}),
+			Depth: 2,
+			Rate:  0.25,
+			Round: i % 5,
+		})
+	}
+	return b
+}
+
+// BenchmarkWireEncodeBatch is the allocation-regression bench of the batched
+// encode path: steady-state encoding into a reused buffer must not allocate
+// at all. The assertion runs inside the bench so a regression fails `go
+// test`, not just drifts in a dashboard (the matching unit assertion lives
+// in internal/wire's TestBatchCodecAllocBudget).
+func BenchmarkWireEncodeBatch(b *testing.B) {
+	for _, events := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			batch := benchBatch(events)
+			buf := make([]byte, 0, 64<<10)
+			if allocs := testing.AllocsPerRun(100, func() {
+				out, err := wire.AppendBatch(buf[:0], batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = out[:0]
+			}); allocs != 0 {
+				b.Fatalf("encode allocates %.1f/op, want 0", allocs)
+			}
+			size := wire.EncodedSize(batch)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := wire.AppendBatch(buf[:0], batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = out[:0]
+			}
+			b.ReportMetric(float64(size)/float64(events), "bytes/event")
+		})
+	}
+}
+
+// BenchmarkWireDecodeBatch is the decode-side allocation-regression bench:
+// with an interning decoder, steady state costs at most one allocation per
+// event (its attribute storage) plus a constant for the batch itself.
+func BenchmarkWireDecodeBatch(b *testing.B) {
+	for _, events := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			data, err := wire.Encode(benchBatch(events))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := wire.NewDecoder()
+			if allocs := testing.AllocsPerRun(100, func() {
+				if _, err := dec.Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}); allocs > float64(events)+4 {
+				b.Fatalf("decode allocates %.1f/op for %d events, want ≤ 1/event (+4)", allocs, events)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNodePublishStream measures sustained end-to-end throughput of the
+// live runtime: one full soak-class campaign per iteration — 64 real nodes
+// on the virtual clock, four publishers streaming for a virtual second under
+// loss and a crash wave — reporting delivered events per virtual second and
+// envelopes per published event.
+func BenchmarkNodePublishStream(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		noBatch bool
+	}{{"batched", false}, {"unbatched", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var eventsPerSec, envPerEvent, wall float64
+			for i := 0; i < b.N; i++ {
+				sc := harness.Soak64()
+				sc.Fleet.NoBatch = mode.noBatch
+				res, err := sc.Run(3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eventsPerSec += res.Report.EventsPerSec
+				envPerEvent += res.Report.EnvelopesPerEvent
+				wall += float64(res.Report.WallMillis)
+			}
+			n := float64(b.N)
+			b.ReportMetric(eventsPerSec/n, "events/vsec")
+			b.ReportMetric(envPerEvent/n, "envelopes/event")
+			b.ReportMetric(wall/n, "wall-ms/run")
+		})
 	}
 }
 

@@ -1,0 +1,127 @@
+// pmcast-benchjson converts `go test -bench` text output into a JSON
+// artifact for the perf trajectory. The raw benchmark lines are preserved
+// verbatim under "raw" — reconstruct a benchstat-compatible file with
+//
+//	jq -r '.raw[]' BENCH_pr3.json | benchstat old.txt -
+//
+// while "benchmarks" carries the parsed (name, iterations, metrics) rows for
+// anything that wants numbers without a parser.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count=3 | pmcast-benchjson -o BENCH.json
+//	pmcast-benchjson -o BENCH.json bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Row is one parsed benchmark result line.
+type Row struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the artifact layout.
+type Output struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Row    `json:"benchmarks"`
+	Raw        []string `json:"raw"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON artifact here (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	res := Output{Benchmarks: []Row{}, Raw: []string{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			res.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			res.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			res.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			res.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res.Raw = append(res.Raw, line)
+		if row, ok := parseLine(line); ok {
+			res.Benchmarks = append(res.Benchmarks, row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(res.Raw) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine splits one result line: name, iteration count, then repeating
+// (value, unit) metric pairs as `go test -bench` emits them.
+func parseLine(line string) (Row, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Row{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Row{}, false
+	}
+	row := Row{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Row{}, false
+		}
+		row.Metrics[fields[i+1]] = v
+	}
+	return row, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmcast-benchjson:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 //	pmcast-chaos -list
 //	pmcast-chaos -scenario churn1024 -seed 7
 //	pmcast-chaos -scenario lossy256 -seed 1 -o report.json -trace run.trace
+//	pmcast-chaos -scenario soak256 -seed 3 -nobatch   # A/B the batched pipeline
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		out      = flag.String("o", "", "write the JSON report here (default stdout)")
 		traceOut = flag.String("trace", "", "also write the raw delivery trace to this file")
 		list     = flag.Bool("list", false, "list the scenario catalog and exit")
+		noBatch  = flag.Bool("nobatch", false, "disable the batched gossip pipeline (A/B envelope accounting)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,9 @@ func main() {
 	sc, err := harness.Lookup(*name)
 	if err != nil {
 		fatal(err)
+	}
+	if *noBatch {
+		sc.Fleet.NoBatch = true
 	}
 	res, err := sc.Run(*seed)
 	if err != nil {

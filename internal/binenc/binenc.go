@@ -24,6 +24,28 @@ func AppendUvarint(b []byte, v uint64) []byte {
 	return binary.AppendUvarint(b, v)
 }
 
+// UvarintLen returns the encoded size of an unsigned varint. Batch framing
+// length-prefixes each section, so encoders size sections up front instead of
+// encoding twice or shifting bytes.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// VarintLen returns the encoded size of a zig-zag signed varint.
+func VarintLen(v int64) int {
+	return UvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// StringLen returns the encoded size of a length-prefixed string.
+func StringLen(s string) int {
+	return UvarintLen(uint64(len(s))) + len(s)
+}
+
 // AppendVarint appends a zig-zag signed varint.
 func AppendVarint(b []byte, v int64) []byte {
 	return binary.AppendVarint(b, v)
@@ -54,16 +76,78 @@ func AppendBytes(b []byte, p []byte) []byte {
 	return append(b, p...)
 }
 
+// Interner deduplicates decoded strings across frames. Gossip streams repeat
+// the same small vocabulary endlessly — event origins, attribute names,
+// membership keys — and a decoder that allocates a fresh string for each
+// occurrence dominates the decode allocation profile. An Interner returns the
+// canonical copy instead; lookups by byte slice compile to zero-allocation
+// map accesses, so steady-state string decoding costs nothing.
+//
+// An Interner is not safe for concurrent use; give each decoder its own.
+type Interner struct {
+	m map[string]string
+}
+
+// maxInternerEntries bounds the table so an adversarial stream of unique
+// strings cannot grow it without limit; when full, the table is dropped and
+// rebuilt from the traffic that follows (the steady-state vocabulary).
+// maxInternedLen keeps payload-sized strings out entirely: vocabulary
+// strings (addresses, attribute names, membership keys) are short, and
+// interning a unique multi-kilobyte attribute value would both pin it in
+// memory and evict the vocabulary the table exists for. Together the bounds
+// cap a table at maxInternerEntries·maxInternedLen bytes.
+const (
+	maxInternerEntries = 4096
+	maxInternedLen     = 64
+)
+
+// NewInterner returns an empty intern table.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[string]string)}
+}
+
+// Intern returns the canonical string equal to b, allocating only on first
+// sight of a vocabulary-sized string; longer strings are copied through
+// without being retained.
+func (in *Interner) Intern(b []byte) string {
+	if len(b) > maxInternedLen {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok { // no-alloc lookup: string(b) is not retained
+		return s
+	}
+	if len(in.m) >= maxInternerEntries {
+		in.m = make(map[string]string)
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
 // Reader is a sticky-error cursor over an encoded buffer: after the first
 // failure every further read returns zero values, and Err reports the cause.
 type Reader struct {
-	buf []byte
-	off int
-	err error
+	buf    []byte
+	off    int
+	err    error
+	intern *Interner
 }
 
 // NewReader wraps a buffer.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// SetIntern routes every String read through the given intern table (nil
+// disables interning). Reset to reuse the reader over a new buffer.
+func (r *Reader) SetIntern(in *Interner) { r.intern = in }
+
+// Reset points the reader at a new buffer, clearing offset and error but
+// keeping the intern table — the decoder-scratch-reuse pattern of the wire
+// hot path.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.off = 0
+	r.err = nil
+}
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
@@ -166,9 +250,12 @@ func (r *Reader) String() string {
 		r.fail(ErrTooLong)
 		return ""
 	}
-	s := string(r.buf[r.off : r.off+int(n)])
+	raw := r.buf[r.off : r.off+int(n)]
 	r.off += int(n)
-	return s
+	if r.intern != nil {
+		return r.intern.Intern(raw)
+	}
+	return string(raw)
 }
 
 // Bytes reads a length-prefixed byte slice (copied).

@@ -1,0 +1,121 @@
+// Snapshot-based leak checks for the virtual-time runtime: after a fleet of
+// real nodes over the in-memory fabric shuts down, the virtual clock's event
+// queue must be empty — no ticker chains, no cancelled-but-counted timers,
+// no orphaned delayed deliveries. The test lives with the clock (as an
+// external test package, so it may import the runtime) because Pending() is
+// the clock's own leak ledger.
+package clock_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/clock"
+	"pmcast/internal/interest"
+	"pmcast/internal/node"
+	"pmcast/internal/transport"
+)
+
+// TestNodeStopLeavesNoPendingVirtualEvents runs four Start-mode nodes on a
+// virtual clock over a delayed fabric (so in-flight messages become clock
+// events), then stops everything and asserts the queue is drained.
+func TestNodeStopLeavesNoPendingVirtualEvents(t *testing.T) {
+	vc := clock.NewVirtual()
+	if vc.Pending() != 0 {
+		t.Fatalf("fresh clock has %d pending events", vc.Pending())
+	}
+	baseline := runtime.NumGoroutine()
+	fab := transport.NewNetwork(transport.Config{
+		Clock:    vc,
+		MinDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond,
+	})
+	space := addr.MustRegular(4, 1)
+	nodes := make([]*node.Node, 0, 4)
+	for i := 0; i < 4; i++ {
+		n, err := node.New(fab, node.Config{
+			Addr:  space.AddressAt(i),
+			Space: space,
+			R:     2, F: 2, C: 3,
+			Subscription:       interest.NewSubscription(),
+			GossipInterval:     10 * time.Millisecond,
+			MembershipInterval: 20 * time.Millisecond,
+			Clock:              vc,
+			Seed:               int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		n.Start()
+	}
+	for _, n := range nodes[1:] {
+		if err := n.Join(nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drive enough virtual time for ticker chains and delayed deliveries to
+	// churn; the Start-mode goroutines consume ticks concurrently, which is
+	// fine — this test is about cleanup, not determinism.
+	for i := 0; i < 100; i++ {
+		vc.Advance(5 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	if vc.Pending() == 0 {
+		t.Fatal("fleet scheduled no clock events — the leak check is vacuous")
+	}
+	for _, n := range nodes {
+		n.Stop()
+	}
+	if err := fab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p := vc.Pending(); p != 0 {
+		t.Errorf("%d virtual-clock events still pending after Stop+Close", p)
+	}
+	// Stop waits for each node's run loop, so the goroutine count must
+	// settle back to the baseline too.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("node goroutines leaked: %d live, baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNetworkCloseCancelsDelayedDeliveries pins the fabric half on its own:
+// messages in flight on a virtual clock are clock events, and closing the
+// fabric must cancel every one of them.
+func TestNetworkCloseCancelsDelayedDeliveries(t *testing.T) {
+	vc := clock.NewVirtual()
+	fab := transport.NewNetwork(transport.Config{
+		Clock:    vc,
+		MinDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond,
+	})
+	a, err := fab.Attach(addr.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fab.Attach(addr.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send(addr.New(1), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vc.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10 in-flight deliveries", vc.Pending())
+	}
+	if err := fab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p := vc.Pending(); p != 0 {
+		t.Errorf("%d deliveries still scheduled after Close", p)
+	}
+}

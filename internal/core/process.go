@@ -115,6 +115,14 @@ type Send struct {
 	Gossip Gossip
 }
 
+// RoundSend is one per-peer round envelope: every gossip this round owes a
+// single destination, in emission order. The batched runtime ships each
+// RoundSend as one wire frame instead of len(Gossips) separate envelopes.
+type RoundSend struct {
+	To      addr.Address
+	Gossips []Gossip
+}
+
 // entry is one buffered gossip: (event, rate, round) of Figure 3.
 type entry struct {
 	ev    event.Event
@@ -280,6 +288,32 @@ func (p *Process) Tick(rng *rand.Rand) []Send {
 		}
 	}
 	return sends
+}
+
+// TickRound executes one gossip period exactly like Tick — same protocol
+// steps, same RNG consumption — but groups the emitted sends by destination
+// into per-peer round envelopes, in order of each destination's first
+// appearance and preserving per-destination gossip order. Grouping is the
+// whole batching contract: the sub-messages a peer receives, and their
+// relative order, are identical to the unbatched flat sends.
+func (p *Process) TickRound(rng *rand.Rand) []RoundSend {
+	sends := p.Tick(rng)
+	if len(sends) == 0 {
+		return nil
+	}
+	rounds := make([]RoundSend, 0, len(sends))
+	slot := make(map[string]int, len(sends))
+	for _, s := range sends {
+		key := s.To.Key()
+		i, ok := slot[key]
+		if !ok {
+			i = len(rounds)
+			slot[key] = i
+			rounds = append(rounds, RoundSend{To: s.To})
+		}
+		rounds[i].Gossips = append(rounds[i].Gossips, s.Gossip)
+	}
+	return rounds
 }
 
 // effectiveRate applies the Section 5.3 tuning: when the susceptible count

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestTickRoundMatchesTick is the batching contract at the protocol layer:
+// TickRound consumes the RNG exactly like Tick and emits the same gossips to
+// the same destinations — grouped per peer, destinations in first-appearance
+// order, per-destination gossip order preserved.
+func TestTickRoundMatchesTick(t *testing.T) {
+	cfg := Config{D: 2, F: 3, C: 3}
+	_, procsA := buildGroup(t, 4, 2, 2, cfg)
+	_, procsB := buildGroup(t, 4, 2, 2, cfg)
+	for seq := uint64(1); seq <= 6; seq++ {
+		ev := bEvent(int64(1+seq%2), seq)
+		if err := procsA["0.0"].Multicast(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := procsB["0.0"].Multicast(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := make([]string, 0, len(procsA))
+	for k := range procsA {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	rngA := rand.New(rand.NewSource(99))
+	rngB := rand.New(rand.NewSource(99))
+	for round := 0; round < 12; round++ {
+		for _, k := range keys {
+			flat := procsA[k].Tick(rngA)
+			rounds := procsB[k].TickRound(rngB)
+
+			// Group the flat sends the way TickRound documents, then compare.
+			var wantOrder []string
+			want := make(map[string][]Gossip)
+			for _, s := range flat {
+				dk := s.To.Key()
+				if _, ok := want[dk]; !ok {
+					wantOrder = append(wantOrder, dk)
+				}
+				want[dk] = append(want[dk], s.Gossip)
+			}
+			if len(rounds) != len(wantOrder) {
+				t.Fatalf("round %d node %s: %d round sends, want %d", round, k, len(rounds), len(wantOrder))
+			}
+			for i, rs := range rounds {
+				if rs.To.Key() != wantOrder[i] {
+					t.Fatalf("round %d node %s: dest %d = %s, want %s", round, k, i, rs.To.Key(), wantOrder[i])
+				}
+				if !reflect.DeepEqual(rs.Gossips, want[rs.To.Key()]) {
+					t.Fatalf("round %d node %s: gossips to %s diverge", round, k, rs.To.Key())
+				}
+			}
+
+			// Deliver both fleets identically so later rounds keep comparing.
+			for _, s := range flat {
+				procsA[s.To.Key()].Receive(s.Gossip)
+			}
+			for _, rs := range rounds {
+				for _, g := range rs.Gossips {
+					procsB[rs.To.Key()].Receive(g)
+				}
+			}
+		}
+	}
+	// Both fleets must have made identical protocol progress.
+	for _, k := range keys {
+		sa, ra := procsA[k].Stats()
+		sb, rb := procsB[k].Stats()
+		if sa != sb || ra != rb {
+			t.Errorf("node %s counters diverge: sent %d/%d received %d/%d", k, sa, sb, ra, rb)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package event
 
 import (
 	"fmt"
-	"sort"
 
 	"pmcast/internal/binenc"
 )
@@ -57,33 +56,79 @@ func ReadID(r *binenc.Reader) ID {
 }
 
 // AppendEvent appends an event: its ID, then sorted (name, value) pairs.
+// Attributes are stored sorted, so encoding is a straight walk — no scratch
+// allocations on the batched wire hot path.
 func AppendEvent(b []byte, e Event) []byte {
 	b = AppendID(b, e.id)
-	names := make([]string, 0, len(e.attrs))
-	for name := range e.attrs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	b = binenc.AppendUvarint(b, uint64(len(names)))
-	for _, name := range names {
-		b = binenc.AppendString(b, name)
-		b = AppendValue(b, e.attrs[name])
+	b = binenc.AppendUvarint(b, uint64(len(e.attrs)))
+	for _, a := range e.attrs {
+		b = binenc.AppendString(b, a.name)
+		b = AppendValue(b, a.val)
 	}
 	return b
 }
 
-// ReadEvent reads an event written by AppendEvent.
+// valueWireSize returns the encoded size of a value.
+func valueWireSize(v Value) int {
+	switch v.kind {
+	case KindInt:
+		return 1 + binenc.VarintLen(v.i)
+	case KindFloat:
+		return 1 + 8
+	case KindString:
+		return 1 + binenc.StringLen(v.s)
+	case KindBool:
+		return 1 + 1
+	default:
+		return 1
+	}
+}
+
+// WireSize returns the exact number of bytes AppendEvent would emit, without
+// encoding. Batch framing length-prefixes each event section, so encoders
+// need sizes before bodies.
+func WireSize(e Event) int {
+	n := binenc.StringLen(e.id.Origin) + binenc.UvarintLen(e.id.Seq) +
+		binenc.UvarintLen(uint64(len(e.attrs)))
+	for _, a := range e.attrs {
+		n += binenc.StringLen(a.name) + valueWireSize(a.val)
+	}
+	return n
+}
+
+// ReadEvent reads an event written by AppendEvent. Attributes arrive sorted
+// from our own encoder, which the fast path exploits; unsorted or duplicated
+// names (foreign encoders, corrupted frames) are insertion-sorted with
+// last-wins semantics so the canonical form is restored.
 func ReadEvent(r *binenc.Reader) Event {
 	id := ReadID(r)
 	n := r.Count(2)
-	attrs := make(map[string]Value, n)
+	var attrs []attr
+	if n > 0 {
+		attrs = make([]attr, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		name := r.String()
 		v := ReadValue(r)
 		if r.Err() != nil {
 			return Event{}
 		}
-		attrs[name] = v
+		if k := len(attrs); k == 0 || attrs[k-1].name < name {
+			attrs = append(attrs, attr{name: name, val: v}) // already in order
+			continue
+		}
+		// Out-of-order or duplicate name: insert at its sorted position.
+		at := 0
+		for at < len(attrs) && attrs[at].name < name {
+			at++
+		}
+		if at < len(attrs) && attrs[at].name == name {
+			attrs[at].val = v // duplicate: last wins, as a map decode would
+			continue
+		}
+		attrs = append(attrs, attr{})
+		copy(attrs[at+1:], attrs[at:])
+		attrs[at] = attr{name: name, val: v}
 	}
 	return Event{id: id, attrs: attrs}
 }

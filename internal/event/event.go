@@ -156,21 +156,42 @@ func (id ID) IsZero() bool { return id.Origin == "" && id.Seq == 0 }
 // ErrNoAttribute is returned when an event lacks a requested attribute.
 var ErrNoAttribute = errors.New("event: no such attribute")
 
+// attr is one named attribute. Events store their attributes as a slice
+// sorted by name rather than a map: events carry a handful of attributes, a
+// sorted slice is cheaper to build (one allocation), cheaper to scan, already
+// in canonical wire order, and — unlike a map — decodable with exactly one
+// allocation per event, which is what keeps the batched wire path inside its
+// allocation budget.
+type attr struct {
+	name string
+	val  Value
+}
+
 // Event is an immutable set of named, typed attributes with an identifier.
 // Construct events with NewBuilder/Builder or New; the zero Event carries no
 // attributes.
 type Event struct {
 	id    ID
-	attrs map[string]Value
+	attrs []attr // sorted by name, unique names
 }
 
 // New builds an event from an attribute map. The map is copied.
 func New(id ID, attrs map[string]Value) Event {
-	m := make(map[string]Value, len(attrs))
+	as := make([]attr, 0, len(attrs))
 	for k, v := range attrs {
-		m[k] = v
+		as = append(as, attr{name: k, val: v})
 	}
-	return Event{id: id, attrs: m}
+	sort.Slice(as, func(i, j int) bool { return as[i].name < as[j].name })
+	return Event{id: id, attrs: as}
+}
+
+// find returns the index of name in the sorted attribute slice, or -1.
+func (e Event) find(name string) int {
+	i := sort.Search(len(e.attrs), func(i int) bool { return e.attrs[i].name >= name })
+	if i < len(e.attrs) && e.attrs[i].name == name {
+		return i
+	}
+	return -1
 }
 
 // ID returns the event identifier.
@@ -182,21 +203,27 @@ func (e Event) WithID(id ID) Event {
 }
 
 // Attr returns the named attribute value; the zero Value if absent.
-func (e Event) Attr(name string) Value { return e.attrs[name] }
+func (e Event) Attr(name string) Value {
+	if i := e.find(name); i >= 0 {
+		return e.attrs[i].val
+	}
+	return Value{}
+}
 
 // Lookup returns the named attribute and whether it exists.
 func (e Event) Lookup(name string) (Value, bool) {
-	v, ok := e.attrs[name]
-	return v, ok
+	if i := e.find(name); i >= 0 {
+		return e.attrs[i].val, true
+	}
+	return Value{}, false
 }
 
 // Names returns the attribute names in sorted order.
 func (e Event) Names() []string {
-	names := make([]string, 0, len(e.attrs))
-	for k := range e.attrs {
-		names = append(names, k)
+	names := make([]string, len(e.attrs))
+	for i, a := range e.attrs {
+		names[i] = a.name
 	}
-	sort.Strings(names)
 	return names
 }
 
@@ -210,11 +237,11 @@ func (e Event) String() string {
 	if !e.id.IsZero() {
 		sb.WriteString(e.id.String())
 	}
-	for _, name := range e.Names() {
+	for _, a := range e.attrs {
 		if sb.Len() > 1 {
 			sb.WriteByte(' ')
 		}
-		fmt.Fprintf(&sb, "%s=%s", name, e.attrs[name])
+		fmt.Fprintf(&sb, "%s=%s", a.name, a.val)
 	}
 	sb.WriteByte('}')
 	return sb.String()

@@ -62,6 +62,19 @@ type Report struct {
 	MessagesDropped   int   `json:"messages_dropped"`
 	DeliveriesDropped int64 `json:"deliveries_dropped"`
 
+	// Throughput accounting (the soak workload class). Envelopes counts
+	// sender-side transport sends fleet-wide (a batched round envelope is
+	// one); WireBytes is their total encoded size, measured only when the
+	// fleet sets MeasureWire. EventsPerSec is deliveries per virtual second;
+	// EnvelopesPerEvent and BytesPerEvent normalize fabric cost by events
+	// published — the batching headroom metrics.
+	Batching          bool    `json:"batching"`
+	Envelopes         int64   `json:"envelopes"`
+	WireBytes         int64   `json:"wire_bytes"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	EnvelopesPerEvent float64 `json:"envelopes_per_event"`
+	BytesPerEvent     float64 `json:"bytes_per_event"`
+
 	// MeanReliability and MinReliability summarize, over published events,
 	// the fraction of eligible processes (interested, alive at publish time
 	// and still alive at the end) that delivered the event.
@@ -117,6 +130,11 @@ type run struct {
 
 	handles   []*handle // fixed index order — the engine's iteration order
 	nextFresh int       // next unused address index for OpJoin
+
+	// envSum and byteSum accumulate wire counters of node generations
+	// replaced by rejoins; finish() adds the live generations on top.
+	envSum  int64
+	byteSum int64
 
 	trace     bytes.Buffer
 	delivered map[string][]event.ID
@@ -188,6 +206,7 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	r.report.Scenario = sc.Name
 	r.report.Seed = seed
 	r.report.Nodes = sc.Nodes
+	r.report.Batching = !sc.Fleet.NoBatch
 
 	// Spawn the initial fleet.
 	for i := 0; i < sc.Nodes; i++ {
@@ -249,6 +268,13 @@ func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 		r.handles[i] = h
 	}
 	h.gen++
+	if h.n != nil {
+		// The crashed generation's wire counters would vanish with the
+		// handle's node pointer; bank them before the rejoin replaces it.
+		env, bytes := h.n.WireStats()
+		r.envSum += env
+		r.byteSum += bytes
+	}
 	n, err := node.New(r.fabric, node.Config{
 		Addr:               a,
 		Space:              r.space,
@@ -265,6 +291,8 @@ func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 		SuspectAfter:       r.sc.Fleet.SuspectAfter,
 		SuspicionSweeps:    r.sc.Fleet.SuspicionSweeps,
 		DeliveryBuffer:     r.sc.Fleet.DeliveryBuffer,
+		NoBatch:            r.sc.Fleet.NoBatch,
+		MeasureWire:        r.sc.Fleet.MeasureWire,
 		Seed:               mixSeed(r.seed, i, h.gen),
 		Clock:              r.vc,
 	})
@@ -608,6 +636,26 @@ func (r *run) finish(wallStart time.Time) {
 	}
 	r.report.MembershipMin, r.report.MembershipMax = memMin, memMax
 	r.report.MessagesDropped = r.fabric.Dropped()
+
+	// Wire cost fleet-wide: banked counters of replaced generations plus
+	// every handle's current node (crashed nodes keep their counters).
+	r.report.Envelopes = r.envSum
+	r.report.WireBytes = r.byteSum
+	for _, h := range r.handles {
+		if h == nil || h.n == nil {
+			continue
+		}
+		env, wb := h.n.WireStats()
+		r.report.Envelopes += env
+		r.report.WireBytes += wb
+	}
+	if secs := float64(r.report.VirtualMillis) / 1000; secs > 0 {
+		r.report.EventsPerSec = float64(r.report.Delivered) / secs
+	}
+	if r.report.Published > 0 {
+		r.report.EnvelopesPerEvent = float64(r.report.Envelopes) / float64(r.report.Published)
+		r.report.BytesPerEvent = float64(r.report.WireBytes) / float64(r.report.Published)
+	}
 
 	// Reliability over events: delivered / eligible, eligibility restricted
 	// to processes still alive at the end (crashes already removed).

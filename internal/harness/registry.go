@@ -18,6 +18,8 @@ func Scenarios() map[string]Scenario {
 		"parity64":  Parity64(),
 		"lossy256":  Lossy256(),
 		"churn1024": Churn1024(),
+		"soak64":    Soak64(),
+		"soak256":   Soak256(),
 	}
 }
 
@@ -150,6 +152,87 @@ func Lossy256() Scenario {
 	return s
 }
 
+// Soak64 is the quick sustained-throughput campaign: four fixed publishers
+// spread across the tree's top-level subtrees emit a steady event stream
+// under mild ambient loss and a small crash wave. Wire accounting is on, so
+// its report carries events/sec, envelopes/event and bytes/event — the
+// workload the batched gossip pipeline is measured by, at a size that runs
+// in well under a second of wall clock.
+func Soak64() Scenario {
+	s := Scenario{
+		Name: "soak64",
+		Fleet: Fleet{
+			Arity: 4, Depth: 3,
+			R: 2, F: 3, C: 3,
+			GossipInterval:     20 * time.Millisecond,
+			MembershipInterval: 100 * time.Millisecond,
+			SuspectAfter:       600 * time.Millisecond,
+			Classes:            4,
+			MeasureWire:        true,
+		},
+		Nodes:     64,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.01,
+		QueueLen:  2048,
+		Horizon:   1300 * time.Millisecond,
+		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {
+			return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%4)))
+		},
+	}
+	// Four publishers, one per top-level subtree, each publishing two events
+	// every 20ms — offset by 5ms so their rounds interleave.
+	for k, idx := range []int{0, 16, 32, 48} {
+		off := time.Duration(k) * 5 * time.Millisecond
+		s.StreamAt(100*time.Millisecond+off, 1100*time.Millisecond, 20*time.Millisecond, idx, 2, -1)
+	}
+	s.CrashAt(500*time.Millisecond, 4)
+	return s
+}
+
+// Soak256 is the sustained-throughput acceptance campaign: a 256-node fleet
+// under ambient loss and churn, with eight fixed publishers emitting a
+// steady multi-class event stream for two virtual seconds. The batched
+// pipeline's envelope aggregation is the subject: the same (seed, schedule)
+// with Fleet.NoBatch set replays the same per-event delivery outcomes with
+// strictly more envelopes — compare the two reports' envelopes/event.
+func Soak256() Scenario {
+	s := Scenario{
+		Name: "soak256",
+		Fleet: Fleet{
+			Arity: 4, Depth: 4,
+			R: 2, F: 4, C: 3,
+			GossipInterval:     20 * time.Millisecond,
+			MembershipInterval: 100 * time.Millisecond,
+			SuspectAfter:       600 * time.Millisecond,
+			Classes:            4,
+			MeasureWire:        true,
+		},
+		Nodes:     256,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.02,
+		QueueLen:  2048,
+		Horizon:   2600 * time.Millisecond,
+		// Interest locality by top-level subtree, as in the other fleet-scale
+		// campaigns.
+		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {
+			return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%4)))
+		},
+	}
+	// Eight publishers, two per top-level subtree, each publishing two
+	// events every 20ms from t=200ms to t=2.2s (~800 events), staggered by
+	// 2ms so rounds interleave rather than synchronize.
+	for k, idx := range []int{0, 17, 64, 81, 128, 145, 192, 209} {
+		off := time.Duration(k) * 2 * time.Millisecond
+		s.StreamAt(200*time.Millisecond+off, 2200*time.Millisecond, 20*time.Millisecond, idx, 2, -1)
+	}
+	// Churn mid-stream: a crash wave, an interest-flux wave, a partial
+	// rejoin — throughput must be sustained through membership movement.
+	s.CrashAt(900*time.Millisecond, 16).
+		FluxAt(1200*time.Millisecond, 16).
+		RejoinAt(1700*time.Millisecond, 8)
+	return s
+}
+
 // Churn1024 is the scale campaign: a 1024-node fleet (the regular 4^5
 // tree) under ambient loss, hit by a 64-node crash wave, a rejoin wave and
 // subscription flux, publishing before, during and after the churn. On the
@@ -172,8 +255,12 @@ func Churn1024() Scenario {
 		Nodes:     1024,
 		Bootstrap: BootstrapOracle,
 		Loss:      0.02,
-		QueueLen:  8192,
-		Horizon:   3 * time.Second,
+		// 2048 is 4× the deepest queue the campaign actually reaches (the
+		// engine drains every instant; outcomes are identical down to 512)
+		// while keeping the eager per-endpoint buffers off the allocation
+		// profile — 8192 here cost ~2s of wall clock in zeroing alone.
+		QueueLen: 2048,
+		Horizon:  3 * time.Second,
 		// Interest locality: subscriptions cluster by top-level subtree
 		// (see Lossy256); flux then scatters 64 of them.
 		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {

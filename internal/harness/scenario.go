@@ -59,6 +59,17 @@ type Fleet struct {
 	// it after every virtual instant, so bursts rarely need more than the
 	// default.
 	DeliveryBuffer int
+	// NoBatch disables the batched gossip pipeline fleet-wide: every gossip,
+	// digest and heartbeat goes as its own envelope. Batching is
+	// behavior-preserving (per-link sub-messages and fault draws are
+	// identical either way), so this is the A/B knob for envelope and byte
+	// accounting, not a protocol variant.
+	NoBatch bool
+	// MeasureWire enables sender-side encoded-byte accounting on every
+	// node, feeding the report's bytes/event. Costs one pooled encode per
+	// envelope; soak scenarios turn it on, reliability campaigns leave it
+	// off.
+	MeasureWire bool
 	// Classes partitions interests: node i subscribes to attribute "b" ==
 	// i mod Classes unless SubscriptionFor overrides it, and published
 	// events carry one class value.
@@ -136,6 +147,18 @@ type Op struct {
 // PublishAt schedules count publishes of class from node (−1 = random).
 func (s *Scenario) PublishAt(at time.Duration, node, count int, class int64) *Scenario {
 	s.Ops = append(s.Ops, Op{At: at, Kind: OpPublish, Node: node, Count: count, Class: class})
+	return s
+}
+
+// StreamAt schedules a sustained publish stream: count events of class
+// (−1 = random) from node (−1 = random) every period, from start until
+// before end — the workload shape of the soak scenarios. It expands to plain
+// publish ops, so the engine needs no new machinery and the schedule stays
+// inspectable in the report.
+func (s *Scenario) StreamAt(start, end, period time.Duration, node, count int, class int64) *Scenario {
+	for at := start; at < end; at += period {
+		s.PublishAt(at, node, count, class)
+	}
 	return s
 }
 
@@ -224,7 +247,14 @@ func (s Scenario) withDefaults() (Scenario, error) {
 		s.Bootstrap = BootstrapOracle
 	}
 	if s.QueueLen <= 0 {
-		s.QueueLen = 4096
+		// Inbox channels are allocated eagerly per endpoint, so the queue
+		// bound is fleet-sized RAM and zeroing cost up front (n·QueueLen
+		// envelope slots — ~780MB at 1024×8192, a fifth of churn1024's wall
+		// clock in memclr alone). The engine pumps every inbox to
+		// quiescence at each virtual instant, so observed depths stay far
+		// below even this default; campaigns that want more headroom set
+		// QueueLen explicitly.
+		s.QueueLen = 1024
 	}
 	if s.Horizon <= 0 {
 		s.Horizon = 2 * time.Second

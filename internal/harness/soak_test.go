@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// deliveredSets reindexes a run's deliveries as event → set of delivering
+// nodes, the unit the batching equivalence property compares.
+func deliveredSets(res *Result) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for key, ids := range res.Delivered {
+		for _, id := range ids {
+			ev := fmt.Sprintf("%s#%d", id.Origin, id.Seq)
+			if out[ev] == nil {
+				out[ev] = make(map[string]bool)
+			}
+			out[ev][key] = true
+		}
+	}
+	return out
+}
+
+// runPair executes the same (scenario, seed) with batching on and off.
+func runPair(t *testing.T, sc Scenario, seed int64) (batched, plain *Result) {
+	t.Helper()
+	batchedSc := sc
+	batched, err := batchedSc.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSc := sc
+	plainSc.Fleet.NoBatch = true
+	plain, err = plainSc.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batched, plain
+}
+
+// TestBatchingEquivalence is the batching contract end to end: the same
+// (scenario, seed) with the batched pipeline on versus off yields the same
+// per-event delivery outcomes — only envelope counts may differ. Batching
+// groups a round's sends per peer without changing their per-link content or
+// order, and the fabric draws faults from per-link streams, so the property
+// holds by construction; this test pins it for the smoke and the
+// lossy-fleet campaigns across several seeds.
+func TestBatchingEquivalence(t *testing.T) {
+	scenarios := []func() Scenario{Smoke16, Lossy256}
+	for _, mk := range scenarios {
+		sc := mk()
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && sc.Nodes > 64 {
+				t.Skip("large equivalence pair skipped in -short")
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				batched, plain := runPair(t, mk(), seed)
+				if !batched.Report.Batching || plain.Report.Batching {
+					t.Fatalf("mode flags wrong: %v/%v", batched.Report.Batching, plain.Report.Batching)
+				}
+				bs, ps := deliveredSets(batched), deliveredSets(plain)
+				if len(bs) != len(ps) {
+					t.Fatalf("seed %d: %d delivered events batched vs %d unbatched",
+						seed, len(bs), len(ps))
+				}
+				for ev, set := range bs {
+					other := ps[ev]
+					if len(other) != len(set) {
+						t.Fatalf("seed %d event %s: %d deliverers batched vs %d unbatched",
+							seed, ev, len(set), len(other))
+					}
+					for key := range set {
+						if !other[key] {
+							t.Fatalf("seed %d event %s: %s delivered only when batched", seed, ev, key)
+						}
+					}
+				}
+				if batched.Report.Envelopes >= plain.Report.Envelopes {
+					t.Errorf("seed %d: batching sent %d envelopes, unbatched %d — no aggregation",
+						seed, batched.Report.Envelopes, plain.Report.Envelopes)
+				}
+			}
+		})
+	}
+}
+
+// TestSoak64Throughput exercises the sustained-traffic workload class: the
+// soak report must carry the throughput metrics, batching must strictly
+// reduce envelopes/event at the same seed, and the run must replay
+// byte-identically.
+func TestSoak64Throughput(t *testing.T) {
+	batched, plain := runPair(t, Soak64(), 3)
+	rep := batched.Report
+	t.Logf("soak64: %.0f events/s, %.1f envelopes/event, %.0f bytes/event (unbatched: %.1f env/event)",
+		rep.EventsPerSec, rep.EnvelopesPerEvent, rep.BytesPerEvent, plain.Report.EnvelopesPerEvent)
+	if rep.Published < 300 {
+		t.Errorf("published %d events, want a sustained stream of ≥ 300", rep.Published)
+	}
+	if rep.EventsPerSec <= 0 || rep.EnvelopesPerEvent <= 0 || rep.BytesPerEvent <= 0 {
+		t.Errorf("throughput metrics missing: %+v", rep)
+	}
+	if rep.EnvelopesPerEvent >= plain.Report.EnvelopesPerEvent {
+		t.Errorf("envelopes/event %.1f not below the unbatched %.1f",
+			rep.EnvelopesPerEvent, plain.Report.EnvelopesPerEvent)
+	}
+	if rep.MeanReliability < 0.9 {
+		t.Errorf("mean reliability %.3f below 0.9 under soak churn", rep.MeanReliability)
+	}
+
+	replay, err := Soak64().Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Report.TraceSHA256 != rep.TraceSHA256 {
+		t.Errorf("soak64 same-seed replay diverges: %s vs %s", replay.Report.TraceSHA256, rep.TraceSHA256)
+	}
+}
+
+// TestSoak256Acceptance is the PR's acceptance criterion at full size: the
+// soak256 report is deterministic per seed, carries events/sec,
+// envelopes/event and bytes/event, and batching strictly lowers
+// envelopes/event versus a batching-disabled run at the same seed. The
+// soak fabrics are delay-free, so the equivalence is exact: batched and
+// unbatched runs produce byte-identical traces.
+func TestSoak256Acceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size soak skipped in -short")
+	}
+	const seed = 7
+	batched, plain := runPair(t, Soak256(), seed)
+	rep := batched.Report
+	t.Logf("soak256: wall=%dms %.0f events/s, %.1f env/event vs %.1f unbatched, %.0f bytes/event",
+		rep.WallMillis, rep.EventsPerSec, rep.EnvelopesPerEvent,
+		plain.Report.EnvelopesPerEvent, rep.BytesPerEvent)
+	if rep.EventsPerSec <= 0 || rep.EnvelopesPerEvent <= 0 || rep.BytesPerEvent <= 0 {
+		t.Errorf("throughput metrics missing: %+v", rep)
+	}
+	if rep.EnvelopesPerEvent >= plain.Report.EnvelopesPerEvent {
+		t.Errorf("envelopes/event %.2f not strictly below unbatched %.2f",
+			rep.EnvelopesPerEvent, plain.Report.EnvelopesPerEvent)
+	}
+	if rep.TraceSHA256 != plain.Report.TraceSHA256 {
+		t.Errorf("delay-free soak traces diverge across modes: %s vs %s",
+			rep.TraceSHA256, plain.Report.TraceSHA256)
+	}
+	replay, err := Soak256().Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Report.TraceSHA256 != rep.TraceSHA256 {
+		t.Errorf("soak256 same-seed replay diverges")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"pmcast/internal/membership"
 	"pmcast/internal/transport"
 	"pmcast/internal/tree"
+	"pmcast/internal/wire"
 )
 
 // Errors reported by the runtime.
@@ -70,6 +71,19 @@ type Config struct {
 	// DeliveryBuffer sizes the Deliveries channel (default 256). When the
 	// consumer lags, further deliveries are dropped and counted.
 	DeliveryBuffer int
+	// NoBatch disables the batched gossip pipeline: every gossip, digest and
+	// heartbeat goes out as its own envelope, as the pre-batching runtime
+	// sent them. Batching is a pure envelope-level aggregation — the
+	// sub-messages each peer receives, and their per-link order, are
+	// identical either way — so this knob exists for A/B measurement
+	// (envelopes/event, bytes/event) and the equivalence property test, not
+	// for correctness.
+	NoBatch bool
+	// MeasureWire enables sender-side wire accounting: every outgoing
+	// envelope's encoded size is measured (via the wire codec, without
+	// retaining an allocation) and summed into WireStats. Off by default —
+	// in-memory campaigns that don't report bytes skip the encoding work.
+	MeasureWire bool
 	// Seed seeds the node RNG (0 derives one from the address).
 	Seed int64
 	// Clock supplies the node's timers and the membership service's notion
@@ -126,6 +140,9 @@ type Node struct {
 	seq        atomic.Uint64
 	deliveries chan event.Event
 	dropped    atomic.Int64
+
+	envelopes atomic.Int64 // outgoing envelopes (batched counts as one)
+	wireBytes atomic.Int64 // encoded bytes of outgoing envelopes (MeasureWire)
 
 	joinMu      sync.Mutex
 	joinContact addr.Address
@@ -219,7 +236,7 @@ func (n *Node) Join(contact addr.Address) error {
 	n.joinMu.Lock()
 	n.joinContact = contact
 	n.joinMu.Unlock()
-	return n.ep.Send(contact, n.mem.BuildJoinRequest())
+	return n.send(contact, n.mem.BuildJoinRequest())
 }
 
 // Leave announces departure to the closest known neighbors and stops the
@@ -227,9 +244,26 @@ func (n *Node) Join(contact addr.Address) error {
 func (n *Node) Leave() {
 	leave := n.mem.BuildLeave()
 	for _, nb := range n.mem.ImmediateNeighbors() {
-		_ = n.ep.Send(nb, leave) // best effort; gossip spreads the tombstone
+		_ = n.send(nb, leave) // best effort; gossip spreads the tombstone
 	}
 	n.Stop()
+}
+
+// send ships one payload through the endpoint, counting envelopes and —
+// when MeasureWire is on — their encoded wire size.
+func (n *Node) send(to addr.Address, payload any) error {
+	n.envelopes.Add(1)
+	if n.cfg.MeasureWire {
+		n.wireBytes.Add(int64(wire.EncodedSize(payload)))
+	}
+	return n.ep.Send(to, payload)
+}
+
+// WireStats reports the sender-side network cost so far: envelopes emitted
+// (a batch counts as one) and their total encoded bytes (zero unless
+// MeasureWire is configured).
+func (n *Node) WireStats() (envelopes, bytes int64) {
+	return n.envelopes.Load(), n.wireBytes.Load()
 }
 
 // Subscribe replaces the node's interests; the change propagates through
@@ -298,29 +332,52 @@ func (n *Node) handle(env transport.Envelope) {
 	case core.Gossip:
 		n.handleGossip(msg)
 	case membership.Digest:
-		upd, gossiperFresher := n.mem.HandleDigest(msg)
-		if upd != nil {
-			_ = n.ep.Send(env.From, *upd)
-		}
-		if gossiperFresher {
-			// Push-pull: the gossiper knows things we don't — answer with
-			// our own digest so it pushes them (see membership.HandleDigest;
-			// this is also how a falsely-expelled process re-enters views).
-			_ = n.ep.Send(env.From, n.mem.MakeDigest())
-		}
+		n.handleDigest(env.From, msg)
 	case membership.Update:
 		n.mem.Apply(msg)
 	case membership.JoinRequest:
 		reply, fwd, forwardIt := n.mem.HandleJoinRequest(msg)
-		_ = n.ep.Send(msg.Joiner.Addr, reply)
+		_ = n.send(msg.Joiner.Addr, reply)
 		if forwardIt && msg.Hops > 0 {
 			msg.Hops--
-			_ = n.ep.Send(fwd, msg)
+			_ = n.send(fwd, msg)
 		}
 	case membership.Leave:
 		n.mem.HandleLeave(msg)
 	case membership.Heartbeat:
 		// Liveness only; the MarkHeard above already recorded the contact.
+	case wire.Batch:
+		// A round envelope from a byte-oriented fabric (the in-memory fabric
+		// unbatches in transit). Sub-messages are processed in the batch's
+		// canonical order: gossips, update, digest, heartbeat.
+		n.handleGossipBatch(msg.Gossips)
+		if msg.Update != nil {
+			n.mem.Apply(*msg.Update)
+		}
+		if msg.Digest != nil {
+			n.handleDigest(env.From, *msg.Digest)
+		}
+	}
+}
+
+// handleDigest answers one anti-entropy probe. With batching on, a reply
+// that needs both the pulled update and our own counter-digest piggybacks
+// them onto a single envelope.
+func (n *Node) handleDigest(from addr.Address, d membership.Digest) {
+	upd, gossiperFresher := n.mem.HandleDigest(d)
+	// Push-pull: when the gossiper knows things we don't, answer with our
+	// own digest so it pushes them (see membership.HandleDigest; this is
+	// also how a falsely-expelled process re-enters views).
+	if !n.cfg.NoBatch && upd != nil && gossiperFresher {
+		mine := n.mem.MakeDigest()
+		_ = n.send(from, wire.Batch{Update: upd, Digest: &mine})
+		return
+	}
+	if upd != nil {
+		_ = n.send(from, *upd)
+	}
+	if gossiperFresher {
+		_ = n.send(from, n.mem.MakeDigest())
 	}
 }
 
@@ -338,17 +395,60 @@ func (n *Node) handleGossip(g core.Gossip) {
 	n.drainDeliveriesLocked()
 }
 
+// handleGossipBatch processes a round envelope's gossip section under one
+// lock acquisition and one staleness check — the receive-side half of the
+// batched pipeline.
+func (n *Node) handleGossipBatch(gs []core.Gossip) {
+	if len(gs) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rebuilt := false
+	for _, g := range gs {
+		if _, dup := n.seen[g.Event.ID()]; dup {
+			continue
+		}
+		if !rebuilt {
+			if err := n.rebuildIfStaleLocked(); err != nil {
+				return
+			}
+			rebuilt = true
+		}
+		n.seen[g.Event.ID()] = struct{}{}
+		n.proc.Receive(g)
+	}
+	n.drainDeliveriesLocked()
+}
+
 func (n *Node) tickGossip() {
 	n.mu.Lock()
 	if err := n.rebuildIfStaleLocked(); err != nil {
 		n.mu.Unlock()
 		return
 	}
-	sends := n.proc.Tick(n.rng)
+	if n.cfg.NoBatch {
+		sends := n.proc.Tick(n.rng)
+		n.drainDeliveriesLocked()
+		n.mu.Unlock()
+		for _, s := range sends {
+			_ = n.send(s.To, s.Gossip)
+		}
+		return
+	}
+	// Batched pipeline: every gossip this round owes one peer rides a single
+	// round envelope. TickRound consumes the RNG exactly like Tick, so the
+	// two modes stay behaviorally equivalent (see the harness equivalence
+	// test) — only envelope counts differ.
+	rounds := n.proc.TickRound(n.rng)
 	n.drainDeliveriesLocked()
 	n.mu.Unlock()
-	for _, s := range sends {
-		_ = n.ep.Send(s.To, s.Gossip)
+	for _, rs := range rounds {
+		if len(rs.Gossips) == 1 {
+			_ = n.send(rs.To, rs.Gossips[0]) // a bare frame is smaller than a batch of one
+		} else {
+			_ = n.send(rs.To, wire.Batch{Gossips: rs.Gossips})
+		}
 	}
 }
 
@@ -360,23 +460,54 @@ func (n *Node) tickMembership() {
 		contact := n.joinContact
 		n.joinMu.Unlock()
 		if !contact.IsZero() {
-			_ = n.ep.Send(contact, n.mem.BuildJoinRequest())
+			_ = n.send(contact, n.mem.BuildJoinRequest())
 		}
 	}
 	n.mu.Lock()
 	targets := n.mem.DigestTargets(n.rng, n.cfg.MembershipFanout)
 	n.mu.Unlock()
 	d := n.mem.MakeSummaryDigest()
-	for _, to := range targets {
-		_ = n.ep.Send(to, d)
-	}
 	// Beacon the whole subgroup: the failure detector deadline is counted in
 	// membership intervals, so every immediate neighbor must hear from us at
 	// interval granularity regardless of where the digests went.
 	hb := membership.Heartbeat{From: n.cfg.Addr}
-	for _, nb := range n.mem.ImmediateNeighbors() {
-		_ = n.ep.Send(nb, hb)
+	neighbors := n.mem.ImmediateNeighbors()
+	if n.cfg.NoBatch {
+		for _, to := range targets {
+			_ = n.send(to, d)
+		}
+		for _, nb := range neighbors {
+			_ = n.send(nb, hb)
+		}
+		return
 	}
+	// Piggyback: a digest target that is also an immediate neighbor gets one
+	// envelope carrying both the probe and the beacon.
+	beaconed := make(map[string]bool, len(targets))
+	for _, to := range targets {
+		if isNeighbor(neighbors, to) {
+			beaconed[to.Key()] = true
+			_ = n.send(to, wire.Batch{Digest: &d, Heartbeat: &hb})
+		} else {
+			_ = n.send(to, d)
+		}
+	}
+	for _, nb := range neighbors {
+		if !beaconed[nb.Key()] {
+			_ = n.send(nb, hb)
+		}
+	}
+}
+
+// isNeighbor reports whether a appears in the (small, subgroup-sized)
+// neighbor list.
+func isNeighbor(neighbors []addr.Address, a addr.Address) bool {
+	for _, nb := range neighbors {
+		if nb.Equal(a) {
+			return true
+		}
+	}
+	return false
 }
 
 // rebuildIfStaleLocked refreshes tree views when membership moved.

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"testing"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/core"
+	"pmcast/internal/event"
+	"pmcast/internal/membership"
+	"pmcast/internal/wire"
+)
+
+func testBatch(events int) wire.Batch {
+	b := wire.Batch{
+		Digest:    &membership.Digest{From: addr.New(1), Hash: 7},
+		Heartbeat: &membership.Heartbeat{From: addr.New(1)},
+	}
+	for i := 0; i < events; i++ {
+		b.Gossips = append(b.Gossips, core.Gossip{
+			Event: event.NewBuilder().Int("b", int64(i)).
+				Build(event.ID{Origin: "1", Seq: uint64(i + 1)}),
+			Depth: 1,
+		})
+	}
+	return b
+}
+
+// TestBatchUnbatchesInTransit pins the simulated-fabric model: a round
+// envelope arrives as its constituent messages, as separate envelopes, in
+// the batch's canonical order.
+func TestBatchUnbatchesInTransit(t *testing.T) {
+	net := NewNetwork(Config{})
+	defer net.Close()
+	a, _ := net.Attach(addr.New(1))
+	b, _ := net.Attach(addr.New(2))
+	if err := a.Send(b.Addr(), testBatch(3)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"core.Gossip", "core.Gossip", "core.Gossip",
+		"membership.Digest", "membership.Heartbeat"}
+	for i, kind := range want {
+		select {
+		case env := <-b.Recv():
+			if got := typeName(env.Payload); got != kind {
+				t.Fatalf("part %d = %s, want %s", i, got, kind)
+			}
+			if !env.From.Equal(a.Addr()) {
+				t.Fatalf("part %d from %s", i, env.From)
+			}
+		default:
+			t.Fatalf("only %d of %d parts delivered", i, len(want))
+		}
+	}
+	select {
+	case env := <-b.Recv():
+		t.Fatalf("unexpected extra envelope %T", env.Payload)
+	default:
+	}
+}
+
+// TestBatchDropAccountingParity demands identical drop counts for the same
+// traffic batched or not, on every fault path — partition, loss, and
+// unknown destination — so the soak A/B reports stay comparable.
+func TestBatchDropAccountingParity(t *testing.T) {
+	net := NewNetwork(Config{})
+	defer net.Close()
+	a, _ := net.Attach(addr.New(1))
+	b, _ := net.Attach(addr.New(2))
+
+	net.Block(a.Addr(), b.Addr())
+	if err := a.Send(b.Addr(), testBatch(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Dropped(); got != 5 {
+		t.Errorf("partition dropped %d, want 5 (one per sub-message)", got)
+	}
+
+	net.Heal()
+	net.SetLoss(1)
+	if err := a.Send(b.Addr(), testBatch(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Dropped(); got != 5+4 {
+		t.Errorf("after full loss dropped %d, want 9", got)
+	}
+
+	net.SetLoss(0)
+	if err := a.Send(addr.New(9), testBatch(1)); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if got := net.Dropped(); got != 9+3 {
+		t.Errorf("after unknown dest dropped %d, want 12", got)
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case core.Gossip:
+		return "core.Gossip"
+	case membership.Update:
+		return "membership.Update"
+	case membership.Digest:
+		return "membership.Digest"
+	case membership.Heartbeat:
+		return "membership.Heartbeat"
+	default:
+		return "other"
+	}
+}

@@ -10,12 +10,12 @@ package transport
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"pmcast/internal/addr"
 	"pmcast/internal/clock"
+	"pmcast/internal/wire"
 )
 
 // Config tunes the in-memory network fabric.
@@ -28,8 +28,19 @@ type Config struct {
 	// QueueLen is each endpoint's inbox capacity (default 1024); overflow
 	// drops messages, mirroring UDP socket buffers.
 	QueueLen int
-	// Seed seeds the fault RNG (0 uses a fixed default for reproducibility).
+	// Seed seeds the fault RNGs (0 uses a fixed default for
+	// reproducibility). Every directed link draws loss and delay from its
+	// own seed-derived stream — common random numbers, in simulation terms —
+	// so fault outcomes depend only on a link's own traffic, not on how
+	// traffic to other links is interleaved or enveloped. That is what
+	// makes a batched and an unbatched run of the same campaign
+	// fault-equivalent (see the harness equivalence test).
 	Seed int64
+	// Tap, when set, observes every routed payload before fault injection —
+	// whole round envelopes included, exactly as a byte-oriented fabric
+	// would frame them. Corpus capture and debugging; called with the
+	// network lock held, so it must not reenter the network.
+	Tap func(from, to addr.Address, payload any)
 	// Clock schedules delayed deliveries (default: the real clock). A
 	// clock.Virtual turns in-flight messages into deterministic virtual-time
 	// events — the scenario harness runs whole fleets this way.
@@ -38,18 +49,48 @@ type Config struct {
 
 // Network is the shared in-memory fabric. Endpoints attach under their
 // address; sends route by address. All methods are safe for concurrent use.
+//
+// Batched round envelopes (wire.Batch) are modelled as their constituent
+// messages in transit: each sub-message draws loss and delay independently
+// from the link's fault stream and is delivered as its own envelope, exactly
+// as the same messages sent unbatched would be. Real batch-loss correlation
+// (a dropped datagram losing all its events) is a property of the UDP
+// fabric; the simulated fabric deliberately preserves per-message fault
+// semantics so batching stays a measurable, behavior-preserving aggregation.
 type Network struct {
 	clk clock.Clock
 
 	mu        sync.Mutex
 	cfg       Config
-	rng       *rand.Rand
+	links     map[string]*linkStream // per directed link fault streams
 	endpoints map[string]*memEndpoint
 	blocked   map[string]bool // "from|to" directed block rules
 	timers    map[clock.Timer]struct{}
 	dropped   int
 	closed    bool
 }
+
+// linkStream is a tiny deterministic PRNG (splitmix64) dedicated to one
+// directed link's fault draws. A fleet crosses O(n·fanout) distinct links
+// and math/rand's 607-word lagged-Fibonacci seeding was a measurable slice
+// of fleet-scale campaigns; splitmix64 is one word of state, free to create,
+// and statistically more than good enough for loss and delay draws.
+type linkStream struct{ state uint64 }
+
+func (s *linkStream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *linkStream) Float64() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// Int63n returns a uniform draw in [0, n); n must be positive. The modulo
+// bias (~n/2⁶³) is irrelevant for fault simulation.
+func (s *linkStream) Int63n(n int64) int64 { return int64(s.next()>>1) % n }
 
 // Network implements the full fault-injection surface.
 var _ Fabric = (*Network)(nil)
@@ -59,9 +100,8 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 1024
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
 	clk := cfg.Clock
 	if clk == nil {
@@ -70,11 +110,28 @@ func NewNetwork(cfg Config) *Network {
 	return &Network{
 		clk:       clk,
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(seed)),
+		links:     make(map[string]*linkStream),
 		endpoints: make(map[string]*memEndpoint),
 		blocked:   make(map[string]bool),
 		timers:    make(map[clock.Timer]struct{}),
 	}
+}
+
+// linkRNGLocked returns the directed link's fault stream, creating it
+// deterministically from the fabric seed and the link key on first use.
+func (n *Network) linkRNGLocked(linkKey string) *linkStream {
+	if s, ok := n.links[linkKey]; ok {
+		return s
+	}
+	// FNV-1a over the link key, mixed with the fabric seed, so links get
+	// independent but reproducible starting states.
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(linkKey); i++ {
+		h = (h ^ uint64(linkKey[i])) * 1099511628211
+	}
+	s := &linkStream{state: uint64(n.cfg.Seed) ^ h}
+	n.links[linkKey] = s
+	return s
 }
 
 // Attach registers an address and returns its endpoint.
@@ -178,63 +235,102 @@ func (n *Network) Size() int {
 	return len(n.endpoints)
 }
 
-// route delivers one message subject to faults. Returns ErrUnknownAddr only
-// for routing errors the sender can act on — faults are silent, as on a
-// real network.
+// route delivers one envelope subject to faults. A wire.Batch payload is
+// unbatched in transit: each sub-message draws its own loss and delay from
+// the link's fault stream and arrives as its own envelope, in the batch's
+// canonical order — the same draws, in the same order, the same messages
+// sent unbatched would have made. Returns ErrUnknownAddr only for routing
+// errors the sender can act on — faults are silent, as on a real network.
 func (n *Network) route(from, to addr.Address, payload any) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return ErrClosed
 	}
+	if n.cfg.Tap != nil {
+		n.cfg.Tap(from, to, payload)
+	}
+	// Drop accounting is per sub-message on every fault path, so batched and
+	// unbatched runs of the same traffic report identical drop counts.
+	parts := 1
+	if b, isBatch := payload.(wire.Batch); isBatch {
+		parts = b.Parts()
+	}
 	dst, ok := n.endpoints[to.Key()]
 	if !ok {
-		n.dropped++
+		n.dropped += parts
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 	}
-	if n.blocked[from.Key()+"|"+to.Key()] {
-		n.dropped++
+	linkKey := from.Key() + "|" + to.Key()
+	if n.blocked[linkKey] {
+		n.dropped += parts
 		n.mu.Unlock()
 		return nil // silent partition
 	}
-	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
-		n.dropped++
-		n.mu.Unlock()
-		return nil // silent loss
-	}
-	var delay time.Duration
-	if n.cfg.MaxDelay > 0 {
-		span := n.cfg.MaxDelay - n.cfg.MinDelay
-		if span > 0 {
-			delay = n.cfg.MinDelay + time.Duration(n.rng.Int63n(int64(span)))
-		} else {
-			delay = n.cfg.MinDelay
+	rng := n.linkRNGLocked(linkKey)
+	// part applies one sub-message's fault draws under mu. A zero-delay
+	// survivor is returned for delivery after the lock drops (deliver takes
+	// endpoint and drop-accounting locks of its own); delayed survivors are
+	// scheduled here.
+	part := func(sub any) (Envelope, bool) {
+		if n.cfg.Loss > 0 && rng.Float64() < n.cfg.Loss {
+			n.dropped++
+			return Envelope{}, false // silent loss
 		}
+		var delay time.Duration
+		if n.cfg.MaxDelay > 0 {
+			span := n.cfg.MaxDelay - n.cfg.MinDelay
+			if span > 0 {
+				delay = n.cfg.MinDelay + time.Duration(rng.Int63n(int64(span)))
+			} else {
+				delay = n.cfg.MinDelay
+			}
+		}
+		env := Envelope{From: from, To: to, Payload: sub}
+		if delay == 0 {
+			return env, true
+		}
+		// Register the timer while still holding mu: the callback also takes
+		// mu first, so it cannot observe the map before the timer is tracked,
+		// and Close cancels anything still registered. On a virtual clock the
+		// callback only runs when the harness advances time, strictly after
+		// this function returns, so the same invariant holds without real
+		// goroutines.
+		var timer clock.Timer
+		timer = n.clk.AfterFunc(delay, func() {
+			n.mu.Lock()
+			_, live := n.timers[timer]
+			delete(n.timers, timer)
+			n.mu.Unlock()
+			if live {
+				n.deliver(dst, env)
+			}
+		})
+		n.timers[timer] = struct{}{}
+		return Envelope{}, false
 	}
-	env := Envelope{From: from, To: to, Payload: payload}
-	if delay == 0 {
+	if b, isBatch := payload.(wire.Batch); isBatch {
+		// Sub-messages of one batch must land in order, so zero-delay
+		// survivors are collected and handed off together.
+		var inline []Envelope
+		b.Each(func(sub any) {
+			if env, ok := part(sub); ok {
+				inline = append(inline, env)
+			}
+		})
 		n.mu.Unlock()
-		n.deliver(dst, env)
-		return nil
-	}
-	// Register the timer while still holding mu: the callback also takes mu
-	// first, so it cannot observe the map before the timer is tracked, and
-	// Close cancels anything still registered. On a virtual clock the
-	// callback only runs when the harness advances time, strictly after this
-	// function returns, so the same invariant holds without real goroutines.
-	var timer clock.Timer
-	timer = n.clk.AfterFunc(delay, func() {
-		n.mu.Lock()
-		_, live := n.timers[timer]
-		delete(n.timers, timer)
-		n.mu.Unlock()
-		if live {
+		for _, env := range inline {
 			n.deliver(dst, env)
 		}
-	})
-	n.timers[timer] = struct{}{}
+		return nil
+	}
+	// Bare payload: the common zero-delay case stays allocation-free.
+	env, ok := part(payload)
 	n.mu.Unlock()
+	if ok {
+		n.deliver(dst, env)
+	}
 	return nil
 }
 

@@ -153,11 +153,12 @@ func (t *Transport) Attach(a addr.Address) (transport.Endpoint, error) {
 		return nil, fmt.Errorf("udp: binding %s for %s: %w", bind, a, err)
 	}
 	ep := &endpoint{
-		addr: a,
-		tr:   t,
-		conn: conn,
-		in:   make(chan transport.Envelope, t.cfg.QueueLen),
-		done: make(chan struct{}),
+		addr:      a,
+		tr:        t,
+		conn:      conn,
+		prefixLen: len(addr.AppendAddress(nil, a)),
+		in:        make(chan transport.Envelope, t.cfg.QueueLen),
+		done:      make(chan struct{}),
 	}
 
 	t.mu.Lock()
@@ -219,11 +220,12 @@ func (t *Transport) detach(ep *endpoint) {
 
 // endpoint is one bound UDP socket speaking the wire framing.
 type endpoint struct {
-	addr addr.Address
-	tr   *Transport
-	conn *net.UDPConn
-	in   chan transport.Envelope
-	done chan struct{}
+	addr      addr.Address
+	tr        *Transport
+	conn      *net.UDPConn
+	prefixLen int // encoded size of the sender-address datagram prefix
+	in        chan transport.Envelope
+	done      chan struct{}
 
 	closeOnce sync.Once
 }
@@ -233,27 +235,79 @@ var _ transport.Endpoint = (*endpoint)(nil)
 // Addr returns the endpoint's pmcast address.
 func (e *endpoint) Addr() addr.Address { return e.addr }
 
-// Send encodes one protocol message and ships it as a single datagram.
+// Send encodes one protocol message and ships it as a datagram, reusing
+// pooled encode buffers so the steady-state send path does not allocate.
+// Round envelopes (wire.Batch) that exceed the datagram bound are split at
+// the MTU boundary: the piggybacked membership payloads ride the first
+// datagram and the length-prefixed gossip sections fill greedily.
 func (e *endpoint) Send(to addr.Address, payload any) error {
 	select {
 	case <-e.done:
 		return transport.ErrClosed
 	default:
 	}
-	frame, err := wire.Encode(payload)
-	if err != nil {
-		return fmt.Errorf("udp: encoding for %s: %w", to, err)
-	}
-	buf := addr.AppendAddress(make([]byte, 0, len(frame)+8), e.addr)
-	buf = append(buf, frame...)
-	if len(buf) > e.tr.cfg.MaxDatagram {
-		return fmt.Errorf("udp: message for %s is %d bytes, above the %d-byte datagram bound",
-			to, len(buf), e.tr.cfg.MaxDatagram)
-	}
 	dst, err := e.tr.cfg.Resolver.Resolve(to)
 	if err != nil {
 		return err
 	}
+	if b, ok := payload.(wire.Batch); ok {
+		return e.sendBatch(to, dst, b)
+	}
+	return e.writeFrame(to, dst, payload)
+}
+
+// writeFrame encodes one message and ships it as a single datagram.
+func (e *endpoint) writeFrame(to addr.Address, dst *net.UDPAddr, payload any) error {
+	p := wire.GetBuffer()
+	defer func() { wire.PutBuffer(p) }()
+	buf := addr.AppendAddress(*p, e.addr)
+	buf, err := wire.AppendMessage(buf, payload)
+	if err != nil {
+		return fmt.Errorf("udp: encoding for %s: %w", to, err)
+	}
+	*p = buf[:0] // keep the grown capacity pooled
+	if len(buf) > e.tr.cfg.MaxDatagram {
+		return fmt.Errorf("udp: message for %s is %d bytes, above the %d-byte datagram bound",
+			to, len(buf), e.tr.cfg.MaxDatagram)
+	}
+	return e.write(to, dst, buf)
+}
+
+// sendBatch ships a round envelope, splitting it at the datagram boundary
+// when its encoded form exceeds MaxDatagram.
+func (e *endpoint) sendBatch(to addr.Address, dst *net.UDPAddr, b wire.Batch) error {
+	// The sender-address prefix shares the datagram with the frame.
+	chunks, err := wire.SplitBatch(b, e.tr.cfg.MaxDatagram-e.prefixLen)
+	if err != nil {
+		return fmt.Errorf("udp: batch for %s: %w", to, err)
+	}
+	for _, chunk := range chunks {
+		p := wire.GetBuffer()
+		buf := addr.AppendAddress(*p, e.addr)
+		buf, err := wire.AppendBatch(buf, chunk)
+		if err != nil {
+			wire.PutBuffer(p)
+			return fmt.Errorf("udp: encoding batch for %s: %w", to, err)
+		}
+		*p = buf[:0]
+		if len(buf) > e.tr.cfg.MaxDatagram {
+			// SplitBatch guarantees this never fires; the guard keeps a
+			// codec-accounting bug from emitting a datagram the receiver's
+			// MaxDatagram-sized read buffer would silently truncate.
+			wire.PutBuffer(p)
+			return fmt.Errorf("udp: batch chunk for %s is %d bytes, above the %d-byte datagram bound",
+				to, len(buf), e.tr.cfg.MaxDatagram)
+		}
+		werr := e.write(to, dst, buf)
+		wire.PutBuffer(p)
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+func (e *endpoint) write(to addr.Address, dst *net.UDPAddr, buf []byte) error {
 	if _, err := e.conn.WriteToUDP(buf, dst); err != nil {
 		select {
 		case <-e.done:
@@ -282,10 +336,14 @@ func (e *endpoint) shutdown() {
 	})
 }
 
-// readLoop turns datagrams into envelopes until the socket closes.
+// readLoop turns datagrams into envelopes until the socket closes. The
+// decoder is loop-local with an intern table, so the strings a gossip
+// stream endlessly repeats (origins, attribute names, membership keys) are
+// allocated once and shared across frames.
 func (e *endpoint) readLoop(maxDatagram int) {
 	defer close(e.in)
 	buf := make([]byte, maxDatagram)
+	dec := wire.NewDecoder()
 	for {
 		n, _, err := e.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -297,7 +355,7 @@ func (e *endpoint) readLoop(maxDatagram int) {
 			e.tr.malformed.Add(1)
 			continue
 		}
-		payload, err := wire.Decode(buf[n-r.Len() : n])
+		payload, err := dec.Decode(buf[n-r.Len() : n])
 		if err != nil {
 			e.tr.malformed.Add(1)
 			continue

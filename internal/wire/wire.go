@@ -6,11 +6,20 @@
 // Frame format: one kind byte followed by the message payload. All integers
 // are varints, floats IEEE 754 little-endian, collections length-prefixed
 // (package binenc).
+//
+// The Batch frame is the round envelope of the batched gossip pipeline: every
+// gossip a sender owes one peer in one round, each in a length-prefixed
+// section, plus piggybacked membership payloads (update, digest, heartbeat)
+// that would otherwise each cost their own envelope. Encoders are
+// append-style so hot paths reuse buffers (GetBuffer/PutBuffer); the Decoder
+// type interns repeated strings so steady-state decoding stays within one
+// allocation per event.
 package wire
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"pmcast/internal/addr"
 	"pmcast/internal/binenc"
@@ -24,6 +33,7 @@ import (
 var (
 	ErrUnknownKind = errors.New("wire: unknown message kind")
 	ErrBadPayload  = errors.New("wire: malformed payload")
+	ErrOversized   = errors.New("wire: gossip exceeds the datagram budget")
 )
 
 // Message kinds start at 1 so a zero byte is detectably invalid.
@@ -34,56 +44,286 @@ const (
 	kindJoinRequest
 	kindLeave
 	kindHeartbeat
+	kindBatch
 )
 
-// Encode frames one protocol message. Supported types: core.Gossip,
-// membership.Digest, membership.Update, membership.JoinRequest,
-// membership.Leave, membership.Heartbeat.
+// Batch flag bits (presence of piggybacked sections).
+const (
+	batchHasUpdate    byte = 1 << 0
+	batchHasDigest    byte = 1 << 1
+	batchHasHeartbeat byte = 1 << 2
+	batchFlagMask          = batchHasUpdate | batchHasDigest | batchHasHeartbeat
+)
+
+// Batch is one per-peer round envelope: the multi-event gossip section plus
+// any membership payloads piggybacked onto the same round. The canonical
+// sub-message order — gossips, update, digest, heartbeat — matches the order
+// an unbatched sender would emit the same messages on one link, which is what
+// makes batching a pure envelope-level aggregation (see the equivalence
+// property test in internal/harness).
+type Batch struct {
+	Gossips   []core.Gossip
+	Update    *membership.Update
+	Digest    *membership.Digest
+	Heartbeat *membership.Heartbeat
+}
+
+// Parts returns the number of sub-messages carried.
+func (b Batch) Parts() int {
+	n := len(b.Gossips)
+	if b.Update != nil {
+		n++
+	}
+	if b.Digest != nil {
+		n++
+	}
+	if b.Heartbeat != nil {
+		n++
+	}
+	return n
+}
+
+// Each visits every sub-message in canonical order as the bare payload value
+// an unbatched sender would have sent. Simulated fabrics use this to apply
+// per-message fault draws to a batch's contents.
+func (b Batch) Each(fn func(payload any)) {
+	for _, g := range b.Gossips {
+		fn(g)
+	}
+	if b.Update != nil {
+		fn(*b.Update)
+	}
+	if b.Digest != nil {
+		fn(*b.Digest)
+	}
+	if b.Heartbeat != nil {
+		fn(*b.Heartbeat)
+	}
+}
+
+// Buffer pooling: hot paths (per-round batch encodes, UDP datagram assembly,
+// size measurement) borrow scratch buffers instead of allocating per message.
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// GetBuffer borrows a zero-length scratch buffer from the codec pool.
+func GetBuffer() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuffer returns a scratch buffer to the pool, keeping its grown capacity.
+func PutBuffer(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// Encode frames one protocol message into a fresh buffer. Supported types:
+// core.Gossip, membership.Digest, membership.Update, membership.JoinRequest,
+// membership.Leave, membership.Heartbeat, Batch. Hot paths should prefer
+// AppendMessage with a pooled buffer.
 func Encode(msg any) ([]byte, error) {
+	return AppendMessage(nil, msg)
+}
+
+// AppendMessage appends the frame for one protocol message to b, the
+// allocation-free counterpart of Encode.
+func AppendMessage(b []byte, msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case core.Gossip:
-		b := []byte{kindGossip}
-		b = event.AppendEvent(b, m.Event)
-		b = binenc.AppendUvarint(b, uint64(m.Depth))
-		b = binenc.AppendFloat(b, m.Rate)
-		b = binenc.AppendUvarint(b, uint64(m.Round))
-		return b, nil
+		b = append(b, kindGossip)
+		return appendGossipBody(b, m), nil
 	case membership.Digest:
-		b := []byte{kindDigest}
-		b = addr.AppendAddress(b, m.From)
-		b = binenc.AppendUvarint(b, m.Hash)
-		b = binenc.AppendUvarint(b, uint64(m.Count))
-		b = binenc.AppendUvarint(b, uint64(len(m.Entries)))
-		for _, e := range m.Entries {
-			b = binenc.AppendString(b, e.Key)
-			b = binenc.AppendUvarint(b, e.Stamp)
-			b = binenc.AppendBool(b, e.Alive)
-		}
-		return b, nil
+		b = append(b, kindDigest)
+		return appendDigestBody(b, m), nil
 	case membership.Update:
-		b := []byte{kindUpdate}
-		b = addr.AppendAddress(b, m.From)
-		b = binenc.AppendUvarint(b, uint64(len(m.Records)))
-		for _, rec := range m.Records {
-			b = appendRecord(b, rec)
-		}
-		return b, nil
+		b = append(b, kindUpdate)
+		return appendUpdateBody(b, m), nil
 	case membership.JoinRequest:
-		b := []byte{kindJoinRequest}
+		b = append(b, kindJoinRequest)
 		b = appendRecord(b, m.Joiner)
-		b = binenc.AppendUvarint(b, uint64(m.Hops))
-		return b, nil
+		return binenc.AppendUvarint(b, uint64(m.Hops)), nil
 	case membership.Leave:
-		b := []byte{kindLeave}
+		b = append(b, kindLeave)
 		b = addr.AppendAddress(b, m.Addr)
-		b = binenc.AppendUvarint(b, m.Stamp)
-		return b, nil
+		return binenc.AppendUvarint(b, m.Stamp), nil
 	case membership.Heartbeat:
-		b := []byte{kindHeartbeat}
+		b = append(b, kindHeartbeat)
 		return addr.AppendAddress(b, m.From), nil
+	case Batch:
+		return AppendBatch(b, m)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, msg)
 	}
+}
+
+// AppendBatch appends a batch frame: flags, the length-prefixed gossip
+// sections, then the piggybacked membership payloads flagged present.
+func AppendBatch(b []byte, m Batch) ([]byte, error) {
+	b = append(b, kindBatch)
+	var flags byte
+	if m.Update != nil {
+		flags |= batchHasUpdate
+	}
+	if m.Digest != nil {
+		flags |= batchHasDigest
+	}
+	if m.Heartbeat != nil {
+		flags |= batchHasHeartbeat
+	}
+	b = append(b, flags)
+	b = binenc.AppendUvarint(b, uint64(len(m.Gossips)))
+	for _, g := range m.Gossips {
+		b = binenc.AppendUvarint(b, uint64(GossipBodySize(g)))
+		b = appendGossipBody(b, g)
+	}
+	return appendBatchTail(b, m), nil
+}
+
+// appendBatchTail appends the piggybacked membership bodies in flag order —
+// shared by the encoder and the size walk so they cannot drift apart.
+func appendBatchTail(b []byte, m Batch) []byte {
+	if m.Update != nil {
+		b = appendUpdateBody(b, *m.Update)
+	}
+	if m.Digest != nil {
+		b = appendDigestBody(b, *m.Digest)
+	}
+	if m.Heartbeat != nil {
+		b = addr.AppendAddress(b, m.Heartbeat.From)
+	}
+	return b
+}
+
+// GossipBodySize returns the exact encoded size of one gossip body (the
+// length prefixed by batch framing), computed without encoding.
+func GossipBodySize(g core.Gossip) int {
+	return event.WireSize(g.Event) +
+		binenc.UvarintLen(uint64(g.Depth)) +
+		8 + // rate, IEEE 754 double
+		binenc.UvarintLen(uint64(g.Round))
+}
+
+// EncodedSize returns the framed size of a message in bytes without
+// retaining an allocation — the measurement hook behind the soak reports'
+// bytes/event. Gossip sections are size-walked (no encoding); the rarer
+// membership payloads are sized by encoding into a pooled scratch buffer.
+// Unknown types size to zero.
+func EncodedSize(msg any) int {
+	switch m := msg.(type) {
+	case core.Gossip:
+		return 1 + GossipBodySize(m)
+	case Batch:
+		n := 2 + binenc.UvarintLen(uint64(len(m.Gossips))) // kind + flags + count
+		for _, g := range m.Gossips {
+			s := GossipBodySize(g)
+			n += binenc.UvarintLen(uint64(s)) + s
+		}
+		if m.Update != nil || m.Digest != nil || m.Heartbeat != nil {
+			p := GetBuffer()
+			b := appendBatchTail(*p, m)
+			n += len(b)
+			*p = b[:0]
+			PutBuffer(p)
+		}
+		return n
+	default:
+		p := GetBuffer()
+		defer PutBuffer(p)
+		enc, err := AppendMessage(*p, msg)
+		if err != nil {
+			return 0
+		}
+		*p = enc[:0]
+		return len(enc)
+	}
+}
+
+// SplitBatch partitions a batch into sub-batches whose encoded frames each
+// fit within limit bytes — the datagram MTU seam of the UDP fabric. The
+// piggybacked membership payloads ride the first sub-batch; gossips fill
+// greedily. A batch whose single gossip (or whose piggybacked payloads
+// alone) cannot fit returns ErrOversized.
+func SplitBatch(m Batch, limit int) ([]Batch, error) {
+	if s := EncodedSize(m); s <= limit {
+		return []Batch{m}, nil
+	}
+	hasTail := m.Update != nil || m.Digest != nil || m.Heartbeat != nil
+	tailSize := 0
+	if hasTail {
+		p := GetBuffer()
+		b := appendBatchTail(*p, m)
+		tailSize = len(b)
+		*p = b[:0]
+		PutBuffer(p)
+	}
+	// chunkSize is the exact encoded size of one sub-batch: kind and flags
+	// bytes, the chunk's own gossip-count varint (which grows with the
+	// chunk, not the original batch — modeling it any other way is an
+	// off-by-one at the 128-gossip boundary), the length-prefixed gossip
+	// sections, and the piggyback tail when this chunk carries it.
+	chunkSize := func(count, sumNeed int, withTail bool) int {
+		n := 2 + binenc.UvarintLen(uint64(count)) + sumNeed
+		if withTail {
+			n += tailSize
+		}
+		return n
+	}
+	if hasTail && chunkSize(0, 0, true) > limit {
+		// The piggybacked membership payloads alone bust the budget; no
+		// gossip packing can fix that, and emitting an oversized first chunk
+		// would break the documented contract.
+		return nil, fmt.Errorf("%w: piggybacked payloads need %d bytes against a %d-byte limit",
+			ErrOversized, chunkSize(0, 0, true), limit)
+	}
+	var out []Batch
+	cur := Batch{Update: m.Update, Digest: m.Digest, Heartbeat: m.Heartbeat}
+	curTail := hasTail
+	sumNeed := 0
+	for _, g := range m.Gossips {
+		gs := GossipBodySize(g)
+		need := binenc.UvarintLen(uint64(gs)) + gs
+		if chunkSize(1, need, false) > limit {
+			return nil, fmt.Errorf("%w: %d bytes against a %d-byte limit",
+				ErrOversized, chunkSize(1, need, false), limit)
+		}
+		if chunkSize(len(cur.Gossips)+1, sumNeed+need, curTail) > limit {
+			// cur always has at least one part here: either the tail (first
+			// chunk) or the gossip admitted by the standalone check above.
+			out = append(out, cur)
+			cur, curTail, sumNeed = Batch{}, false, 0
+		}
+		cur.Gossips = append(cur.Gossips, g)
+		sumNeed += need
+	}
+	if cur.Parts() > 0 {
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// Decoder unframes messages with decoder-scratch reuse: repeated strings
+// (event origins, attribute names, membership keys) are interned across
+// frames, so steady-state decoding allocates only per-event storage. A
+// Decoder is not safe for concurrent use; give each receive loop its own.
+type Decoder struct {
+	intern *binenc.Interner
+	r      binenc.Reader
+}
+
+// NewDecoder returns a decoder with a fresh intern table.
+func NewDecoder() *Decoder {
+	return &Decoder{intern: binenc.NewInterner()}
+}
+
+// Decode unframes one message, reusing the decoder's scratch state.
+func (d *Decoder) Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrBadPayload)
+	}
+	d.r.Reset(data[1:])
+	d.r.SetIntern(d.intern)
+	return decodeFrom(&d.r, data[0])
 }
 
 // Decode unframes a message encoded by Encode.
@@ -92,38 +332,21 @@ func Decode(data []byte) (any, error) {
 		return nil, fmt.Errorf("%w: empty frame", ErrBadPayload)
 	}
 	r := binenc.NewReader(data[1:])
-	switch data[0] {
+	return decodeFrom(r, data[0])
+}
+
+// decodeFrom dispatches on the kind byte with the payload reader positioned
+// at the body.
+func decodeFrom(r *binenc.Reader, kind byte) (any, error) {
+	switch kind {
 	case kindGossip:
-		g := core.Gossip{
-			Event: event.ReadEvent(r),
-			Depth: int(r.Uvarint()),
-			Rate:  r.Float(),
-			Round: int(r.Uvarint()),
-		}
+		g := readGossipBody(r)
 		return g, finish(r)
 	case kindDigest:
-		d := membership.Digest{From: addr.ReadAddress(r)}
-		d.Hash = r.Uvarint()
-		d.Count = int(r.Uvarint())
-		n := r.Count(2)
-		if n > 0 {
-			d.Entries = make([]membership.DigestEntry, 0, n)
-		}
-		for i := 0; i < n; i++ {
-			d.Entries = append(d.Entries, membership.DigestEntry{
-				Key:   r.String(),
-				Stamp: r.Uvarint(),
-				Alive: r.Bool(),
-			})
-		}
+		d := readDigestBody(r)
 		return d, finish(r)
 	case kindUpdate:
-		u := membership.Update{From: addr.ReadAddress(r)}
-		n := r.Count(3)
-		u.Records = make([]membership.Record, 0, n)
-		for i := 0; i < n; i++ {
-			u.Records = append(u.Records, readRecord(r))
-		}
+		u := readUpdateBody(r)
 		return u, finish(r)
 	case kindJoinRequest:
 		jr := membership.JoinRequest{
@@ -140,9 +363,121 @@ func Decode(data []byte) (any, error) {
 	case kindHeartbeat:
 		hb := membership.Heartbeat{From: addr.ReadAddress(r)}
 		return hb, finish(r)
+	case kindBatch:
+		b, err := readBatchBody(r)
+		if err != nil {
+			return nil, err
+		}
+		return b, finish(r)
 	default:
-		return nil, fmt.Errorf("%w: kind %d", ErrUnknownKind, data[0])
+		return nil, fmt.Errorf("%w: kind %d", ErrUnknownKind, kind)
 	}
+}
+
+func readBatchBody(r *binenc.Reader) (Batch, error) {
+	flags := r.Byte()
+	if flags&^batchFlagMask != 0 {
+		return Batch{}, fmt.Errorf("%w: unknown batch flags %#x", ErrBadPayload, flags)
+	}
+	n := r.Count(2)
+	var b Batch
+	if n > 0 {
+		b.Gossips = make([]core.Gossip, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		size := r.Uvarint()
+		before := r.Len()
+		if uint64(before) < size {
+			return Batch{}, fmt.Errorf("%w: gossip section overruns frame", ErrBadPayload)
+		}
+		g := readGossipBody(r)
+		if err := r.Err(); err != nil {
+			return Batch{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		if consumed := before - r.Len(); uint64(consumed) != size {
+			return Batch{}, fmt.Errorf("%w: gossip section length %d, consumed %d", ErrBadPayload, size, consumed)
+		}
+		b.Gossips = append(b.Gossips, g)
+	}
+	if flags&batchHasUpdate != 0 {
+		u := readUpdateBody(r)
+		b.Update = &u
+	}
+	if flags&batchHasDigest != 0 {
+		d := readDigestBody(r)
+		b.Digest = &d
+	}
+	if flags&batchHasHeartbeat != 0 {
+		hb := membership.Heartbeat{From: addr.ReadAddress(r)}
+		b.Heartbeat = &hb
+	}
+	return b, nil
+}
+
+func appendGossipBody(b []byte, g core.Gossip) []byte {
+	b = event.AppendEvent(b, g.Event)
+	b = binenc.AppendUvarint(b, uint64(g.Depth))
+	b = binenc.AppendFloat(b, g.Rate)
+	return binenc.AppendUvarint(b, uint64(g.Round))
+}
+
+func readGossipBody(r *binenc.Reader) core.Gossip {
+	return core.Gossip{
+		Event: event.ReadEvent(r),
+		Depth: int(r.Uvarint()),
+		Rate:  r.Float(),
+		Round: int(r.Uvarint()),
+	}
+}
+
+func appendDigestBody(b []byte, m membership.Digest) []byte {
+	b = addr.AppendAddress(b, m.From)
+	b = binenc.AppendUvarint(b, m.Hash)
+	b = binenc.AppendUvarint(b, uint64(m.Count))
+	b = binenc.AppendUvarint(b, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = binenc.AppendString(b, e.Key)
+		b = binenc.AppendUvarint(b, e.Stamp)
+		b = binenc.AppendBool(b, e.Alive)
+	}
+	return b
+}
+
+func readDigestBody(r *binenc.Reader) membership.Digest {
+	d := membership.Digest{From: addr.ReadAddress(r)}
+	d.Hash = r.Uvarint()
+	d.Count = int(r.Uvarint())
+	n := r.Count(2)
+	if n > 0 {
+		d.Entries = make([]membership.DigestEntry, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		d.Entries = append(d.Entries, membership.DigestEntry{
+			Key:   r.String(),
+			Stamp: r.Uvarint(),
+			Alive: r.Bool(),
+		})
+	}
+	return d
+}
+
+func appendUpdateBody(b []byte, m membership.Update) []byte {
+	b = addr.AppendAddress(b, m.From)
+	b = binenc.AppendUvarint(b, uint64(len(m.Records)))
+	for _, rec := range m.Records {
+		b = appendRecord(b, rec)
+	}
+	return b
+}
+
+func readUpdateBody(r *binenc.Reader) membership.Update {
+	u := membership.Update{From: addr.ReadAddress(r)}
+	n := r.Count(3)
+	u.Records = make([]membership.Record, 0, n)
+	for i := 0; i < n; i++ {
+		u.Records = append(u.Records, readRecord(r))
+	}
+	return u
 }
 
 func appendRecord(b []byte, rec membership.Record) []byte {

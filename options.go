@@ -88,6 +88,22 @@ func WithLeafFlooding(rate float64) NodeOption {
 	return func(c *NodeConfig) { c.LeafFloodRate = rate }
 }
 
+// WithoutBatching disables the batched gossip pipeline: every gossip,
+// digest and heartbeat goes out as its own envelope. Batching is a pure
+// envelope-level aggregation (the per-peer sub-messages and their order are
+// identical either way), so this knob exists for A/B cost measurement, not
+// as a protocol variant.
+func WithoutBatching() NodeOption {
+	return func(c *NodeConfig) { c.NoBatch = true }
+}
+
+// WithWireMeasurement enables sender-side wire accounting: each outgoing
+// envelope's encoded size is summed into Node.WireStats. Costs one pooled
+// encode per envelope.
+func WithWireMeasurement(on bool) NodeOption {
+	return func(c *NodeConfig) { c.MeasureWire = on }
+}
+
 // WithDeliveryBuffer sizes the Deliveries channel (default 256).
 func WithDeliveryBuffer(n int) NodeOption {
 	return func(c *NodeConfig) { c.DeliveryBuffer = n }
