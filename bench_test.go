@@ -12,7 +12,10 @@ package pmcast_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pmcast/internal/addr"
 	"pmcast/internal/analysis"
@@ -21,7 +24,10 @@ import (
 	"pmcast/internal/event"
 	"pmcast/internal/harness"
 	"pmcast/internal/interest"
+	"pmcast/internal/membership"
+	"pmcast/internal/node"
 	"pmcast/internal/sim"
+	"pmcast/internal/transport"
 	"pmcast/internal/tree"
 	"pmcast/internal/wire"
 )
@@ -353,6 +359,117 @@ func BenchmarkNodePublishStream(b *testing.B) {
 			b.ReportMetric(eventsPerSec/n, "events/vsec")
 			b.ReportMetric(envPerEvent/n, "envelopes/event")
 			b.ReportMetric(wall/n, "wall-ms/run")
+		})
+	}
+}
+
+// BenchmarkEnginePublishStream is the multicore soak benchmark of the
+// staged engine: a real-clock 36-node fleet over the in-memory fabric
+// (wire accounting on, so every envelope pays its encode-measure cost),
+// saturated by six concurrent publishers. Each iteration pushes a 240-event
+// burst through the fleet and waits for dissemination to quiesce; the
+// reported events/sec is total deliveries over wall time. Run it with
+// -cpu 1,4,8: gossip ticks are far shorter than a burst's processing time,
+// so tick coalescing makes throughput CPU-bound, and the staged
+// configuration's events/sec scales with GOMAXPROCS (the acceptance bar is
+// ≥2× at -cpu 4 over -cpu 1) while -cpu 1 reproduces what the old serial
+// runtime could extract from one core. The serial sub-benchmark is the A/B
+// control: the same fleet with every stage collapsed onto the protocol
+// goroutine.
+func BenchmarkEnginePublishStream(b *testing.B) {
+	for _, mode := range []struct {
+		name           string
+		decode, encode int
+	}{{"staged", 2, 2}, {"serial", 0, 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			const (
+				fleetN     = 36
+				publishers = 6
+				perPub     = 40
+			)
+			space := addr.MustRegular(6, 2)
+			net := transport.NewNetwork(transport.Config{QueueLen: 16384})
+			defer net.Close()
+			sub := interest.NewSubscription() // match-all: full fan-out per event
+			recs := make([]membership.Record, fleetN)
+			for i := range recs {
+				recs[i] = membership.Record{Addr: space.AddressAt(i), Sub: sub, Stamp: 1, Alive: true}
+			}
+			nodes := make([]*node.Node, fleetN)
+			for i := range nodes {
+				n, err := node.New(net, node.Config{
+					Addr: space.AddressAt(i), Space: space,
+					R: 2, F: 3, C: 3,
+					Subscription:       sub,
+					GossipInterval:     500 * time.Microsecond,
+					MembershipInterval: time.Hour, // membership quiesced: gossip is the subject
+					SuspectAfter:       time.Hour,
+					DeliveryBuffer:     8192,
+					MeasureWire:        true,
+					DecodeWorkers:      mode.decode,
+					EncodeWorkers:      mode.encode,
+					StageQueue:         8192,
+					Seed:               int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes[i] = n
+			}
+			defer func() {
+				for _, n := range nodes {
+					n.Stop()
+				}
+			}()
+			var delivered atomic.Int64
+			for _, n := range nodes {
+				n.Membership().Apply(membership.Update{Records: recs})
+				if err := n.WarmViews(); err != nil {
+					b.Fatal(err)
+				}
+				n.Start()
+				go func(c <-chan event.Event) {
+					for range c {
+						delivered.Add(1)
+					}
+				}(n.Deliveries())
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := delivered.Load()
+				want := start + int64(publishers*perPub*fleetN)
+				var wg sync.WaitGroup
+				for p := 0; p < publishers; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						pub := nodes[p*(fleetN/publishers)]
+						for k := 0; k < perPub; k++ {
+							if _, err := pub.Publish(map[string]event.Value{"b": event.Int(int64(k % 4))}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(p)
+				}
+				wg.Wait()
+				// Quiesce: the protocol is probabilistic, so wait for either
+				// full delivery or a stretch with no progress at all.
+				last, stalls := delivered.Load(), 0
+				for delivered.Load() < want && stalls < 40 {
+					time.Sleep(5 * time.Millisecond)
+					if cur := delivered.Load(); cur == last {
+						stalls++
+					} else {
+						last, stalls = cur, 0
+					}
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(delivered.Load())/secs, "events/sec")
+			}
 		})
 	}
 }

@@ -9,6 +9,7 @@
 //	pmcast-chaos -scenario churn1024 -seed 7
 //	pmcast-chaos -scenario lossy256 -seed 1 -o report.json -trace run.trace
 //	pmcast-chaos -scenario soak256 -seed 3 -nobatch   # A/B the batched pipeline
+//	pmcast-chaos -scenario soak256 -cpuprofile soak.pprof   # profile a soak run
 package main
 
 import (
@@ -16,18 +17,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"pmcast/internal/harness"
 )
 
 func main() {
 	var (
-		name     = flag.String("scenario", "smoke16", "named scenario to run (see -list)")
-		seed     = flag.Int64("seed", 1, "campaign seed; same seed ⇒ byte-identical delivery trace")
-		out      = flag.String("o", "", "write the JSON report here (default stdout)")
-		traceOut = flag.String("trace", "", "also write the raw delivery trace to this file")
-		list     = flag.Bool("list", false, "list the scenario catalog and exit")
-		noBatch  = flag.Bool("nobatch", false, "disable the batched gossip pipeline (A/B envelope accounting)")
+		name       = flag.String("scenario", "smoke16", "named scenario to run (see -list)")
+		seed       = flag.Int64("seed", 1, "campaign seed; same seed ⇒ byte-identical delivery trace")
+		out        = flag.String("o", "", "write the JSON report here (default stdout)")
+		traceOut   = flag.String("trace", "", "also write the raw delivery trace to this file")
+		list       = flag.Bool("list", false, "list the scenario catalog and exit")
+		noBatch    = flag.Bool("nobatch", false, "disable the batched gossip pipeline (A/B envelope accounting)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run here (soak profiling)")
 	)
 	flag.Parse()
 
@@ -47,7 +50,25 @@ func main() {
 	if *noBatch {
 		sc.Fleet.NoBatch = true
 	}
+	var profileOut *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		profileOut = f
+	}
 	res, err := sc.Run(*seed)
+	if profileOut != nil {
+		// Stop and flush before any exit path — fatal os.Exits past defers —
+		// so the profile covers exactly the campaign and is always complete.
+		pprof.StopCPUProfile()
+		profileOut.Close()
+	}
 	if err != nil {
 		fatal(err)
 	}

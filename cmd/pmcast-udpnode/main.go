@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -56,6 +57,10 @@ func run(w io.Writer, args []string) error {
 	gossip := fs.Duration("gossip", 25*time.Millisecond, "gossip period P")
 	membership := fs.Duration("membership", 0, "membership digest period (0: 4·gossip)")
 	linger := fs.Duration("linger", 0, "exit after this long (0: run until interrupted)")
+	decodeWorkers := fs.Int("decode-workers", runtime.NumCPU(),
+		"ingress decode workers of the staged engine (0: serial single-goroutine loop)")
+	encodeWorkers := fs.Int("encode-workers", runtime.NumCPU(),
+		"egress encode/send workers of the staged engine (0: serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,7 +88,13 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := pmcast.NewUDPTransport(pmcast.UDPConfig{Resolver: res})
+	// With decode workers, datagram unframing is deferred to the node's
+	// ingress stage so it actually parallelizes instead of serializing on
+	// the socket read loop.
+	tr, err := pmcast.NewUDPTransport(pmcast.UDPConfig{
+		Resolver:    res,
+		DeferDecode: *decodeWorkers > 0,
+	})
 	if err != nil {
 		return err
 	}
@@ -98,6 +109,7 @@ func run(w io.Writer, args []string) error {
 		pmcast.WithSubscription(sub),
 		pmcast.WithGossipInterval(*gossip),
 		pmcast.WithMembershipInterval(*membership),
+		pmcast.WithParallelism(*decodeWorkers, *encodeWorkers),
 	)
 	if err != nil {
 		return err

@@ -295,7 +295,11 @@ func (p *Process) Tick(rng *rand.Rand) []Send {
 // into per-peer round envelopes, in order of each destination's first
 // appearance and preserving per-destination gossip order. Grouping is the
 // whole batching contract: the sub-messages a peer receives, and their
-// relative order, are identical to the unbatched flat sends.
+// relative order, are identical to the unbatched flat sends. The returned
+// round envelopes are also the engine's send-job handoff: the protocol
+// stage owns this call, and each RoundSend becomes one job for whoever
+// encodes and sends — the egress workers in a parallel configuration, the
+// protocol goroutine itself in the serial one.
 func (p *Process) TickRound(rng *rand.Rand) []RoundSend {
 	sends := p.Tick(rng)
 	if len(sends) == 0 {

@@ -1,0 +1,47 @@
+package harness
+
+import "testing"
+
+// goldenTraces pins the delivery-trace hashes of the pre-engine serial
+// runtime (captured at PR 3) for the smoke and lossy-fleet campaigns. The
+// staged engine refactor's contract is that determinism is a degenerate
+// configuration, not a second code path: the harness drives the engine
+// synchronously at parallelism 0, and a seeded scenario must keep producing
+// the exact bytes the serial loop produced. A hash moving here means the
+// protocol's observable behavior changed — intentional protocol changes
+// re-pin these constants and say why in the PR.
+var goldenTraces = map[string]map[int64]string{
+	"smoke16": {
+		1:  "12c9f07c5fc44b48962800f2539cdf2a32c683b0dcbcc77d392a7f5b3edd72da",
+		42: "5f22b868e2656fef85af50668af7863070cd621348dd44d348e8707bb09f9f0a",
+	},
+	"lossy256": {
+		1:  "6a1edfcb1fc3998c213d6fb29f7229b9f0ad23932332826557f29d441d833de4",
+		42: "a44c2048f2095c4be57bb9fda50b36be79d2ae69403217f171623d42e740ce46",
+	},
+}
+
+// TestEngineMatchesGoldenTraces replays the pinned (scenario, seed) pairs
+// through the staged engine at parallelism 0 and demands the pre-refactor
+// bytes, hash for hash.
+func TestEngineMatchesGoldenTraces(t *testing.T) {
+	for name, seeds := range goldenTraces {
+		sc, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed, want := range seeds {
+			if testing.Short() && sc.Nodes > 64 && seed != 1 {
+				continue // one large replay is plenty under -short
+			}
+			res, err := sc.Run(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Report.TraceSHA256; got != want {
+				t.Errorf("%s seed %d: trace sha %s, golden %s — the engine no longer replays the serial runtime",
+					name, seed, got, want)
+			}
+		}
+	}
+}

@@ -254,7 +254,10 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 }
 
 // spawn creates (or re-creates) the node at fleet index i and starts its
-// periodic-task chains on the virtual clock.
+// periodic-task chains on the virtual clock. The node's engine parallelism
+// is left at 0 — the harness IS the scheduler: it drives ingress, protocol
+// and egress synchronously through the step-mode API, so every stage runs
+// on the engine goroutine in a deterministic order.
 func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 	a := r.space.AddressAt(i)
 	var h *handle

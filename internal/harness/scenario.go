@@ -2,6 +2,9 @@
 // real node.Node runtimes on one virtual clock (internal/clock) over the
 // in-memory fabric, composing loss/partition/heal schedules, node churn
 // (join/crash/rejoin waves) and subscription flux into seeded campaigns.
+// Each node is the same staged engine production runs concurrently, driven
+// synchronously at parallelism 0 through the step-mode API — which is why
+// the traces pinned in golden_test.go survive runtime refactors unchanged.
 //
 // Everything in a run — gossip ticks, membership digests, failure sweeps,
 // delayed message deliveries, fault injections — is a callback on a single

@@ -1,0 +1,180 @@
+// The staged engine: Start's concurrent runtime, decomposed so a busy node
+// uses as many cores as its traffic deserves.
+//
+//	endpoint ──▶ ingress (N decode workers) ──▶ protocol (1 goroutine) ──▶ egress (M send workers) ──▶ endpoint
+//
+// The protocol stage is the single writer of all protocol state —
+// membership folds, tree views, the core.Process, the RNG, the seen-set.
+// Because only it mutates, nothing in the hot path contends on the state
+// lock; the ingress workers own the per-worker wire decoders (intern tables
+// are goroutine-local), and the egress workers own the encode/send cost
+// (the pooled wire encoders and the socket writes). Stages are connected by
+// bounded queues: ingress backpressures into the transport's inbox (which
+// drops on overflow, like a UDP socket buffer), while the protocol stage
+// never blocks on egress — a full egress queue drops the send job and
+// counts it (EngineStats), exactly the failure semantics a kernel socket
+// buffer would impose.
+//
+// With DecodeWorkers and EncodeWorkers both zero the stages collapse onto
+// the protocol goroutine and run() is precisely the serial event loop of
+// earlier revisions — the deterministic configuration, also reachable
+// synchronously through the step-mode API (step.go).
+
+package node
+
+import (
+	"sync"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/event"
+	"pmcast/internal/transport"
+	"pmcast/internal/wire"
+)
+
+// protoMsg is one unit of protocol-stage input: an inbound envelope from
+// the ingress stage, or a local publish handed off by Publish.
+type protoMsg struct {
+	env transport.Envelope
+	pub *publishReq
+}
+
+// publishReq carries a locally published event to the protocol stage and
+// its acceptance result back to the publisher.
+type publishReq struct {
+	ev   event.Event
+	errc chan error
+}
+
+// egressJob is one outgoing envelope: the egress workers encode (via the
+// transport) and send it.
+type egressJob struct {
+	to      addr.Address
+	payload any
+}
+
+// run is the protocol stage: the one goroutine that mutates protocol state
+// while the engine is live. It brings up the ingress and egress stages
+// around itself when the configuration asks for parallelism.
+func (n *Node) run() {
+	defer close(n.done)
+	if n.cfg.EncodeWorkers > 0 {
+		// Closed when the protocol stage exits, so the workers drain the
+		// remaining jobs and quit before Stop joins them.
+		defer close(n.egressCh)
+		for i := 0; i < n.cfg.EncodeWorkers; i++ {
+			n.wg.Add(1)
+			go n.egressLoop()
+		}
+	}
+	inbox := n.ep.Recv()
+	var ingressDone chan struct{}
+	if n.cfg.DecodeWorkers > 0 {
+		inbox = nil // the ingress workers own the endpoint; we read protoCh
+		ingressDone = make(chan struct{})
+		var ingress sync.WaitGroup
+		for i := 0; i < n.cfg.DecodeWorkers; i++ {
+			n.wg.Add(1)
+			ingress.Add(1)
+			go func() {
+				defer ingress.Done()
+				n.ingressLoop()
+			}()
+		}
+		// When every ingress worker has exited — the endpoint's Recv closed
+		// underneath the node — the protocol stage must wind down too, just
+		// as the serial loop returns on a closed inbox.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			ingress.Wait()
+			close(ingressDone)
+		}()
+	}
+	gossip := n.cfg.Clock.NewTicker(n.cfg.GossipInterval)
+	defer gossip.Stop()
+	memTick := n.cfg.Clock.NewTicker(n.cfg.MembershipInterval)
+	defer memTick.Stop()
+	sweep := n.cfg.Clock.NewTicker(n.cfg.SuspectAfter / 2)
+	defer sweep.Stop()
+
+	for {
+		select {
+		case <-n.stop:
+			return
+		case env, ok := <-inbox: // nil (never ready) when ingress workers run
+			if !ok {
+				return
+			}
+			n.handle(env)
+		case <-ingressDone: // nil (never ready) in the serial configuration
+			return // transport closed underneath the node
+		case m := <-n.protoCh: // nil (never ready) in the serial configuration
+			if m.pub != nil {
+				m.pub.errc <- n.applyPublish(m.pub.ev)
+			} else {
+				n.handle(m.env)
+			}
+		case <-gossip.C():
+			n.tickGossip()
+		case <-memTick.C():
+			n.tickMembership()
+		case <-sweep.C():
+			n.mem.SweepFailures()
+		}
+	}
+}
+
+// ingressLoop is one ingress-stage worker: it drains the endpoint —
+// concurrently with its siblings — decodes deferred frames with its own
+// interning decoder, and hands typed messages to the protocol stage. A full
+// protocol queue blocks the worker (backpressure into the transport inbox),
+// never the protocol stage itself.
+func (n *Node) ingressLoop() {
+	defer n.wg.Done()
+	dec := wire.NewDecoder()
+	for env := range n.ep.Recv() {
+		if !n.decodeRaw(dec, &env) {
+			continue
+		}
+		select {
+		case n.protoCh <- protoMsg{env: env}:
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// egressLoop is one egress-stage worker: it consumes send jobs until the
+// protocol stage closes the queue, encoding (inside the transport send) and
+// counting wire cost as it goes.
+func (n *Node) egressLoop() {
+	defer n.wg.Done()
+	for job := range n.egressCh {
+		_ = n.send(job.to, job.payload)
+	}
+}
+
+// emit hands one outgoing protocol message to the egress stage, or sends it
+// inline when no egress workers run. The protocol stage never blocks on a
+// slow fabric: a full egress queue drops the envelope and counts it, the
+// same silent-loss semantics as an overflowing UDP socket buffer.
+func (n *Node) emit(to addr.Address, payload any) {
+	if n.egressOn {
+		select {
+		case n.egressCh <- egressJob{to: to, payload: payload}:
+		default:
+			n.egressDrops.Add(1)
+		}
+		return
+	}
+	_ = n.send(to, payload)
+}
+
+// EngineStats reports staged-runtime counters: send jobs dropped because
+// the egress queue was full (always zero in serial configurations, which
+// send inline), and inbound frames that failed to decode — counted wherever
+// the decoding happened, on an ingress worker or on the serial/step path of
+// a deferred-decode fabric.
+func (n *Node) EngineStats() (egressDropped, malformed int64) {
+	return n.egressDrops.Load(), n.malformed.Load()
+}

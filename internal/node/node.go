@@ -1,12 +1,27 @@
-// Package node is the asynchronous pmcast runtime: one goroutine-driven
-// process binding the dissemination algorithm (internal/core), the
-// membership service (internal/membership) and a transport endpoint.
+// Package node is the asynchronous pmcast runtime: a staged engine binding
+// the dissemination algorithm (internal/core), the membership service
+// (internal/membership) and a transport endpoint.
 //
 // A Node periodically executes the gossip task (the paper's "every P
 // milliseconds"), periodically exchanges membership digests (gossip pull),
 // sweeps its failure detector, and rebuilds its tree views whenever the
 // membership version moves. Events are published with Publish and consumed
 // from the Deliveries channel.
+//
+// The live runtime (Start) is decomposed into three stages — see engine.go:
+//
+//	ingress   N decode workers draining the endpoint, each owning a wire
+//	          decoder (DecodeWorkers)
+//	protocol  ONE goroutine owning membership folds, tree views and the
+//	          core.Process — the single writer of all protocol state
+//	sweep/    M encode/send workers consuming per-peer send jobs from the
+//	egress    protocol stage (EncodeWorkers)
+//
+// Parallelism 0 collapses every stage onto the protocol goroutine: exactly
+// the serial event loop earlier revisions ran, and the configuration the
+// deterministic harness drives synchronously through the step-mode API
+// (step.go). Determinism is a degenerate configuration of the engine, not a
+// second code path.
 package node
 
 import (
@@ -84,6 +99,23 @@ type Config struct {
 	// retaining an allocation) and summed into WireStats. Off by default —
 	// in-memory campaigns that don't report bytes skip the encoding work.
 	MeasureWire bool
+	// DecodeWorkers is the ingress-stage parallelism of the staged engine:
+	// how many decode workers drain the transport endpoint concurrently,
+	// each owning its own interning wire.Decoder (intern tables are not
+	// shareable across goroutines). 0 — the default — runs ingress inline on
+	// the protocol goroutine: the serial loop every deterministic campaign
+	// replays. Only Start consults this; step-mode driving is always serial.
+	DecodeWorkers int
+	// EncodeWorkers is the egress-stage parallelism: how many encode/send
+	// workers consume per-peer send jobs from the protocol stage. 0 sends
+	// inline on the protocol goroutine.
+	EncodeWorkers int
+	// StageQueue bounds the channels between engine stages (default 1024).
+	// A full ingress queue applies backpressure to the transport, whose
+	// inbox overflows by dropping — UDP socket-buffer semantics. A full
+	// egress queue drops the send job and counts it in EngineStats: the
+	// protocol stage never blocks on a slow fabric.
+	StageQueue int
 	// Seed seeds the node RNG (0 derives one from the address).
 	Seed int64
 	// Clock supplies the node's timers and the membership service's notion
@@ -109,6 +141,15 @@ func (c Config) withDefaults() Config {
 	if c.DeliveryBuffer <= 0 {
 		c.DeliveryBuffer = 256
 	}
+	if c.StageQueue <= 0 {
+		c.StageQueue = 1024
+	}
+	if c.DecodeWorkers < 0 {
+		c.DecodeWorkers = 0
+	}
+	if c.EncodeWorkers < 0 {
+		c.EncodeWorkers = 0
+	}
 	if c.Clock == nil {
 		c.Clock = clock.Real{}
 	}
@@ -127,15 +168,21 @@ type Node struct {
 	cfg Config
 	ep  transport.Endpoint
 	mem *membership.Service
+	dec *wire.Decoder // serial/step-mode decoder for deferred-decode fabrics
 
-	mu          sync.Mutex
-	rng         *rand.Rand
-	proc        *core.Process
-	tree        *tree.Tree
-	applied     map[string]appliedRecord
-	treeSize    int
-	treeVersion uint64
-	seen        map[event.ID]struct{}
+	// mu guards the protocol state below. While the engine runs, the
+	// protocol stage is the state's single writer, so the lock is
+	// uncontended there; it remains the arbiter for step-mode drivers,
+	// bootstrap tools (WarmViews, AdoptViewsFrom) and serial-path Publish.
+	mu               sync.Mutex
+	rng              *rand.Rand
+	proc             *core.Process
+	tree             *tree.Tree
+	applied          map[string]appliedRecord
+	treeSize         int
+	treeVersion      uint64
+	seen             map[event.ID]struct{}
+	deliveriesClosed bool
 
 	seq        atomic.Uint64
 	deliveries chan event.Event
@@ -144,14 +191,29 @@ type Node struct {
 	envelopes atomic.Int64 // outgoing envelopes (batched counts as one)
 	wireBytes atomic.Int64 // encoded bytes of outgoing envelopes (MeasureWire)
 
+	// Engine plumbing (engine.go). protoCh and egressCh exist only when
+	// Start brings up a parallel configuration; egressOn routes emit through
+	// the egress stage and is set before the engine goroutines launch.
+	protoCh     chan protoMsg
+	egressCh    chan egressJob
+	egressOn    bool
+	wg          sync.WaitGroup
+	egressDrops atomic.Int64
+	malformed   atomic.Int64
+
 	joinMu      sync.Mutex
 	joinContact addr.Address
 
+	// lifeMu serializes the Start/Stop decision so a Stop racing a first
+	// Start can never observe started=false while Start goes on to launch
+	// the runtime — Stop's "drained and joined" guarantee depends on it.
+	lifeMu    sync.Mutex
 	startOnce sync.Once
 	stopOnce  sync.Once
 	stop      chan struct{}
 	done      chan struct{}
 	started   atomic.Bool
+	stopped   atomic.Bool
 }
 
 // New attaches a node to a transport fabric — any implementation of the
@@ -178,6 +240,7 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		cfg:        cfg,
 		ep:         ep,
 		mem:        mem,
+		dec:        wire.NewDecoder(),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		seen:       make(map[event.ID]struct{}),
 		deliveries: make(chan event.Event, cfg.DeliveryBuffer),
@@ -204,25 +267,59 @@ func (n *Node) Deliveries() <-chan event.Event { return n.deliveries }
 // DroppedDeliveries reports deliveries discarded because the consumer lagged.
 func (n *Node) DroppedDeliveries() int64 { return n.dropped.Load() }
 
-// Start launches the runtime loop.
+// Start launches the staged engine: the single-writer protocol goroutine
+// plus — when the configuration asks for parallelism — the ingress decode
+// workers and egress send workers. Starting a node that was already stopped
+// is a no-op: the node stays inert.
 func (n *Node) Start() {
 	n.startOnce.Do(func() {
+		n.lifeMu.Lock()
+		defer n.lifeMu.Unlock()
+		if n.stopped.Load() {
+			return // Stop won: stay inert rather than racing a dead runtime
+		}
+		if n.cfg.DecodeWorkers > 0 || n.cfg.EncodeWorkers > 0 {
+			n.protoCh = make(chan protoMsg, n.cfg.StageQueue)
+			if n.cfg.EncodeWorkers > 0 {
+				n.egressCh = make(chan egressJob, n.cfg.StageQueue)
+				n.egressOn = true
+			}
+		}
 		n.started.Store(true)
 		go n.run()
 	})
 }
 
 // Stop terminates the runtime, detaches from the network and closes the
-// delivery channel. Safe to call multiple times.
+// delivery channel. It is idempotent and safe in any lifecycle state:
+// before Start (the node stays inert and a later Start is a no-op), after
+// Start (the engine drains and joins every stage worker), after the
+// transport was closed underneath the node, and from multiple goroutines
+// at once. The delivery channel is closed exactly once.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
+		// Under lifeMu, either a racing first Start already launched the
+		// runtime (then started is true here and we join it) or it has not
+		// yet taken its decision (then it will see stopped and stay inert).
+		n.lifeMu.Lock()
+		n.stopped.Store(true)
 		close(n.stop)
-		if n.started.Load() {
-			<-n.done
+		started := n.started.Load()
+		n.lifeMu.Unlock()
+		if started {
+			<-n.done // protocol stage has exited and closed the egress queue
 		} else {
-			close(n.done)
+			close(n.done) // never started: done must still read as terminal
 		}
-		n.ep.Close()
+		n.ep.Close() // unblocks ingress workers waiting on Recv
+		n.wg.Wait()  // every stage worker has drained and exited
+		// Mark the channel closed under the state lock: step-mode drivers
+		// push deliveries under the same lock, so none can be mid-send, and
+		// any later step call discards into the dropped counter instead of
+		// panicking on a closed channel.
+		n.mu.Lock()
+		n.deliveriesClosed = true
+		n.mu.Unlock()
 		close(n.deliveries)
 	})
 }
@@ -273,7 +370,11 @@ func (n *Node) Subscribe(sub interest.Subscription) {
 }
 
 // Publish multicasts an event built from the given attributes. The event ID
-// is derived from the node address and a local sequence number.
+// is derived from the node address and a local sequence number. While the
+// engine runs in a parallel configuration, the event is handed to the
+// protocol stage — the single writer of protocol state — and Publish waits
+// for it to be accepted; otherwise the caller applies it directly under the
+// state lock, as the serial runtime always has.
 func (n *Node) Publish(attrs map[string]event.Value) (event.ID, error) {
 	select {
 	case <-n.stop:
@@ -282,51 +383,80 @@ func (n *Node) Publish(attrs map[string]event.Value) (event.ID, error) {
 	}
 	id := event.ID{Origin: n.cfg.Addr.Key(), Seq: n.seq.Add(1)}
 	ev := event.New(id, attrs)
-
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if err := n.rebuildIfStaleLocked(); err != nil {
+	// The started load is the acquire barrier for protoCh: Start stores it
+	// before flipping started, so checking in this order is race-free even
+	// against a concurrent Start.
+	if n.started.Load() && n.protoCh != nil {
+		// The done arms cover a protocol stage that wound down without Stop
+		// (transport closed underneath the node): the serial path degrades to
+		// buffering the event locally, and the engine path must not hang.
+		req := &publishReq{ev: ev, errc: make(chan error, 1)}
+		select {
+		case n.protoCh <- protoMsg{pub: req}:
+		case <-n.stop:
+			return event.ID{}, ErrStopped
+		case <-n.done:
+			return event.ID{}, ErrStopped
+		}
+		select {
+		case err := <-req.errc:
+			if err != nil {
+				return event.ID{}, err
+			}
+			return id, nil
+		case <-n.stop:
+			return event.ID{}, ErrStopped
+		case <-n.done:
+			return event.ID{}, ErrStopped
+		}
+	}
+	if err := n.applyPublish(ev); err != nil {
 		return event.ID{}, err
 	}
-	n.seen[id] = struct{}{}
-	if err := n.proc.Multicast(ev); err != nil {
-		return event.ID{}, err
-	}
-	n.drainDeliveriesLocked()
 	return id, nil
 }
 
-// run is the node's event loop.
-func (n *Node) run() {
-	defer close(n.done)
-	gossip := n.cfg.Clock.NewTicker(n.cfg.GossipInterval)
-	defer gossip.Stop()
-	memTick := n.cfg.Clock.NewTicker(n.cfg.MembershipInterval)
-	defer memTick.Stop()
-	sweep := n.cfg.Clock.NewTicker(n.cfg.SuspectAfter / 2)
-	defer sweep.Stop()
-
-	for {
-		select {
-		case <-n.stop:
-			return
-		case env, ok := <-n.ep.Recv():
-			if !ok {
-				return
-			}
-			n.handle(env)
-		case <-gossip.C():
-			n.tickGossip()
-		case <-memTick.C():
-			n.tickMembership()
-		case <-sweep.C():
-			n.mem.SweepFailures()
-		}
+// applyPublish folds one locally published event into protocol state — the
+// shared body of the serial path and the protocol stage's publish handler.
+func (n *Node) applyPublish(ev event.Event) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.rebuildIfStaleLocked(); err != nil {
+		return err
 	}
+	n.seen[ev.ID()] = struct{}{}
+	if err := n.proc.Multicast(ev); err != nil {
+		return err
+	}
+	n.drainDeliveriesLocked()
+	return nil
 }
 
-// handle dispatches one received payload.
+// decodeRaw unframes a deferred-decode payload in place with the given
+// decoder, releasing the pooled frame and counting failures. It reports
+// whether the envelope is usable — shared by the ingress workers (worker
+// decoders) and the serial/step path (the node's own decoder).
+func (n *Node) decodeRaw(dec *wire.Decoder, env *transport.Envelope) bool {
+	raw, ok := env.Payload.(transport.Raw)
+	if !ok {
+		return true
+	}
+	payload, err := dec.Decode(raw.Frame)
+	raw.Release()
+	if err != nil {
+		n.malformed.Add(1)
+		return false
+	}
+	env.Payload = payload
+	return true
+}
+
+// handle dispatches one received payload. It runs on the protocol stage (or
+// a step-mode driver): everything it touches is single-writer state.
 func (n *Node) handle(env transport.Envelope) {
+	if !n.decodeRaw(n.dec, &env) {
+		return
+	}
 	n.mem.MarkHeard(env.From)
 	switch msg := env.Payload.(type) {
 	case core.Gossip:
@@ -337,10 +467,10 @@ func (n *Node) handle(env transport.Envelope) {
 		n.mem.Apply(msg)
 	case membership.JoinRequest:
 		reply, fwd, forwardIt := n.mem.HandleJoinRequest(msg)
-		_ = n.send(msg.Joiner.Addr, reply)
+		n.emit(msg.Joiner.Addr, reply)
 		if forwardIt && msg.Hops > 0 {
 			msg.Hops--
-			_ = n.send(fwd, msg)
+			n.emit(fwd, msg)
 		}
 	case membership.Leave:
 		n.mem.HandleLeave(msg)
@@ -370,14 +500,14 @@ func (n *Node) handleDigest(from addr.Address, d membership.Digest) {
 	// also how a falsely-expelled process re-enters views).
 	if !n.cfg.NoBatch && upd != nil && gossiperFresher {
 		mine := n.mem.MakeDigest()
-		_ = n.send(from, wire.Batch{Update: upd, Digest: &mine})
+		n.emit(from, wire.Batch{Update: upd, Digest: &mine})
 		return
 	}
 	if upd != nil {
-		_ = n.send(from, *upd)
+		n.emit(from, *upd)
 	}
 	if gossiperFresher {
-		_ = n.send(from, n.mem.MakeDigest())
+		n.emit(from, n.mem.MakeDigest())
 	}
 }
 
@@ -432,22 +562,24 @@ func (n *Node) tickGossip() {
 		n.drainDeliveriesLocked()
 		n.mu.Unlock()
 		for _, s := range sends {
-			_ = n.send(s.To, s.Gossip)
+			n.emit(s.To, s.Gossip)
 		}
 		return
 	}
 	// Batched pipeline: every gossip this round owes one peer rides a single
 	// round envelope. TickRound consumes the RNG exactly like Tick, so the
 	// two modes stay behaviorally equivalent (see the harness equivalence
-	// test) — only envelope counts differ.
-	rounds := n.proc.TickRound(n.rng)
+	// test) — only envelope counts differ. The round envelopes are the
+	// engine's send jobs, emitted after the lock drops: emit either hands
+	// them to the egress workers or — serially — sends on this goroutine.
+	jobs := n.proc.TickRound(n.rng)
 	n.drainDeliveriesLocked()
 	n.mu.Unlock()
-	for _, rs := range rounds {
+	for _, rs := range jobs {
 		if len(rs.Gossips) == 1 {
-			_ = n.send(rs.To, rs.Gossips[0]) // a bare frame is smaller than a batch of one
+			n.emit(rs.To, rs.Gossips[0]) // a bare frame is smaller than a batch of one
 		} else {
-			_ = n.send(rs.To, wire.Batch{Gossips: rs.Gossips})
+			n.emit(rs.To, wire.Batch{Gossips: rs.Gossips})
 		}
 	}
 }
@@ -460,7 +592,7 @@ func (n *Node) tickMembership() {
 		contact := n.joinContact
 		n.joinMu.Unlock()
 		if !contact.IsZero() {
-			_ = n.send(contact, n.mem.BuildJoinRequest())
+			n.emit(contact, n.mem.BuildJoinRequest())
 		}
 	}
 	n.mu.Lock()
@@ -474,10 +606,10 @@ func (n *Node) tickMembership() {
 	neighbors := n.mem.ImmediateNeighbors()
 	if n.cfg.NoBatch {
 		for _, to := range targets {
-			_ = n.send(to, d)
+			n.emit(to, d)
 		}
 		for _, nb := range neighbors {
-			_ = n.send(nb, hb)
+			n.emit(nb, hb)
 		}
 		return
 	}
@@ -487,14 +619,14 @@ func (n *Node) tickMembership() {
 	for _, to := range targets {
 		if isNeighbor(neighbors, to) {
 			beaconed[to.Key()] = true
-			_ = n.send(to, wire.Batch{Digest: &d, Heartbeat: &hb})
+			n.emit(to, wire.Batch{Digest: &d, Heartbeat: &hb})
 		} else {
-			_ = n.send(to, d)
+			n.emit(to, d)
 		}
 	}
 	for _, nb := range neighbors {
 		if !beaconed[nb.Key()] {
-			_ = n.send(nb, hb)
+			n.emit(nb, hb)
 		}
 	}
 }
@@ -617,8 +749,14 @@ func (n *Node) rebuildLocked() error {
 }
 
 // drainDeliveriesLocked pushes protocol deliveries to the consumer channel.
+// Deliveries arriving after Stop closed the channel (a step-mode driver
+// poking a dead node) are discarded into the dropped counter.
 func (n *Node) drainDeliveriesLocked() {
 	for _, ev := range n.proc.Deliveries() {
+		if n.deliveriesClosed {
+			n.dropped.Add(1)
+			continue
+		}
 		select {
 		case n.deliveries <- ev:
 		default:
@@ -629,106 +767,3 @@ func (n *Node) drainDeliveriesLocked() {
 
 // KnownMembers returns the current alive membership size as seen locally.
 func (n *Node) KnownMembers() int { return n.mem.Len() }
-
-// Step mode.
-//
-// A node normally runs its own goroutine (Start) with the periodic tasks
-// driven by its clock's tickers. The methods below expose the same tasks as
-// synchronous calls so an external scheduler — internal/harness's
-// virtual-time scenario engine — can drive a whole fleet deterministically
-// from a single goroutine: never call Start on a step-driven node, and never
-// mix step calls with a running Start loop.
-
-// HandleEnvelope processes one received message synchronously — the step-
-// mode counterpart of the run loop's receive arm.
-func (n *Node) HandleEnvelope(env transport.Envelope) { n.handle(env) }
-
-// PumpInbox drains and handles every envelope currently queued on the
-// node's endpoint without blocking, returning how many were processed. A
-// closed endpoint pumps zero.
-func (n *Node) PumpInbox() int {
-	handled := 0
-	for {
-		select {
-		case env, ok := <-n.ep.Recv():
-			if !ok {
-				return handled
-			}
-			n.handle(env)
-			handled++
-		default:
-			return handled
-		}
-	}
-}
-
-// WarmViews folds any pending membership changes into the node's tree views
-// immediately instead of lazily at the next tick. The fold is a pure
-// function of the node's own membership state, so a harness may warm many
-// nodes concurrently — after a bootstrap that hands the whole fleet the
-// same initial roster, the per-node folds are the same work a real
-// deployment does on a thousand separate machines.
-func (n *Node) WarmViews() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rebuildIfStaleLocked()
-}
-
-// AdoptViewsFrom copies the donor's folded tree instead of recomputing an
-// identical fold. Legal only when both nodes hold the same membership
-// roster (checked via the roster hash) and the donor is fully folded; both
-// nodes must be quiescent — this is a bootstrap-time tool for harnesses
-// co-hosting many nodes, where n identical folds would otherwise cost n
-// full aggregate recomputations.
-func (n *Node) AdoptViewsFrom(donor *Node) error {
-	if donor == n {
-		return nil
-	}
-	donor.mu.Lock()
-	if donor.treeVersion != donor.mem.Version() {
-		donor.mu.Unlock()
-		return errors.New("node: donor views are stale")
-	}
-	donorHash := donor.mem.RosterHash()
-	clone := donor.tree.Clone()
-	applied := make(map[string]appliedRecord, len(donor.applied))
-	for k, v := range donor.applied {
-		applied[k] = v
-	}
-	donor.mu.Unlock()
-
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.mem.RosterHash() != donorHash {
-		return errors.New("node: donor roster differs")
-	}
-	n.tree = clone
-	n.applied = applied
-	n.treeVersion = n.mem.Version()
-	proc, err := core.BuildProcess(n.tree, n.cfg.Addr, core.Config{
-		D:             n.cfg.Space.Depth(),
-		F:             n.cfg.F,
-		C:             n.cfg.C,
-		Threshold:     n.cfg.Threshold,
-		LocalDescent:  n.cfg.LocalDescent,
-		LeafFloodRate: n.cfg.LeafFloodRate,
-	})
-	if err != nil {
-		return fmt.Errorf("node: rebuilding process: %w", err)
-	}
-	proc.AdoptState(n.proc)
-	n.proc = proc
-	n.treeSize = n.tree.Len()
-	return nil
-}
-
-// TickGossip runs one gossip period (the run loop's gossip arm).
-func (n *Node) TickGossip() { n.tickGossip() }
-
-// TickMembership runs one membership anti-entropy period (the run loop's
-// digest arm), including the join-retry bootstrap.
-func (n *Node) TickMembership() { n.tickMembership() }
-
-// SweepFailures runs one failure-detector sweep, returning the newly
-// expelled addresses.
-func (n *Node) SweepFailures() []addr.Address { return n.mem.SweepFailures() }

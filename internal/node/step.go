@@ -1,0 +1,122 @@
+// Step mode: the staged engine driven synchronously, at parallelism 0, by
+// an external scheduler.
+//
+// A node normally runs its own protocol goroutine (Start) with the periodic
+// tasks driven by its clock's tickers and, in parallel configurations, the
+// ingress and egress stages on their own workers. The methods below expose
+// the same stages as synchronous calls on the caller's goroutine — ingress
+// (HandleEnvelope / PumpInbox), protocol (TickGossip / TickMembership /
+// SweepFailures) and egress (emit falls through to a direct send when no
+// egress workers run) — so an external scheduler such as internal/harness's
+// virtual-time scenario engine can drive a whole fleet deterministically
+// from a single goroutine. This is not a second runtime: it is the engine's
+// degenerate configuration, every stage collapsed onto one goroutine, which
+// is why seeded step-mode campaigns replay the exact traces earlier serial
+// revisions produced. Never call Start on a step-driven node, and never mix
+// step calls with a running Start loop.
+
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/core"
+	"pmcast/internal/transport"
+)
+
+// HandleEnvelope processes one received message synchronously — the
+// ingress-plus-protocol stages of the engine run inline (deferred-decode
+// payloads are unframed with the node's own decoder).
+func (n *Node) HandleEnvelope(env transport.Envelope) { n.handle(env) }
+
+// PumpInbox drains and handles every envelope currently queued on the
+// node's endpoint without blocking, returning how many were processed. A
+// closed endpoint pumps zero.
+func (n *Node) PumpInbox() int {
+	handled := 0
+	for {
+		select {
+		case env, ok := <-n.ep.Recv():
+			if !ok {
+				return handled
+			}
+			n.handle(env)
+			handled++
+		default:
+			return handled
+		}
+	}
+}
+
+// WarmViews folds any pending membership changes into the node's tree views
+// immediately instead of lazily at the next tick. The fold is a pure
+// function of the node's own membership state, so a harness may warm many
+// nodes concurrently — after a bootstrap that hands the whole fleet the
+// same initial roster, the per-node folds are the same work a real
+// deployment does on a thousand separate machines.
+func (n *Node) WarmViews() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rebuildIfStaleLocked()
+}
+
+// AdoptViewsFrom copies the donor's folded tree instead of recomputing an
+// identical fold. Legal only when both nodes hold the same membership
+// roster (checked via the roster hash) and the donor is fully folded; both
+// nodes must be quiescent — this is a bootstrap-time tool for harnesses
+// co-hosting many nodes, where n identical folds would otherwise cost n
+// full aggregate recomputations.
+func (n *Node) AdoptViewsFrom(donor *Node) error {
+	if donor == n {
+		return nil
+	}
+	donor.mu.Lock()
+	if donor.treeVersion != donor.mem.Version() {
+		donor.mu.Unlock()
+		return errors.New("node: donor views are stale")
+	}
+	donorHash := donor.mem.RosterHash()
+	clone := donor.tree.Clone()
+	applied := make(map[string]appliedRecord, len(donor.applied))
+	for k, v := range donor.applied {
+		applied[k] = v
+	}
+	donor.mu.Unlock()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.mem.RosterHash() != donorHash {
+		return errors.New("node: donor roster differs")
+	}
+	n.tree = clone
+	n.applied = applied
+	n.treeVersion = n.mem.Version()
+	proc, err := core.BuildProcess(n.tree, n.cfg.Addr, core.Config{
+		D:             n.cfg.Space.Depth(),
+		F:             n.cfg.F,
+		C:             n.cfg.C,
+		Threshold:     n.cfg.Threshold,
+		LocalDescent:  n.cfg.LocalDescent,
+		LeafFloodRate: n.cfg.LeafFloodRate,
+	})
+	if err != nil {
+		return fmt.Errorf("node: rebuilding process: %w", err)
+	}
+	proc.AdoptState(n.proc)
+	n.proc = proc
+	n.treeSize = n.tree.Len()
+	return nil
+}
+
+// TickGossip runs one gossip period (the protocol stage's gossip arm).
+func (n *Node) TickGossip() { n.tickGossip() }
+
+// TickMembership runs one membership anti-entropy period (the protocol
+// stage's digest arm), including the join-retry bootstrap.
+func (n *Node) TickMembership() { n.tickMembership() }
+
+// SweepFailures runs one failure-detector sweep, returning the newly
+// expelled addresses.
+func (n *Node) SweepFailures() []addr.Address { return n.mem.SweepFailures() }

@@ -11,6 +11,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmcast/internal/addr"
@@ -60,13 +61,19 @@ type Config struct {
 type Network struct {
 	clk clock.Clock
 
-	mu        sync.Mutex
+	// mu is a reader/writer lock so the fault-free hot path — no loss, no
+	// delay, no tap, no partitions — routes under a shared read lock:
+	// concurrent engine fleets would otherwise serialize every send on one
+	// global mutex, capping multicore campaigns at single-core throughput.
+	// Anything that mutates fabric state (fault draws advance per-link RNG
+	// streams, timers register, knobs change) takes the write lock.
+	mu        sync.RWMutex
 	cfg       Config
 	links     map[string]*linkStream // per directed link fault streams
 	endpoints map[string]*memEndpoint
 	blocked   map[string]bool // "from|to" directed block rules
 	timers    map[clock.Timer]struct{}
-	dropped   int
+	dropped   atomic.Int64
 	closed    bool
 }
 
@@ -223,9 +230,7 @@ func (n *Network) Heal() {
 // Dropped returns the number of messages lost so far (loss, partitions,
 // overflow and unknown destinations).
 func (n *Network) Dropped() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropped
+	return int(n.dropped.Load())
 }
 
 // Size returns the number of attached endpoints.
@@ -241,7 +246,49 @@ func (n *Network) Size() int {
 // canonical order — the same draws, in the same order, the same messages
 // sent unbatched would have made. Returns ErrUnknownAddr only for routing
 // errors the sender can act on — faults are silent, as on a real network.
+//
+// A fault-free fabric (no loss, no delay, no tap, no partition rules) routes
+// under the read lock: no fault draws means no per-link RNG state advances,
+// so concurrent senders stay independent and the path scales with cores.
 func (n *Network) route(from, to addr.Address, payload any) error {
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		return ErrClosed
+	}
+	if n.cfg.Tap == nil && n.cfg.Loss == 0 && n.cfg.MaxDelay == 0 && len(n.blocked) == 0 {
+		dst, ok := n.endpoints[to.Key()]
+		n.mu.RUnlock()
+		if !ok {
+			n.dropped.Add(int64(payloadParts(payload)))
+			return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
+		}
+		if b, isBatch := payload.(wire.Batch); isBatch {
+			// Unbatch in canonical order, as the faulty path would.
+			b.Each(func(sub any) {
+				n.deliver(dst, Envelope{From: from, To: to, Payload: sub})
+			})
+			return nil
+		}
+		n.deliver(dst, Envelope{From: from, To: to, Payload: payload})
+		return nil
+	}
+	n.mu.RUnlock()
+	return n.routeFaulty(from, to, payload)
+}
+
+// payloadParts counts the sub-messages of a payload for drop accounting.
+func payloadParts(payload any) int {
+	if b, isBatch := payload.(wire.Batch); isBatch {
+		return b.Parts()
+	}
+	return 1
+}
+
+// routeFaulty is the fault-injecting path, serialized under the write lock
+// because fault draws advance the link's RNG stream (determinism requires
+// each link's draws to happen in its own traffic order).
+func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -252,19 +299,16 @@ func (n *Network) route(from, to addr.Address, payload any) error {
 	}
 	// Drop accounting is per sub-message on every fault path, so batched and
 	// unbatched runs of the same traffic report identical drop counts.
-	parts := 1
-	if b, isBatch := payload.(wire.Batch); isBatch {
-		parts = b.Parts()
-	}
+	parts := payloadParts(payload)
 	dst, ok := n.endpoints[to.Key()]
 	if !ok {
-		n.dropped += parts
+		n.dropped.Add(int64(parts))
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 	}
 	linkKey := from.Key() + "|" + to.Key()
 	if n.blocked[linkKey] {
-		n.dropped += parts
+		n.dropped.Add(int64(parts))
 		n.mu.Unlock()
 		return nil // silent partition
 	}
@@ -275,7 +319,7 @@ func (n *Network) route(from, to addr.Address, payload any) error {
 	// scheduled here.
 	part := func(sub any) (Envelope, bool) {
 		if n.cfg.Loss > 0 && rng.Float64() < n.cfg.Loss {
-			n.dropped++
+			n.dropped.Add(1)
 			return Envelope{}, false // silent loss
 		}
 		var delay time.Duration
@@ -338,20 +382,14 @@ func (n *Network) deliver(dst *memEndpoint, env Envelope) {
 	dst.mu.Lock()
 	defer dst.mu.Unlock()
 	if dst.closed {
-		n.countDrop()
+		n.dropped.Add(1)
 		return
 	}
 	select {
 	case dst.in <- env:
 	default:
-		n.countDrop() // queue overflow
+		n.dropped.Add(1) // queue overflow
 	}
-}
-
-func (n *Network) countDrop() {
-	n.mu.Lock()
-	n.dropped++
-	n.mu.Unlock()
 }
 
 // memEndpoint is one attached process's interface to the in-memory fabric.

@@ -17,6 +17,7 @@ package transport
 
 import (
 	"errors"
+	"sync"
 
 	"pmcast/internal/addr"
 )
@@ -33,6 +34,38 @@ var (
 type Envelope struct {
 	From, To addr.Address
 	Payload  any
+}
+
+// Raw is an undecoded wire frame: a byte-oriented transport configured to
+// defer unframing (see udp.Config.DeferDecode) delivers envelopes whose
+// Payload is a Raw, and the consumer decodes. The staged node engine uses
+// this to spread decoding over several ingress workers — each owning its own
+// interning decoder — instead of serializing it on the transport's single
+// read loop. Frames ride pooled buffers; call Release once decoded.
+type Raw struct {
+	Frame []byte
+	buf   *[]byte
+}
+
+var rawPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// NewRaw copies one frame into a pooled buffer.
+func NewRaw(frame []byte) Raw {
+	p := rawPool.Get().(*[]byte)
+	*p = append((*p)[:0], frame...)
+	return Raw{Frame: *p, buf: p}
+}
+
+// Release returns the frame's backing buffer to the pool; the Raw must not
+// be used afterwards. Release on a literal (unpooled) Raw is a no-op.
+func (r Raw) Release() {
+	if r.buf != nil {
+		*r.buf = (*r.buf)[:0]
+		rawPool.Put(r.buf)
+	}
 }
 
 // Transport is a network fabric processes attach to by address. All
@@ -54,6 +87,8 @@ type Endpoint interface {
 	// closed endpoint return errors.
 	Send(to addr.Address, payload any) error
 	// Recv exposes the inbox. The channel closes when the endpoint does.
+	// Multiple consumers may receive concurrently — the staged node engine
+	// drains one endpoint with several ingress workers.
 	Recv() <-chan Envelope
 	// Close detaches the endpoint from the fabric.
 	Close() error

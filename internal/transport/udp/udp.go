@@ -95,6 +95,15 @@ type Config struct {
 	// MaxDatagram bounds datagram size in bytes (default 64 KiB − 1, the
 	// UDP maximum). Sends that encode larger fail with an error.
 	MaxDatagram int
+	// DeferDecode hands received frames to the consumer undecoded — as
+	// transport.Raw payloads on pooled buffers — instead of unframing them
+	// on the endpoint's single read loop. The node engine's ingress workers
+	// then decode in parallel, each with its own interning decoder: the
+	// configuration for multicore deployments (pair with the node's
+	// DecodeWorkers). The sender-address prefix is still parsed (and
+	// malformed prefixes counted) here; payload decode failures are counted
+	// by whoever decodes.
+	DeferDecode bool
 }
 
 // Transport binds UDP sockets for attached addresses. It implements
@@ -339,11 +348,16 @@ func (e *endpoint) shutdown() {
 // readLoop turns datagrams into envelopes until the socket closes. The
 // decoder is loop-local with an intern table, so the strings a gossip
 // stream endlessly repeats (origins, attribute names, membership keys) are
-// allocated once and shared across frames.
+// allocated once and shared across frames. With DeferDecode the loop only
+// parses the sender prefix and ships the frame bytes as a transport.Raw —
+// unframing moves to the consumer's ingress workers.
 func (e *endpoint) readLoop(maxDatagram int) {
 	defer close(e.in)
 	buf := make([]byte, maxDatagram)
-	dec := wire.NewDecoder()
+	var dec *wire.Decoder
+	if !e.tr.cfg.DeferDecode {
+		dec = wire.NewDecoder() // unused (and unallocated) when deferring
+	}
 	for {
 		n, _, err := e.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -355,15 +369,23 @@ func (e *endpoint) readLoop(maxDatagram int) {
 			e.tr.malformed.Add(1)
 			continue
 		}
-		payload, err := dec.Decode(buf[n-r.Len() : n])
-		if err != nil {
-			e.tr.malformed.Add(1)
-			continue
+		var payload any
+		if e.tr.cfg.DeferDecode {
+			payload = transport.NewRaw(buf[n-r.Len() : n])
+		} else {
+			payload, err = dec.Decode(buf[n-r.Len() : n])
+			if err != nil {
+				e.tr.malformed.Add(1)
+				continue
+			}
 		}
 		env := transport.Envelope{From: from, To: e.addr, Payload: payload}
 		select {
 		case e.in <- env:
 		default:
+			if raw, ok := payload.(transport.Raw); ok {
+				raw.Release() // overflow never reaches a decoder
+			}
 			e.tr.dropped.Add(1) // inbox overflow, like a full socket buffer
 		}
 	}

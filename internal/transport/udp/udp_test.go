@@ -13,6 +13,7 @@ import (
 	"pmcast/internal/interest"
 	"pmcast/internal/membership"
 	"pmcast/internal/transport"
+	"pmcast/internal/wire"
 )
 
 // pair attaches two loopback endpoints that can resolve each other.
@@ -278,5 +279,62 @@ func TestResolverValidation(t *testing.T) {
 	}
 	if _, err := New(Config{}); err == nil {
 		t.Error("missing resolver accepted")
+	}
+}
+
+// TestDeferDecodeDeliversRawFrames exercises the deferred-decode seam: a
+// transport configured with DeferDecode hands the consumer transport.Raw
+// payloads whose frames decode — with a consumer-owned decoder, the way an
+// engine ingress worker holds one — to exactly the message that was sent.
+func TestDeferDecodeDeliversRawFrames(t *testing.T) {
+	res, err := NewStaticResolver(map[string]string{
+		"0.0": "127.0.0.1:0",
+		"0.1": "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Config{Resolver: res, DeferDecode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	a, err := tr.Attach(addr.MustParse("0.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Attach(addr.MustParse("0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := core.Gossip{Event: sampleEvent(), Depth: 2, Rate: 0.25, Round: 3}
+	if err := a.Send(b.Addr(), want); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b)
+	raw, ok := env.Payload.(transport.Raw)
+	if !ok {
+		t.Fatalf("payload = %T, want transport.Raw", env.Payload)
+	}
+	if !env.From.Equal(a.Addr()) {
+		t.Errorf("sender prefix parsed as %s, want %s", env.From, a.Addr())
+	}
+	dec := wire.NewDecoder()
+	payload, err := dec.Decode(raw.Frame)
+	raw.Release()
+	if err != nil {
+		t.Fatalf("decoding deferred frame: %v", err)
+	}
+	got, ok := payload.(core.Gossip)
+	if !ok {
+		t.Fatalf("decoded payload = %T, want core.Gossip", payload)
+	}
+	if got.Depth != want.Depth || got.Rate != want.Rate || got.Round != want.Round ||
+		got.Event.ID() != want.Event.ID() {
+		t.Errorf("gossip mutated through the raw path: %+v", got)
+	}
+	if tr.Malformed() != 0 {
+		t.Errorf("%d frames counted malformed", tr.Malformed())
 	}
 }

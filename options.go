@@ -104,6 +104,31 @@ func WithWireMeasurement(on bool) NodeOption {
 	return func(c *NodeConfig) { c.MeasureWire = on }
 }
 
+// WithParallelism sets the staged engine's worker counts: decode ingress
+// workers draining the transport endpoint (each with its own interning wire
+// decoder) and encode/send egress workers consuming the protocol stage's
+// per-peer send jobs. The protocol stage itself is always exactly one
+// goroutine — the single writer of membership, tree views and gossip state.
+// (0, 0), the default, collapses all three stages onto that goroutine: the
+// serial loop whose seeded runs the deterministic harness replays
+// byte-identically. Multicore deployments pass runtime.NumCPU()-sized
+// counts; pair decode workers with the UDP transport's DeferDecode so the
+// datagram unframing actually lands on them.
+func WithParallelism(decode, encode int) NodeOption {
+	return func(c *NodeConfig) {
+		c.DecodeWorkers = decode
+		c.EncodeWorkers = encode
+	}
+}
+
+// WithStageQueue bounds the queues between engine stages (default 1024).
+// A full ingress queue backpressures into the transport inbox (which drops,
+// like a UDP socket buffer); a full egress queue drops the send job and
+// counts it in Node.EngineStats — the protocol stage never blocks.
+func WithStageQueue(depth int) NodeOption {
+	return func(c *NodeConfig) { c.StageQueue = depth }
+}
+
 // WithDeliveryBuffer sizes the Deliveries channel (default 256).
 func WithDeliveryBuffer(n int) NodeOption {
 	return func(c *NodeConfig) { c.DeliveryBuffer = n }

@@ -12,7 +12,11 @@
 //   - analysis:        NewTreeModel (the paper's stochastic model, Eq. 3–18)
 //
 // Nodes run over a pluggable Transport: the in-memory simulation fabric
-// (NewNetwork) or real UDP sockets (NewUDPTransport). Quickstart:
+// (NewNetwork) or real UDP sockets (NewUDPTransport). The live runtime is a
+// staged engine — parallel decode workers, a single-writer protocol
+// goroutine, parallel encode/send workers — sized by WithParallelism;
+// the default (0, 0) is the serial, deterministic configuration.
+// Quickstart:
 //
 //	net := pmcast.NewNetwork(pmcast.NetworkConfig{})
 //	space := pmcast.MustRegularSpace(4, 2) // 16 addresses: x.y, 0 ≤ x,y < 4

@@ -92,7 +92,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 // TestFacadeUDPEndToEnd runs the same public-API flow over real loopback
-// UDP sockets: the transport is swapped, nothing else changes.
+// UDP sockets: the transport is swapped, nothing else changes. It runs the
+// full multicore configuration of the staged engine — deferred datagram
+// decoding on the transport, parallel decode and encode workers on every
+// node — so the whole ingress → protocol → egress pipeline is exercised
+// end to end over a real fabric in the tier-1 suite.
 func TestFacadeUDPEndToEnd(t *testing.T) {
 	peers := map[string]string{
 		"0.0": "127.0.0.1:0", "0.1": "127.0.0.1:0",
@@ -102,7 +106,7 @@ func TestFacadeUDPEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := pmcast.NewUDPTransport(pmcast.UDPConfig{Resolver: res})
+	tr, err := pmcast.NewUDPTransport(pmcast.UDPConfig{Resolver: res, DeferDecode: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,6 +130,8 @@ func TestFacadeUDPEndToEnd(t *testing.T) {
 			pmcast.WithSubscription(sub),
 			pmcast.WithGossipInterval(4*time.Millisecond),
 			pmcast.WithMembershipInterval(6*time.Millisecond),
+			pmcast.WithParallelism(2, 2),
+			pmcast.WithStageQueue(512),
 		)
 		if err != nil {
 			t.Fatal(err)
