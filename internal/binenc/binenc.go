@@ -152,6 +152,12 @@ func (r *Reader) Reset(buf []byte) {
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
 
+// Fail records a caller-detected semantic error (an unknown wire tag, an
+// out-of-domain value), poisoning every further read exactly like a
+// malformed buffer would. Codecs use it so "structurally readable but
+// meaningless" inputs surface as decode errors instead of zero values.
+func (r *Reader) Fail(err error) { r.fail(err) }
+
 // Len returns the number of unread bytes.
 func (r *Reader) Len() int { return len(r.buf) - r.off }
 

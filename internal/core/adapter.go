@@ -9,16 +9,27 @@ import (
 
 // TreeView adapts one tree.View to the DepthView interface, flattening the
 // view lines into a deterministic member order (line order, then election
-// rank) and matching members through the regrouped subtree summaries.
+// rank) and matching members through the compiled forms of the regrouped
+// subtree summaries. It implements MatchProfiler — one compiled evaluation
+// per line, expanded to the line's member range — and Generational, carrying
+// the tree node generation so cached profiles survive process rebuilds that
+// did not touch this view's prefix.
 type TreeView struct {
 	members   []addr.Address
 	lineOf    []int // member index → line index
+	lineStart []int // line index → first member index (len lines+1)
 	summaries []*interest.Summary
+	compiled  []*interest.CompiledMatcher
 	selfIndex int
 	selfLine  int
+	gen       uint64
 }
 
-var _ DepthView = (*TreeView)(nil)
+var (
+	_ DepthView     = (*TreeView)(nil)
+	_ MatchProfiler = (*TreeView)(nil)
+	_ Generational  = (*TreeView)(nil)
+)
 
 // NewTreeView builds the adapter for the given process. A nil view yields a
 // nil adapter (the process forwards through that depth without gossiping).
@@ -29,12 +40,22 @@ func NewTreeView(v *tree.View, self addr.Address) *TreeView {
 	tv := &TreeView{
 		members:   make([]addr.Address, 0, v.GroupSize()),
 		lineOf:    make([]int, 0, v.GroupSize()),
+		lineStart: make([]int, len(v.Lines)+1),
 		summaries: make([]*interest.Summary, len(v.Lines)),
+		compiled:  make([]*interest.CompiledMatcher, len(v.Lines)),
 		selfIndex: -1,
 		selfLine:  -1,
+		gen:       v.Gen,
 	}
 	for li, line := range v.Lines {
 		tv.summaries[li] = line.Summary
+		tv.compiled[li] = line.Compiled
+		if tv.compiled[li] == nil && line.Summary != nil {
+			// Hand-built views (tests, tools) may lack the compiled form;
+			// compile here so the adapter always runs the engine's path.
+			tv.compiled[li] = interest.CompileSummary(line.Summary)
+		}
+		tv.lineStart[li] = len(tv.members)
 		for _, m := range line.Delegates {
 			if m.Equal(self) {
 				tv.selfIndex = len(tv.members)
@@ -44,6 +65,7 @@ func NewTreeView(v *tree.View, self addr.Address) *TreeView {
 			tv.lineOf = append(tv.lineOf, li)
 		}
 	}
+	tv.lineStart[len(v.Lines)] = len(tv.members)
 	if tv.selfLine < 0 {
 		// The process may not be a member of this depth's group (e.g. a
 		// publisher that is no delegate); its own subgroup is still the line
@@ -70,20 +92,23 @@ func (tv *TreeView) MemberAt(i int) addr.Address { return tv.members[i] }
 // SelfIndex implements DepthView.
 func (tv *TreeView) SelfIndex() int { return tv.selfIndex }
 
-// SusceptibleAt implements DepthView: the member's subtree summary decides.
+// SusceptibleAt implements DepthView: the member's compiled subtree summary
+// decides.
 func (tv *TreeView) SusceptibleAt(ev event.Event, i int) bool {
-	return tv.summaries[tv.lineOf[i]].Matches(ev)
+	return tv.compiled[tv.lineOf[i]].Matches(ev)
 }
 
-// Rate implements DepthView (GETRATE).
+// Rate implements DepthView (GETRATE): one compiled evaluation per line,
+// weighted by the line's delegate count — the same value the per-member
+// walk produced, at a fraction of the evaluations.
 func (tv *TreeView) Rate(ev event.Event) float64 {
 	if len(tv.members) == 0 {
 		return 0
 	}
 	hits := 0
-	for _, li := range tv.lineOf {
-		if tv.summaries[li].Matches(ev) {
-			hits++
+	for li, cm := range tv.compiled {
+		if cm.Matches(ev) {
+			hits += tv.lineStart[li+1] - tv.lineStart[li]
 		}
 	}
 	return float64(hits) / float64(len(tv.members))
@@ -92,8 +117,8 @@ func (tv *TreeView) Rate(ev event.Event) float64 {
 // MatchingSubgroups implements DepthView.
 func (tv *TreeView) MatchingSubgroups(ev event.Event) (int, bool) {
 	total, selfIn := 0, false
-	for li, s := range tv.summaries {
-		if s.Matches(ev) {
+	for li, cm := range tv.compiled {
+		if cm.Matches(ev) {
 			total++
 			if li == tv.selfLine {
 				selfIn = true
@@ -103,8 +128,37 @@ func (tv *TreeView) MatchingSubgroups(ev event.Event) (int, bool) {
 	return total, selfIn
 }
 
+// Generation implements Generational: the tree node generation of the view.
+func (tv *TreeView) Generation() uint64 { return tv.gen }
+
+// Profile implements MatchProfiler: the whole susceptibility profile in one
+// pass, each line's compiled matcher evaluated exactly once.
+func (tv *TreeView) Profile(ev event.Event, p *MatchProfile) {
+	size := len(tv.members)
+	p.Ensure(size)
+	hits, lines, selfIn := 0, 0, false
+	for li, cm := range tv.compiled {
+		if !cm.MatchesCounted(ev, &p.Cost) {
+			continue
+		}
+		lines++
+		if li == tv.selfLine {
+			selfIn = true
+		}
+		lo, hi := tv.lineStart[li], tv.lineStart[li+1]
+		p.SetRange(lo, hi)
+		hits += hi - lo
+	}
+	p.Hits, p.Lines, p.SelfIn = hits, lines, selfIn
+	if size > 0 {
+		p.Rate = float64(hits) / float64(size)
+	} else {
+		p.Rate = 0
+	}
+}
+
 // BuildProcess assembles a Process for a tree member: per-depth TreeViews
-// plus the member's own subscription as delivery predicate.
+// plus the member's own compiled subscription as delivery predicate.
 func BuildProcess(t *tree.Tree, self addr.Address, cfg Config) (*Process, error) {
 	m, ok := t.Member(self)
 	if !ok {
@@ -120,8 +174,8 @@ func BuildProcess(t *tree.Tree, self addr.Address, cfg Config) (*Process, error)
 		}
 		views[depth-1] = tv
 	}
-	sub := m.Sub
-	return NewProcess(self, cfg, views, sub.Matches)
+	selfMatch := interest.Compile(m.Sub)
+	return NewProcess(self, cfg, views, selfMatch.Matches)
 }
 
 // ErrUnknownSelf wraps the unknown-member condition with the address.

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+	"pmcast/internal/tree"
+)
+
+// cacheTree builds a small content-addressed membership: 4^2, classes on b.
+func cacheTree(tb testing.TB) (*tree.Tree, addr.Space) {
+	tb.Helper()
+	space := addr.MustRegular(4, 2)
+	members := make([]tree.Member, 0, 16)
+	for i := 0; i < 16; i++ {
+		a := space.AddressAt(i)
+		members = append(members, tree.Member{
+			Addr: a,
+			Sub:  interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%2))),
+		})
+	}
+	t, err := tree.Build(tree.Config{Space: space, R: 2}, members)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t, space
+}
+
+func classEv(class int64, seq uint64) event.Event {
+	return event.NewBuilder().Int("b", class).Build(event.ID{Origin: "t", Seq: seq})
+}
+
+// TestProfileCacheMemoizes: the second identical query is a cache hit and
+// performs zero additional matcher evaluations.
+func TestProfileCacheMemoizes(t *testing.T) {
+	tr, space := cacheTree(t)
+	p, err := BuildProcess(tr, space.AddressAt(0), Config{F: 2, C: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := classEv(0, 1)
+	first := p.ProfileFor(ev, 1)
+	s1 := p.MatchStats()
+	if s1.Misses != 1 || s1.Hits != 0 || s1.Evals == 0 {
+		t.Fatalf("first lookup: %+v", s1)
+	}
+	second := p.ProfileFor(ev, 1)
+	s2 := p.MatchStats()
+	if second != first {
+		t.Error("second lookup did not return the cached profile")
+	}
+	if s2.Misses != 1 || s2.Hits != 1 || s2.Evals != s1.Evals {
+		t.Fatalf("second lookup recomputed: %+v", s2)
+	}
+	if first.Hits != first.Popcount() {
+		t.Errorf("Hits %d disagrees with popcount %d", first.Hits, first.Popcount())
+	}
+}
+
+// TestProfileMatchesNaiveView: the profile's bitset and aggregates agree
+// with the per-member interface calls (the retained oracle) for every view
+// depth and several event classes.
+func TestProfileMatchesNaiveView(t *testing.T) {
+	tr, space := cacheTree(t)
+	self := space.AddressAt(5)
+	p, err := BuildProcess(tr, self, Config{F: 2, C: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for depth := 1; depth <= tr.Depth(); depth++ {
+		v := NewTreeView(tr.ViewAt(self, depth), self)
+		for class := int64(0); class < 3; class++ {
+			ev := classEv(class, uint64(10*int64(depth)+class))
+			prof := p.ProfileFor(ev, depth)
+			if prof.Rate != v.Rate(ev) {
+				t.Errorf("depth %d class %d: rate %g vs %g", depth, class, prof.Rate, v.Rate(ev))
+			}
+			lines, selfIn := v.MatchingSubgroups(ev)
+			if prof.Lines != lines || prof.SelfIn != selfIn {
+				t.Errorf("depth %d class %d: lines (%d,%v) vs (%d,%v)",
+					depth, class, prof.Lines, prof.SelfIn, lines, selfIn)
+			}
+			for i := 0; i < v.Size(); i++ {
+				if prof.Bit(i) != v.SusceptibleAt(ev, i) {
+					t.Errorf("depth %d class %d member %d: bit %v vs naive %v",
+						depth, class, i, prof.Bit(i), v.SusceptibleAt(ev, i))
+				}
+			}
+		}
+	}
+}
+
+// mutableView is a stub whose generation and matching flip on demand — the
+// simulator's redraw pattern.
+type mutableView struct {
+	size int
+	gen  uint64
+	on   bool
+}
+
+func (v *mutableView) Size() int                           { return v.size }
+func (v *mutableView) MemberAt(i int) addr.Address         { return addr.New(i, v.size) }
+func (v *mutableView) SelfIndex() int                      { return -1 }
+func (v *mutableView) SusceptibleAt(event.Event, int) bool { return v.on }
+func (v *mutableView) Rate(event.Event) float64 {
+	if v.on {
+		return 1
+	}
+	return 0
+}
+func (v *mutableView) MatchingSubgroups(event.Event) (int, bool) {
+	if v.on {
+		return v.size, false
+	}
+	return 0, false
+}
+func (v *mutableView) Generation() uint64 { return v.gen }
+
+// TestProfileCacheInvalidatesOnGeneration: a generation bump drops cached
+// profiles; without it they would serve stale matching.
+func TestProfileCacheInvalidatesOnGeneration(t *testing.T) {
+	v := &mutableView{size: 4, gen: 1, on: true}
+	p, err := NewProcess(addr.New(0, 4), Config{D: 1, F: 2, C: 3}, []DepthView{v}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := classEv(0, 1)
+	if got := p.ProfileFor(ev, 1).Rate; got != 1 {
+		t.Fatalf("rate %g, want 1", got)
+	}
+	// Same generation: the flipped view must NOT be observed (cache hit) —
+	// this is what "exact" means: entries live exactly as long as their
+	// generation.
+	v.on = false
+	if got := p.ProfileFor(ev, 1).Rate; got != 1 {
+		t.Fatalf("cache did not serve the generation-stable profile: rate %g", got)
+	}
+	// Bumped generation: the cache must recompute.
+	v.gen = 2
+	if got := p.ProfileFor(ev, 1).Rate; got != 0 {
+		t.Fatalf("stale profile after generation bump: rate %g", got)
+	}
+}
+
+// TestAdoptStateCarriesCaches: a rebuilt process adopts cached profiles for
+// depths whose view generation is unchanged and drops the rest; counters
+// accumulate.
+func TestAdoptStateCarriesCaches(t *testing.T) {
+	tr, space := cacheTree(t)
+	self := space.AddressAt(0)
+	old, err := BuildProcess(tr, self, Config{F: 2, C: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := classEv(0, 1)
+	for depth := 1; depth <= tr.Depth(); depth++ {
+		old.ProfileFor(ev, depth)
+	}
+	oldStats := old.MatchStats()
+
+	// Mutate one leaf subgroup: the leaf-depth view of subtree 0 changes
+	// generation, the depth-1 view (root children) changes too — both along
+	// the touched path.
+	if err := tr.UpdateSubscription(space.AddressAt(1),
+		interest.NewSubscription().Where("b", interest.EqInt(7))); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := BuildProcess(tr, self, Config{F: 2, C: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.AdoptState(old)
+	got := fresh.MatchStats()
+	if got.Evals != oldStats.Evals || got.Misses != oldStats.Misses {
+		t.Fatalf("adopted counters %+v, want %+v", got, oldStats)
+	}
+	// Every depth on the touched path must recompute (miss); with self at
+	// 0.0 and the update at 0.1, every view of self shares the touched
+	// path, so all lookups miss.
+	before := fresh.MatchStats().Misses
+	for depth := 1; depth <= tr.Depth(); depth++ {
+		fresh.ProfileFor(ev, depth)
+	}
+	if after := fresh.MatchStats().Misses; after == before {
+		t.Error("no recompute after a tree delta on the shared path")
+	}
+
+	// A rebuild with NO tree movement keeps every cached profile.
+	same, err := BuildProcess(tr, self, Config{F: 2, C: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same.AdoptState(fresh)
+	b := same.MatchStats()
+	for depth := 1; depth <= tr.Depth(); depth++ {
+		same.ProfileFor(ev, depth)
+	}
+	a := same.MatchStats()
+	if a.Misses != b.Misses {
+		t.Errorf("rebuild without movement recomputed %d profiles", a.Misses-b.Misses)
+	}
+	if a.Hits != b.Hits+uint64(tr.Depth()) {
+		t.Errorf("expected %d cache hits, got %d", tr.Depth(), a.Hits-b.Hits)
+	}
+}
+
+// TestTickEvictsDemotedProfiles: an event leaving a depth's buffer drops
+// its profile there, and a full dissemination leaves no cached profiles for
+// expired events at their final depth either (Forget clears all).
+func TestForgetEvictsProfiles(t *testing.T) {
+	tr, space := cacheTree(t)
+	p, err := BuildProcess(tr, space.AddressAt(0), Config{F: 2, C: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := classEv(0, 1)
+	if err := p.Multicast(ev); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for p.Pending() > 0 {
+		p.Tick(rng)
+	}
+	p.Forget(ev.ID())
+	before := p.MatchStats().Hits
+	p.ProfileFor(ev, 1)
+	if p.MatchStats().Hits != before {
+		t.Error("profile survived Forget")
+	}
+}
+
+// TestTickDeterministicWithCache: two processes over the same tree with the
+// same RNG seed emit identical send sequences even when one of them has a
+// fully warmed cache and the other starts cold — caching changes no
+// observable behavior.
+func TestTickDeterministicWithCache(t *testing.T) {
+	tr, space := cacheTree(t)
+	self := space.AddressAt(0)
+	mk := func() *Process {
+		p, err := BuildProcess(tr, self, Config{F: 2, C: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	warm, cold := mk(), mk()
+	ev := classEv(1, 1)
+	// Warm every depth before the protocol runs.
+	for depth := 1; depth <= tr.Depth(); depth++ {
+		warm.ProfileFor(ev, depth)
+	}
+	if err := warm.Multicast(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Multicast(ev); err != nil {
+		t.Fatal(err)
+	}
+	rngW := rand.New(rand.NewSource(7))
+	rngC := rand.New(rand.NewSource(7))
+	for round := 0; warm.Pending() > 0 || cold.Pending() > 0; round++ {
+		if round > 128 {
+			t.Fatal("no quiescence")
+		}
+		sw := warm.Tick(rngW)
+		sc := cold.Tick(rngC)
+		if len(sw) != len(sc) {
+			t.Fatalf("round %d: %d vs %d sends", round, len(sw), len(sc))
+		}
+		for i := range sw {
+			gw, gc := sw[i].Gossip, sc[i].Gossip
+			if !sw[i].To.Equal(sc[i].To) || gw.Event.ID() != gc.Event.ID() ||
+				gw.Depth != gc.Depth || gw.Rate != gc.Rate || gw.Round != gc.Round {
+				t.Fatalf("round %d send %d: %+v vs %+v", round, i, sw[i], sc[i])
+			}
+		}
+	}
+}

@@ -140,6 +140,12 @@ type Process struct {
 	gossips []map[event.ID]*entry
 	seen    map[event.ID]struct{}
 
+	// caches[i−1] memoizes per-event susceptibility profiles for depth i —
+	// the matching engine's runtime state (matchcache.go). A gossip buffer
+	// that lives k rounds pays for matching once, not k times.
+	caches     []depthCache
+	matchStats MatchStats
+
 	deliveries []event.Event
 	received   int // gossips accepted (first receptions)
 	sent       int // gossip messages emitted
@@ -171,6 +177,7 @@ func NewProcess(self addr.Address, cfg Config, views []DepthView, selfMatch func
 		views:     vs,
 		selfMatch: selfMatch,
 		gossips:   g,
+		caches:    make([]depthCache, cfg.D),
 		seen:      make(map[event.ID]struct{}),
 	}, nil
 }
@@ -198,13 +205,15 @@ func (p *Process) Multicast(ev event.Event) error {
 	depth := 1
 	if p.cfg.LocalDescent {
 		for depth < p.cfg.D {
-			v := p.views[depth-1]
-			if v == nil {
+			prof := p.profileAt(ev, depth)
+			if prof == nil {
 				depth++
 				continue
 			}
-			total, selfIn := v.MatchingSubgroups(ev)
-			if total == 1 && selfIn {
+			if prof.Lines == 1 && prof.SelfIn {
+				// Skipped depths never buffer the event; drop the profile the
+				// descent test just computed.
+				p.evictProfile(ev.ID(), depth)
 				depth++
 				continue
 			}
@@ -242,13 +251,13 @@ func (p *Process) insert(ev event.Event, depth int, rate float64, round int) {
 	p.gossips[depth-1][ev.ID()] = &entry{ev: ev, rate: rate, round: round}
 }
 
-// rateAt computes GETRATE(depth, event) from the process's own view.
+// rateAt computes GETRATE(depth, event) through the susceptibility cache.
 func (p *Process) rateAt(ev event.Event, depth int) float64 {
-	v := p.views[depth-1]
-	if v == nil {
+	prof := p.profileAt(ev, depth)
+	if prof == nil {
 		return 0
 	}
-	return v.Rate(ev)
+	return prof.Rate
 }
 
 // Tick executes one gossip period (Figure 3 task GOSSIP): for every buffered
@@ -258,6 +267,7 @@ func (p *Process) rateAt(ev event.Event, depth int) float64 {
 // The returned sends are to be delivered by the driver; rng supplies the
 // destination choices.
 func (p *Process) Tick(rng *rand.Rand) []Send {
+	p.matchStats.Rounds++
 	var sends []Send
 	for depth := 1; depth <= p.cfg.D; depth++ {
 		buf := p.gossips[depth-1]
@@ -272,19 +282,21 @@ func (p *Process) Tick(rng *rand.Rand) []Send {
 				continue
 			}
 			size := v.Size()
-			effRate, tunedSus := p.effectiveRate(v, e, size)
+			prof := p.profileAt(e.ev, depth)
+			effRate, tunedSus := p.effectiveRate(prof, e, size)
 			budget := p.roundBudget(size, effRate)
 			if e.round >= budget {
 				p.demote(buf, id, e, depth)
 				continue
 			}
 			if depth == p.cfg.D && p.cfg.LeafFloodRate > 0 && effRate >= p.cfg.LeafFloodRate {
-				sends = p.floodLeaf(sends, v, e, size, budget)
+				sends = p.floodLeaf(sends, v, prof, e, size, budget)
 				delete(buf, id) // flooding replaces the leaf gossip rounds
+				p.evictProfile(id, depth)
 				continue
 			}
 			e.round++
-			sends = p.gossipOnce(sends, v, e, depth, size, tunedSus, rng)
+			sends = p.gossipOnce(sends, v, prof, e, depth, size, tunedSus, rng)
 		}
 	}
 	return sends
@@ -322,8 +334,9 @@ func (p *Process) TickRound(rng *rand.Rand) []RoundSend {
 
 // effectiveRate applies the Section 5.3 tuning: when the susceptible count
 // sits below the threshold h, the first h view members count as susceptible
-// too. It returns the effective rate and whether tuning is active.
-func (p *Process) effectiveRate(v DepthView, e *entry, size int) (float64, bool) {
+// too. It returns the effective rate and whether tuning is active. The
+// susceptibility reads are bit tests against the event's cached profile.
+func (p *Process) effectiveRate(prof *MatchProfile, e *entry, size int) (float64, bool) {
 	if size == 0 {
 		return 0, false
 	}
@@ -341,7 +354,7 @@ func (p *Process) effectiveRate(v DepthView, e *entry, size int) (float64, bool)
 	// First h members plus the effectively interested ones beyond them.
 	extra := 0
 	for i := h; i < size; i++ {
-		if v.SusceptibleAt(e.ev, i) {
+		if prof.Bit(i) {
 			extra++
 		}
 	}
@@ -357,8 +370,9 @@ func (p *Process) roundBudget(size int, rate float64) int {
 }
 
 // gossipOnce chooses F distinct destinations at random from the view
-// (excluding the process itself) and emits sends to the susceptible ones.
-func (p *Process) gossipOnce(sends []Send, v DepthView, e *entry, depth, size int, tuned bool, rng *rand.Rand) []Send {
+// (excluding the process itself) and emits sends to the susceptible ones —
+// susceptibility answered by the event's cached profile.
+func (p *Process) gossipOnce(sends []Send, v DepthView, prof *MatchProfile, e *entry, depth, size int, tuned bool, rng *rand.Rand) []Send {
 	selfIdx := v.SelfIndex()
 	pool := size
 	if selfIdx >= 0 {
@@ -372,7 +386,7 @@ func (p *Process) gossipOnce(sends []Send, v DepthView, e *entry, depth, size in
 		f = pool
 	}
 	for _, idx := range sampleIndices(rng, size, selfIdx, f) {
-		susceptible := v.SusceptibleAt(e.ev, idx)
+		susceptible := prof.Bit(idx)
 		if tuned && !susceptible && idx < p.cfg.Threshold {
 			susceptible = true
 		}
@@ -397,10 +411,10 @@ func (p *Process) gossipOnce(sends []Send, v DepthView, e *entry, depth, size in
 // Section 6 dense-interest extension). The carried round counter equals the
 // receiver's budget, so receivers treat the event as exhausted and do not
 // flood again.
-func (p *Process) floodLeaf(sends []Send, v DepthView, e *entry, size, budget int) []Send {
+func (p *Process) floodLeaf(sends []Send, v DepthView, prof *MatchProfile, e *entry, size, budget int) []Send {
 	selfIdx := v.SelfIndex()
 	for i := 0; i < size; i++ {
-		if i == selfIdx || !v.SusceptibleAt(e.ev, i) {
+		if i == selfIdx || !prof.Bit(i) {
 			continue
 		}
 		p.sent++
@@ -419,9 +433,10 @@ func (p *Process) floodLeaf(sends []Send, v DepthView, e *entry, size, budget in
 
 // demote implements Figure 3 lines 16–18: drop the event at this depth and,
 // above the leaves, reinsert it one depth deeper with a fresh rate and a
-// zeroed round counter.
+// zeroed round counter. The departed depth's cached profile goes with it.
 func (p *Process) demote(buf map[event.ID]*entry, id event.ID, e *entry, depth int) {
 	delete(buf, id)
+	p.evictProfile(id, depth)
 	if depth < p.cfg.D {
 		p.insert(e.ev, depth+1, p.rateAt(e.ev, depth+1), 0)
 	}
@@ -483,6 +498,7 @@ func (p *Process) AdoptState(old *Process) {
 	for id := range old.seen {
 		p.seen[id] = struct{}{}
 	}
+	p.adoptCaches(old)
 	p.deliveries = append(p.deliveries, old.deliveries...)
 	p.sent += old.sent
 	p.received += old.received
@@ -521,6 +537,9 @@ func (p *Process) Forget(id event.ID) {
 	for _, buf := range p.gossips {
 		delete(buf, id)
 	}
+	for d := range p.caches {
+		p.evictProfile(id, d+1)
+	}
 }
 
 // Reset clears all protocol state (buffers, seen-set, deliveries, counters)
@@ -530,6 +549,10 @@ func (p *Process) Reset() {
 	for _, buf := range p.gossips {
 		clear(buf)
 	}
+	for i := range p.caches {
+		p.caches[i] = depthCache{}
+	}
+	p.matchStats = MatchStats{}
 	clear(p.seen)
 	p.deliveries = nil
 	p.received = 0

@@ -218,6 +218,13 @@ func (e Event) Lookup(name string) (Value, bool) {
 	return Value{}, false
 }
 
+// AttrAt returns the i-th attribute (name and value) in sorted-name order,
+// 0 ≤ i < Len(). Index access lets matchers merge-walk an event against a
+// sorted criteria list instead of binary-searching per attribute.
+func (e Event) AttrAt(i int) (string, Value) {
+	return e.attrs[i].name, e.attrs[i].val
+}
+
 // Names returns the attribute names in sorted order.
 func (e Event) Names() []string {
 	names := make([]string, len(e.attrs))

@@ -3,13 +3,15 @@ package harness
 import "testing"
 
 // goldenTraces pins the delivery-trace hashes of the pre-engine serial
-// runtime (captured at PR 3) for the smoke and lossy-fleet campaigns. The
-// staged engine refactor's contract is that determinism is a degenerate
-// configuration, not a second code path: the harness drives the engine
-// synchronously at parallelism 0, and a seeded scenario must keep producing
-// the exact bytes the serial loop produced. A hash moving here means the
-// protocol's observable behavior changed — intentional protocol changes
-// re-pin these constants and say why in the PR.
+// runtime (captured at PR 3) for the smoke and lossy-fleet campaigns, and
+// of the pre-matching-engine runtime (captured at PR 5) for the soak
+// campaign. The staged engine refactor's contract is that determinism is a
+// degenerate configuration, not a second code path; the matching engine's
+// contract is that compiled matchers and the susceptibility cache are
+// semantically invisible — every cached answer is bit-for-bit what the
+// naive walk produced, so seeded traces must not move. A hash moving here
+// means the protocol's observable behavior changed — intentional protocol
+// changes re-pin these constants and say why in the PR.
 var goldenTraces = map[string]map[int64]string{
 	"smoke16": {
 		1:  "12c9f07c5fc44b48962800f2539cdf2a32c683b0dcbcc77d392a7f5b3edd72da",
@@ -18,6 +20,10 @@ var goldenTraces = map[string]map[int64]string{
 	"lossy256": {
 		1:  "6a1edfcb1fc3998c213d6fb29f7229b9f0ad23932332826557f29d441d833de4",
 		42: "a44c2048f2095c4be57bb9fda50b36be79d2ae69403217f171623d42e740ce46",
+	},
+	"soak256": {
+		1:  "454fd0ed637045edbf1ed4a8ce2ce6b83ca1c6ed7aec0354a8506db26d2ee6d4",
+		42: "9cf64bdce818f5ccba9342d3ba483027bba06225ce2c1945ee560cca8ec17c52",
 	},
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"pmcast/internal/addr"
 	"pmcast/internal/clock"
+	"pmcast/internal/core"
 	"pmcast/internal/event"
 	"pmcast/internal/interest"
 	"pmcast/internal/membership"
@@ -75,6 +76,21 @@ type Report struct {
 	EnvelopesPerEvent float64 `json:"envelopes_per_event"`
 	BytesPerEvent     float64 `json:"bytes_per_event"`
 
+	// Matching-engine accounting, fleet-wide (crashed generations included).
+	// MatchEvals counts matcher evaluations actually performed and
+	// MatchComparisons the attribute comparisons inside them; MatchCacheHits
+	// is how many susceptibility queries the per-event profile cache
+	// answered without evaluating anything — the work the compiled engine
+	// saved. MatchEvalsPerEvent normalizes by events published, and
+	// MatchMicrosPerRound is profile-computation wall time per gossip round
+	// ticked (the only non-deterministic field, like WallMillis).
+	MatchEvals          uint64  `json:"match_evals"`
+	MatchComparisons    uint64  `json:"match_comparisons"`
+	MatchCacheHits      uint64  `json:"match_cache_hits"`
+	MatchCacheMisses    uint64  `json:"match_cache_misses"`
+	MatchEvalsPerEvent  float64 `json:"match_evals_per_event"`
+	MatchMicrosPerRound float64 `json:"match_micros_per_round"`
+
 	// MeanReliability and MinReliability summarize, over published events,
 	// the fraction of eligible processes (interested, alive at publish time
 	// and still alive at the end) that delivered the event.
@@ -131,10 +147,12 @@ type run struct {
 	handles   []*handle // fixed index order — the engine's iteration order
 	nextFresh int       // next unused address index for OpJoin
 
-	// envSum and byteSum accumulate wire counters of node generations
-	// replaced by rejoins; finish() adds the live generations on top.
-	envSum  int64
-	byteSum int64
+	// envSum, byteSum and matchSum accumulate wire and matching counters of
+	// node generations replaced by rejoins; finish() adds the live
+	// generations on top.
+	envSum   int64
+	byteSum  int64
+	matchSum core.MatchStats
 
 	trace     bytes.Buffer
 	delivered map[string][]event.ID
@@ -272,11 +290,13 @@ func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 	}
 	h.gen++
 	if h.n != nil {
-		// The crashed generation's wire counters would vanish with the
-		// handle's node pointer; bank them before the rejoin replaces it.
+		// The crashed generation's wire and matching counters would vanish
+		// with the handle's node pointer; bank them before the rejoin
+		// replaces it.
 		env, bytes := h.n.WireStats()
 		r.envSum += env
 		r.byteSum += bytes
+		r.matchSum.Accumulate(h.n.MatchStats())
 	}
 	n, err := node.New(r.fabric, node.Config{
 		Addr:               a,
@@ -446,7 +466,12 @@ func (r *run) exec(op Op) {
 			if class < 0 {
 				class = int64(r.rng.Intn(r.sc.Fleet.Classes))
 			}
-			attrs := map[string]event.Value{"b": event.Int(class)}
+			var attrs map[string]event.Value
+			if r.sc.EventFor != nil {
+				attrs = r.sc.EventFor(class, r.rng)
+			} else {
+				attrs = map[string]event.Value{"b": event.Int(class)}
+			}
 			id, err := h.n.Publish(attrs)
 			if err != nil {
 				logf("publish from %s failed: %v", h.key, err)
@@ -545,7 +570,12 @@ func (r *run) exec(op Op) {
 			if class < 0 {
 				class = int64(r.rng.Intn(r.sc.Fleet.Classes))
 			}
-			sub := interest.NewSubscription().Where("b", interest.EqInt(class))
+			var sub interest.Subscription
+			if r.sc.FluxFor != nil {
+				sub = r.sc.FluxFor(h.a, h.index, class)
+			} else {
+				sub = interest.NewSubscription().Where("b", interest.EqInt(class))
+			}
 			h.sub = sub
 			h.n.Subscribe(sub)
 			r.report.Fluxes++
@@ -640,10 +670,12 @@ func (r *run) finish(wallStart time.Time) {
 	r.report.MembershipMin, r.report.MembershipMax = memMin, memMax
 	r.report.MessagesDropped = r.fabric.Dropped()
 
-	// Wire cost fleet-wide: banked counters of replaced generations plus
-	// every handle's current node (crashed nodes keep their counters).
+	// Wire and matching cost fleet-wide: banked counters of replaced
+	// generations plus every handle's current node (crashed nodes keep
+	// their counters).
 	r.report.Envelopes = r.envSum
 	r.report.WireBytes = r.byteSum
+	match := r.matchSum
 	for _, h := range r.handles {
 		if h == nil || h.n == nil {
 			continue
@@ -651,6 +683,14 @@ func (r *run) finish(wallStart time.Time) {
 		env, wb := h.n.WireStats()
 		r.report.Envelopes += env
 		r.report.WireBytes += wb
+		match.Accumulate(h.n.MatchStats())
+	}
+	r.report.MatchEvals = match.Evals
+	r.report.MatchComparisons = match.Comparisons
+	r.report.MatchCacheHits = match.Hits
+	r.report.MatchCacheMisses = match.Misses
+	if match.Rounds > 0 {
+		r.report.MatchMicrosPerRound = float64(match.Nanos) / 1000 / float64(match.Rounds)
 	}
 	if secs := float64(r.report.VirtualMillis) / 1000; secs > 0 {
 		r.report.EventsPerSec = float64(r.report.Delivered) / secs
@@ -658,6 +698,7 @@ func (r *run) finish(wallStart time.Time) {
 	if r.report.Published > 0 {
 		r.report.EnvelopesPerEvent = float64(r.report.Envelopes) / float64(r.report.Published)
 		r.report.BytesPerEvent = float64(r.report.WireBytes) / float64(r.report.Published)
+		r.report.MatchEvalsPerEvent = float64(r.report.MatchEvals) / float64(r.report.Published)
 	}
 
 	// Reliability over events: delivered / eligible, eligibility restricted

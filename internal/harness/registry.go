@@ -2,10 +2,12 @@ package harness
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
 	"pmcast/internal/addr"
+	"pmcast/internal/event"
 	"pmcast/internal/interest"
 )
 
@@ -14,12 +16,13 @@ import (
 // callers may mutate them freely.
 func Scenarios() map[string]Scenario {
 	return map[string]Scenario{
-		"smoke16":   Smoke16(),
-		"parity64":  Parity64(),
-		"lossy256":  Lossy256(),
-		"churn1024": Churn1024(),
-		"soak64":    Soak64(),
-		"soak256":   Soak256(),
+		"smoke16":     Smoke16(),
+		"parity64":    Parity64(),
+		"lossy256":    Lossy256(),
+		"churn1024":   Churn1024(),
+		"soak64":      Soak64(),
+		"soak256":     Soak256(),
+		"manyattr512": ManyAttr512(),
 	}
 }
 
@@ -230,6 +233,102 @@ func Soak256() Scenario {
 	s.CrashAt(900*time.Millisecond, 16).
 		FluxAt(1200*time.Millisecond, 16).
 		RejoinAt(1700*time.Millisecond, 8)
+	return s
+}
+
+// manyAttrTopics is the string-attribute vocabulary of the ManyAttr512
+// workload.
+const manyAttrTopics = 32
+
+// manyAttrSub draws one high-cardinality multi-attribute subscription,
+// deterministically from (index, salt): a 16-of-64 class set on the integer
+// attribute b (compiling to a binary-searched point-interval array), an
+// 8-of-32 topic set on the string attribute e (compiling to a hashed set),
+// a half-width band on the float attribute c, and — for half the nodes — a
+// threshold on the integer attribute z. Selectivity multiplies out to a few
+// percent, so a 512-node fleet yields double-digit audiences per event
+// while the regrouped summaries up the tree stay far wider than any single
+// interest — the regime where forwarding-path matching dominates.
+func manyAttrSub(index int, salt int64) interest.Subscription {
+	rng := rand.New(rand.NewSource(int64(index)*0x9e3779b9 + salt*0x85ebca6b + 1))
+	ivs := make([]interest.Interval, 0, 16)
+	for _, k := range rng.Perm(64)[:16] {
+		ivs = append(ivs, interest.PointInterval(float64(k)))
+	}
+	topics := make([]string, 0, 8)
+	for _, k := range rng.Perm(manyAttrTopics)[:8] {
+		topics = append(topics, fmt.Sprintf("t%02d", k))
+	}
+	lo := rng.Float64() * 500
+	sub := interest.NewSubscription().
+		Where("b", interest.InIntervals(ivs...)).
+		Where("e", interest.OneOf(topics...)).
+		Where("c", interest.Between(lo, lo+500))
+	if index%2 == 0 {
+		sub = sub.Where("z", interest.Ge(float64(rng.Intn(50000))))
+	}
+	return sub
+}
+
+// ManyAttr512 is the high-cardinality matching campaign: 512 nodes (the
+// regular 8^3 tree) whose subscriptions constrain four attributes at once —
+// multi-point integer sets, hashed string sets, float bands, open integer
+// thresholds — against a sustained stream of four-attribute events, with
+// two mid-run subscription-flux waves redrawing 32 interests each. Every
+// susceptibility test walks this structure, so the campaign is the matching
+// engine's workload: its report's match_evals_per_event and
+// match_micros_per_round are the metrics the compiled+cached path is
+// measured by (naively, every buffered event re-pays the full walk every
+// round of every node).
+func ManyAttr512() Scenario {
+	s := Scenario{
+		Name: "manyattr512",
+		Fleet: Fleet{
+			Arity: 8, Depth: 3,
+			R: 2, F: 4, C: 3,
+			GossipInterval:     20 * time.Millisecond,
+			MembershipInterval: 100 * time.Millisecond,
+			SuspectAfter:       600 * time.Millisecond,
+			Classes:            64,
+		},
+		Nodes:     512,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.01,
+		QueueLen:  2048,
+		Horizon:   2 * time.Second,
+		SubscriptionFor: func(_ addr.Address, index int) interest.Subscription {
+			return manyAttrSub(index, 0)
+		},
+		// Events carry the full four-attribute shape the subscriptions
+		// constrain; the class drives b so event/interest correlation stays
+		// controlled while c, e and z are drawn per event.
+		EventFor: func(class int64, rng *rand.Rand) map[string]event.Value {
+			return map[string]event.Value{
+				"b": event.Int(class),
+				"c": event.Float(rng.Float64() * 1000),
+				"e": event.Str(fmt.Sprintf("t%02d", rng.Intn(manyAttrTopics))),
+				"z": event.Int(int64(rng.Intn(100000))),
+			}
+		},
+		// Flux redraws the whole multi-attribute interest (salted by the
+		// drawn class), not just a class hop: every wave forces recompiles
+		// along the fluxed nodes' root paths and exact cache invalidation on
+		// everyone whose views absorbed the new summaries.
+		FluxFor: func(_ addr.Address, index int, class int64) interest.Subscription {
+			return manyAttrSub(index, class+1)
+		},
+	}
+	// Four publishers spread across top-level subtrees stream two events
+	// every 20ms from t=100ms to t=1.8s (~680 events), staggered so rounds
+	// interleave; flux waves land mid-stream. Each wave's 32 redraws fan
+	// out through anti-entropy, so most of the fleet recompiles summaries
+	// while the stream keeps flowing.
+	for k, idx := range []int{0, 128, 256, 384} {
+		off := time.Duration(k) * 5 * time.Millisecond
+		s.StreamAt(100*time.Millisecond+off, 1800*time.Millisecond, 20*time.Millisecond, idx, 2, -1)
+	}
+	s.FluxAt(700*time.Millisecond, 32).
+		FluxAt(1300*time.Millisecond, 32)
 	return s
 }
 

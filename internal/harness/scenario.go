@@ -17,9 +17,11 @@ package harness
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"pmcast/internal/addr"
+	"pmcast/internal/event"
 	"pmcast/internal/interest"
 )
 
@@ -101,6 +103,18 @@ type Scenario struct {
 	// SubscriptionFor overrides the modular class scheme (optional). It must
 	// be deterministic; the engine re-evaluates matching against it.
 	SubscriptionFor func(a addr.Address, index int) interest.Subscription
+	// EventFor overrides published event content (optional): given the
+	// drawn class and the engine RNG it returns the attribute map of one
+	// event. Nil keeps the single-attribute {"b": class} scheme. It must
+	// consume the RNG deterministically — its draws are part of the seeded
+	// schedule. The high-cardinality workloads use this to publish
+	// multi-attribute events against multi-attribute subscriptions.
+	EventFor func(class int64, rng *rand.Rand) map[string]event.Value
+	// FluxFor overrides what subscription an OpFlux wave installs
+	// (optional): given the node and the drawn class it returns the new
+	// interest. Nil keeps the single-class re-subscription. Must be
+	// deterministic.
+	FluxFor func(a addr.Address, index int, class int64) interest.Subscription
 }
 
 // OpKind enumerates schedulable operations.

@@ -83,7 +83,10 @@ func ReadCriterion(r *binenc.Reader) Criterion {
 	case kindBool:
 		return IsBool(r.Bool())
 	default:
-		r.Bytes() // poison: unknown kind
+		// An unknown kind is a decode error, not a zero value: the zero
+		// Criterion is invalid and Subscription construction rejects it, so
+		// the reader must be poisoned before it gets there.
+		r.Fail(fmt.Errorf("interest: unknown criterion kind %d", kind))
 		return Criterion{}
 	}
 }

@@ -1,0 +1,238 @@
+package interest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmcast/internal/event"
+)
+
+// randCriterion draws one criterion spanning every construction path the
+// compiler indexes: point and band intervals (open/closed/infinite bounds),
+// multi-interval unions, the empty interval set, string sets (including the
+// empty one), booleans and the wildcard.
+func randCriterion(rng *rand.Rand) Criterion {
+	switch rng.Intn(10) {
+	case 0:
+		return EqInt(int64(rng.Intn(8)))
+	case 1:
+		return Gt(float64(rng.Intn(100)))
+	case 2:
+		return Le(float64(rng.Intn(100)))
+	case 3:
+		// Arbitrary open/closed band, boundaries included in event draws.
+		lo := float64(rng.Intn(50))
+		hi := lo + float64(rng.Intn(50))
+		return InIntervals(Interval{Lo: lo, Hi: hi, LoOpen: rng.Intn(2) == 0, HiOpen: rng.Intn(2) == 0})
+	case 4:
+		// Multi-interval union, possibly with adjacent/overlapping members.
+		n := 1 + rng.Intn(4)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := float64(rng.Intn(60))
+			ivs[i] = Interval{Lo: lo, Hi: lo + float64(rng.Intn(20)), LoOpen: rng.Intn(2) == 0, HiOpen: rng.Intn(2) == 0}
+		}
+		return InIntervals(ivs...)
+	case 5:
+		return InIntervals() // empty IntervalSet: matches nothing
+	case 6:
+		words := []string{"a", "b", "c", "d", "e"}
+		n := rng.Intn(4)
+		picked := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			picked = append(picked, words[rng.Intn(len(words))])
+		}
+		return OneOf(picked...) // n=0: empty string set, matches nothing
+	case 7:
+		return IsBool(rng.Intn(2) == 0)
+	case 8:
+		return Any()
+	default:
+		return BetweenIncl(float64(rng.Intn(40)), float64(rng.Intn(80)))
+	}
+}
+
+// attrNames is the shared attribute vocabulary: events and subscriptions
+// overlap partially, so missing-attribute and wrong-domain paths are hit.
+var attrNames = []string{"b", "c", "e", "z", "w"}
+
+func randSubscription(rng *rand.Rand) Subscription {
+	sub := NewSubscription()
+	for _, attr := range attrNames {
+		if rng.Intn(3) == 0 {
+			sub = sub.Where(attr, randCriterion(rng))
+		}
+	}
+	return sub
+}
+
+func randEvent(rng *rand.Rand, seq uint64) event.Event {
+	b := event.NewBuilder()
+	for _, attr := range attrNames {
+		switch rng.Intn(6) {
+		case 0:
+			// Absent attribute.
+		case 1:
+			b.Int(attr, int64(rng.Intn(110)))
+		case 2:
+			// Boundary-heavy draws: integers land exactly on interval
+			// endpoints, probing open/closed semantics.
+			b.Float(attr, float64(rng.Intn(110)))
+		case 3:
+			b.Float(attr, rng.Float64()*110)
+		case 4:
+			b.Str(attr, []string{"a", "b", "c", "d", "e", "zz"}[rng.Intn(6)])
+		default:
+			b.Bool(attr, rng.Intn(2) == 0)
+		}
+	}
+	return b.Build(event.ID{Origin: "prop", Seq: seq})
+}
+
+// TestCompiledMatchesSubscriptionParity is the compiled engine's oracle
+// property: for randomized subscriptions × events — zero-criterion
+// (match-all) subscriptions, empty interval sets, empty string sets,
+// boundary open/closed intervals, missing attributes, cross-domain values —
+// Compile(sub).Matches ≡ sub.Matches, decision for decision. Run it under
+// -race along with the rest of the suite; compiled matchers are shared
+// immutable state by design.
+func TestCompiledMatchesSubscriptionParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		sub := randSubscription(rng)
+		cm := Compile(sub)
+		for k := 0; k < 25; k++ {
+			ev := randEvent(rng, uint64(trial*25+k))
+			if got, want := cm.Matches(ev), sub.Matches(ev); got != want {
+				t.Fatalf("trial %d: compiled=%v naive=%v\nsub: %s\nevent: %s", trial, got, want, sub, ev)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesSummaryParity extends the oracle property to regrouped
+// summaries: randomized disjunction sets (driven through Add's absorption
+// and compaction) compile to matchers that agree with Summary.Matches on
+// every probe, and interned compilation returns the same decisions through
+// shared values.
+func TestCompiledMatchesSummaryParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	compiler := NewCompiler()
+	for trial := 0; trial < 400; trial++ {
+		s := NewSummaryWithBound(1 + rng.Intn(4))
+		for i, n := 0, rng.Intn(10); i < n; i++ {
+			s.Add(randSubscription(rng))
+		}
+		cm := CompileSummary(s)
+		interned := compiler.CompileSummary(s)
+		for k := 0; k < 25; k++ {
+			ev := randEvent(rng, uint64(trial*25+k))
+			want := s.Matches(ev)
+			if got := cm.Matches(ev); got != want {
+				t.Fatalf("trial %d: compiled=%v naive=%v\nsummary: %s\nevent: %s", trial, got, want, s, ev)
+			}
+			if got := interned.Matches(ev); got != want {
+				t.Fatalf("trial %d: interned=%v naive=%v\nsummary: %s\nevent: %s", trial, got, want, s, ev)
+			}
+		}
+	}
+}
+
+// TestHullCostMatchesMaterializedHull pins the allocation-free closest-pair
+// scoring to its materializing definition: for random subscription pairs,
+// hullCostWith must return exactly the dropped-attribute count and size of
+// the hull HullWith builds.
+func TestHullCostMatchesMaterializedHull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		s, u := randSubscription(rng), randSubscription(rng)
+		h := s.HullWith(u)
+		wantDropped := len(s.Attrs()) + len(u.Attrs()) - 2*len(h.Attrs())
+		wantSize := h.Size()
+		dropped, size := s.hullCostWith(u)
+		if dropped != wantDropped || size != wantSize {
+			t.Fatalf("trial %d: cost (%d,%d), hull says (%d,%d)\ns: %s\nu: %s\nhull: %s",
+				trial, dropped, size, wantDropped, wantSize, s, u, h)
+		}
+	}
+}
+
+// TestIntervalSetUnionMergeParity pins the linear-merge Union (and its
+// counting twin) to the sort-based normalization it replaced.
+func TestIntervalSetUnionMergeParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	randSet := func() IntervalSet {
+		n := rng.Intn(5)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := float64(rng.Intn(40))
+			ivs[i] = Interval{Lo: lo, Hi: lo + float64(rng.Intn(15)), LoOpen: rng.Intn(2) == 0, HiOpen: rng.Intn(2) == 0}
+		}
+		return NormalizeIntervals(ivs)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		s, u := randSet(), randSet()
+		got := s.Union(u)
+		all := make([]Interval, 0, len(s)+len(u))
+		all = append(all, s...)
+		all = append(all, u...)
+		want := NormalizeIntervals(all)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: merge union %v, normalized %v (s=%v u=%v)", trial, got, want, s, u)
+		}
+		if n := s.unionCount(u); n != len(want) {
+			t.Fatalf("trial %d: unionCount %d, union has %d", trial, n, len(want))
+		}
+	}
+}
+
+// TestCompilerInternsByFingerprint: structurally identical interests share
+// one compiled form; different interests do not.
+func TestCompilerInternsByFingerprint(t *testing.T) {
+	c := NewCompiler()
+	s1 := NewSubscription().Where("b", EqInt(2)).Where("c", Gt(40))
+	s2 := NewSubscription().Where("c", Gt(40)).Where("b", EqInt(2)) // same language, different build order
+	if c.Compile(s1) != c.Compile(s2) {
+		t.Error("identical subscriptions did not intern to one compiled form")
+	}
+	s3 := s1.Where("b", EqInt(3))
+	if c.Compile(s1) == c.Compile(s3) {
+		t.Error("different subscriptions interned to the same compiled form")
+	}
+	if got := c.Len(); got != 2 {
+		t.Errorf("interner holds %d entries, want 2", got)
+	}
+	sumA := Summarize(s1, s3)
+	sumB := Summarize(s3, s2) // same disjunct language, different order
+	if c.CompileSummary(sumA) != c.CompileSummary(sumB) {
+		t.Error("language-equal summaries did not intern to one compiled form")
+	}
+}
+
+// TestConstrainRejectsZeroCriterion is the early-validation contract: the
+// zero Criterion errors at construction instead of silently building a
+// subscription nobody asked for, and Where panics on it.
+func TestConstrainRejectsZeroCriterion(t *testing.T) {
+	var zero Criterion
+	if _, err := NewSubscription().Constrain("b", zero); err == nil {
+		t.Fatal("Constrain accepted the zero Criterion")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Where did not panic on the zero Criterion")
+		}
+	}()
+	NewSubscription().Where("b", zero)
+}
+
+// TestConstrainValidCriteria: every constructed criterion — including the
+// unsatisfiable empty ones and the wildcard — passes validation.
+func TestConstrainValidCriteria(t *testing.T) {
+	for _, c := range []Criterion{Any(), EqInt(1), InIntervals(), OneOf(), IsBool(true),
+		Between(1, 2), Ge(math.Inf(-1))} {
+		if _, err := NewSubscription().Constrain("x", c); err != nil {
+			t.Errorf("Constrain rejected a constructed criterion %v: %v", c, err)
+		}
+	}
+}

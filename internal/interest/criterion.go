@@ -23,7 +23,9 @@ const (
 // Criterion constrains a single event attribute: a union of numeric
 // intervals, a set of admissible strings, a boolean constant, or the
 // wildcard. Criteria are immutable values; the zero Criterion is invalid
-// (use Any() for the wildcard).
+// (use Any() for the wildcard) and is rejected at subscription
+// construction — Subscription.Constrain returns ErrInvalidCriterion,
+// Where panics.
 type Criterion struct {
 	kind criterionKind
 	nums IntervalSet
@@ -124,6 +126,59 @@ func dedupSorted(ss []string) []string {
 	return out
 }
 
+// mergedUniqueCount returns len(mergeSortedUnique(a, b)) without building
+// the merge.
+func mergedUniqueCount(a, b []string) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			j++
+		case j == len(b):
+			i++
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			i, j = i+1, j+1
+		}
+		n++
+	}
+	return n
+}
+
+// mergeSortedUnique merges two sorted, deduplicated string slices into a
+// fresh sorted, deduplicated slice — the linear union of two canonical
+// string sets (the sort-free hot path of string-criterion regrouping).
+func mergeSortedUnique(a, b []string) []string {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var s string
+		switch {
+		case i == len(a):
+			s, j = b[j], j+1
+		case j == len(b):
+			s, i = a[i], i+1
+		case a[i] < b[j]:
+			s, i = a[i], i+1
+		case b[j] < a[i]:
+			s, j = b[j], j+1
+		default:
+			s, i, j = a[i], i+1, j+1
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // IsValid reports whether the criterion was properly constructed.
 func (c Criterion) IsValid() bool { return c.kind != 0 }
 
@@ -197,9 +252,28 @@ func (c Criterion) Subsumes(d Criterion) bool {
 	}
 }
 
+// Regrouping caps: beyond these sizes a unioned criterion widens further —
+// a numeric union to its single-interval hull, a string union to the
+// wildcard. Regrouping exists to bound "the complexity of the interests
+// both in terms of memory space and in terms of evaluation time"
+// (Section 2.3); without a per-criterion cap, merging many multi-point
+// interests (the high-cardinality workloads) grows interval unions without
+// bound and the closest-pair heuristic goes quadratic over them. Widening
+// is always a legal over-approximation: summaries may admit more, never
+// less.
+const (
+	// MaxNumericDisjuncts bounds the intervals a regrouped numeric
+	// criterion keeps before collapsing to its hull.
+	MaxNumericDisjuncts = 16
+	// MaxStringDisjuncts bounds the admissible strings a regrouped string
+	// criterion keeps before widening to the wildcard.
+	MaxStringDisjuncts = 64
+)
+
 // Union returns a criterion admitting every value admitted by either input.
 // Unions across different domains (e.g. numeric with string) widen to the
-// wildcard — this is the lossy step of interest regrouping and is always an
+// wildcard, and unions past the regrouping caps widen to their hull — this
+// is the lossy step of interest regrouping and is always an
 // over-approximation.
 func (c Criterion) Union(d Criterion) Criterion {
 	if c.kind == kindAny || d.kind == kindAny {
@@ -216,13 +290,17 @@ func (c Criterion) Union(d Criterion) Criterion {
 	}
 	switch c.kind {
 	case kindNumeric:
-		return Criterion{kind: kindNumeric, nums: c.nums.Union(d.nums)}
+		u := c.nums.Union(d.nums)
+		if len(u) > MaxNumericDisjuncts {
+			u = IntervalSet{u.Hull()}
+		}
+		return Criterion{kind: kindNumeric, nums: u}
 	case kindString:
-		merged := make([]string, 0, len(c.strs)+len(d.strs))
-		merged = append(merged, c.strs...)
-		merged = append(merged, d.strs...)
-		sort.Strings(merged)
-		return Criterion{kind: kindString, strs: dedupSorted(merged)}
+		merged := mergeSortedUnique(c.strs, d.strs)
+		if len(merged) > MaxStringDisjuncts {
+			return Any()
+		}
+		return Criterion{kind: kindString, strs: merged}
 	case kindBool:
 		if c.b == d.b {
 			return c
@@ -230,6 +308,46 @@ func (c Criterion) Union(d Criterion) Criterion {
 		return Any()
 	default:
 		return Any()
+	}
+}
+
+// unionCost predicts Union's outcome without materializing it: whether the
+// union survives as a constraint (false means it widens to the wildcard and
+// the attribute is dropped from a hull) and, if kept, its Size. Mirrors
+// Union case for case, caps included.
+func (c Criterion) unionCost(d Criterion) (kept bool, size int) {
+	if c.kind == kindAny || d.kind == kindAny {
+		return false, 0
+	}
+	if c.IsEmpty() {
+		return true, d.Size()
+	}
+	if d.IsEmpty() {
+		return true, c.Size()
+	}
+	if c.kind != d.kind {
+		return false, 0
+	}
+	switch c.kind {
+	case kindNumeric:
+		n := c.nums.unionCount(d.nums)
+		if n > MaxNumericDisjuncts {
+			n = 1 // the union collapses to its hull interval
+		}
+		return true, n
+	case kindString:
+		n := mergedUniqueCount(c.strs, d.strs)
+		if n > MaxStringDisjuncts {
+			return false, 0
+		}
+		return true, n
+	case kindBool:
+		if c.b == d.b {
+			return true, 1
+		}
+		return false, 0
+	default:
+		return false, 0
 	}
 }
 

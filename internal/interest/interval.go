@@ -209,12 +209,77 @@ func (s IntervalSet) Contains(x float64) bool {
 // IsEmpty reports whether the set contains no points.
 func (s IntervalSet) IsEmpty() bool { return len(s) == 0 }
 
-// Union returns the normalized union of the two sets.
+// Union returns the normalized union of the two sets. Both inputs are
+// already canonical (sorted, disjoint, non-empty members), so the union is
+// one linear merge — no re-sort — producing exactly what NormalizeIntervals
+// over the concatenation would. Regrouping unions criteria constantly; this
+// is one of its hot paths.
 func (s IntervalSet) Union(t IntervalSet) IntervalSet {
-	all := make([]Interval, 0, len(s)+len(t))
-	all = append(all, s...)
-	all = append(all, t...)
-	return NormalizeIntervals(all)
+	if len(s) == 0 {
+		return t
+	}
+	if len(t) == 0 {
+		return s
+	}
+	out := make(IntervalSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) || j < len(t) {
+		var iv Interval
+		// Pick the next interval in canonical order: smaller Lo first,
+		// closed lower bound first on ties (NormalizeIntervals' comparator).
+		switch {
+		case i == len(s):
+			iv, j = t[j], j+1
+		case j == len(t):
+			iv, i = s[i], i+1
+		case t[j].Lo < s[i].Lo || (t[j].Lo == s[i].Lo && !t[j].LoOpen && s[i].LoOpen):
+			iv, j = t[j], j+1
+		default:
+			iv, i = s[i], i+1
+		}
+		if n := len(out); n > 0 && out[n-1].overlapsOrTouches(iv) {
+			out[n-1] = out[n-1].Hull(iv)
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// unionCount returns len(s.Union(t)) without materializing the union: the
+// same linear merge, tracking only the running tail interval. Regrouping's
+// closest-pair search scores every candidate pair by union size; this keeps
+// the scoring allocation-free.
+func (s IntervalSet) unionCount(t IntervalSet) int {
+	if len(s) == 0 {
+		return len(t)
+	}
+	if len(t) == 0 {
+		return len(s)
+	}
+	count := 0
+	var last Interval
+	i, j := 0, 0
+	for i < len(s) || j < len(t) {
+		var iv Interval
+		switch {
+		case i == len(s):
+			iv, j = t[j], j+1
+		case j == len(t):
+			iv, i = s[i], i+1
+		case t[j].Lo < s[i].Lo || (t[j].Lo == s[i].Lo && !t[j].LoOpen && s[i].LoOpen):
+			iv, j = t[j], j+1
+		default:
+			iv, i = s[i], i+1
+		}
+		if count > 0 && last.overlapsOrTouches(iv) {
+			last = last.Hull(iv)
+		} else {
+			count++
+			last = iv
+		}
+	}
+	return count
 }
 
 // SubsetOf reports whether every point of s lies in t.

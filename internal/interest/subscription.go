@@ -1,11 +1,21 @@
 package interest
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"strings"
 
 	"pmcast/internal/event"
 )
+
+// ErrInvalidCriterion reports a zero-value (never constructed) Criterion
+// handed to Subscription construction. The zero Criterion is documented
+// invalid — it is not the wildcard (that is Any()) and not the empty
+// criterion (that is an exhausted interval or string set) — so accepting it
+// silently would build a subscription whose semantics the caller never
+// chose. Constrain rejects it early instead.
+var ErrInvalidCriterion = errors.New("interest: zero-value Criterion (use Any() for the wildcard)")
 
 // Matcher is anything that can decide whether an event is of interest.
 // Individual subscriptions, regrouped summaries, and the simulator's
@@ -65,28 +75,41 @@ func (s Subscription) find(attr string) (int, bool) {
 // Where returns a copy of the subscription with an added criterion on the
 // named attribute. Re-constraining an attribute keeps the latest criterion
 // (callers own the semantics of re-constraining); a wildcard criterion
-// removes the constraint.
+// removes the constraint. Where panics on the invalid zero Criterion — a
+// programmer error caught at construction, not at match time; use Constrain
+// when the criterion comes from untrusted input.
 func (s Subscription) Where(attr string, c Criterion) Subscription {
+	out, err := s.Constrain(attr, c)
+	if err != nil {
+		panic(fmt.Sprintf("interest: Where(%q): %v", attr, err))
+	}
+	return out
+}
+
+// Constrain is Where with early validation: the invalid zero Criterion is
+// rejected with ErrInvalidCriterion instead of silently building a
+// subscription that matches nothing the caller intended.
+func (s Subscription) Constrain(attr string, c Criterion) (Subscription, error) {
 	if !c.IsValid() {
-		c = Any()
+		return s, fmt.Errorf("%w (attribute %q)", ErrInvalidCriterion, attr)
 	}
 	i, ok := s.find(attr)
 	switch {
 	case c.IsAny() && !ok:
-		return s // removing an absent constraint: nothing to copy
+		return s, nil // removing an absent constraint: nothing to copy
 	case c.IsAny():
 		out := make([]attrCriterion, 0, len(s.criteria)-1)
 		out = append(out, s.criteria[:i]...)
-		return Subscription{criteria: append(out, s.criteria[i+1:]...)}
+		return Subscription{criteria: append(out, s.criteria[i+1:]...)}, nil
 	case ok:
 		out := append([]attrCriterion(nil), s.criteria...)
 		out[i].crit = c
-		return Subscription{criteria: out}
+		return Subscription{criteria: out}, nil
 	default:
 		out := make([]attrCriterion, 0, len(s.criteria)+1)
 		out = append(out, s.criteria[:i]...)
 		out = append(out, attrCriterion{attr: attr, crit: c})
-		return Subscription{criteria: append(out, s.criteria[i:]...)}
+		return Subscription{criteria: append(out, s.criteria[i:]...)}, nil
 	}
 }
 
@@ -94,7 +117,18 @@ func (s Subscription) Where(attr string, c Criterion) Subscription {
 // lacking a constrained attribute do not match (events of the considered
 // type carry all attributes; a missing one cannot satisfy a criterion).
 func (s Subscription) Matches(ev event.Event) bool {
+	return s.MatchesCounted(ev, nil)
+}
+
+// MatchesCounted is Matches with work accounting in the same units the
+// compiled engine reports — one Comparison per attribute criterion
+// consulted — so the interpretive oracle's cost and the compiled path's
+// cost are directly comparable. A nil counter skips accounting.
+func (s Subscription) MatchesCounted(ev event.Event, mc *MatchCounter) bool {
 	for i := range s.criteria {
+		if mc != nil {
+			mc.Comparisons++
+		}
 		v, ok := ev.Lookup(s.criteria[i].attr)
 		if !ok || !s.criteria[i].crit.Matches(v) {
 			return false
@@ -191,6 +225,35 @@ func (s Subscription) HullWith(t Subscription) Subscription {
 		out = append(out, attrCriterion{attr: attr, crit: u})
 	}
 	return Subscription{criteria: out}
+}
+
+// hullCostWith predicts HullWith's cost without materializing the hull:
+// how many constrained attributes the hull would drop (widen to wildcard)
+// and the hull's resulting Size. One merge walk, allocation-free — the
+// closest-pair search of regrouping scores O(k²) candidate pairs per merge
+// and only the winner's hull is ever built.
+func (s Subscription) hullCostWith(t Subscription) (dropped, size int) {
+	kept := 0
+	j := 0
+	for i := range s.criteria {
+		attr := s.criteria[i].attr
+		for j < len(t.criteria) && t.criteria[j].attr < attr {
+			j++
+		}
+		if j == len(t.criteria) {
+			break
+		}
+		if t.criteria[j].attr != attr {
+			continue
+		}
+		k, sz := s.criteria[i].crit.unionCost(t.criteria[j].crit)
+		j++
+		if k {
+			kept++
+			size += sz
+		}
+	}
+	return len(s.criteria) + len(t.criteria) - 2*kept, size
 }
 
 // Size is the total number of criterion disjuncts, the complexity measure

@@ -117,13 +117,14 @@ func (s *Summary) compact() {
 // pairs constraining the same attribute sets. Cost = number of attributes
 // dropped by the hull (widened to wildcard) ×1000 + resulting disjunct size,
 // a cheap heuristic that keeps structurally similar interests together.
+// Scoring is allocation-free (hullCostWith); only the winning pair's hull
+// is materialized, by the caller.
 func (s *Summary) closestPair() (int, int) {
 	bestI, bestJ, bestCost := 0, 1, int(^uint(0)>>1)
 	for i := 0; i < len(s.subs); i++ {
 		for j := i + 1; j < len(s.subs); j++ {
-			h := s.subs[i].HullWith(s.subs[j])
-			dropped := len(s.subs[i].Attrs()) + len(s.subs[j].Attrs()) - 2*len(h.Attrs())
-			cost := dropped*1000 + h.Size()
+			dropped, size := s.subs[i].hullCostWith(s.subs[j])
+			cost := dropped*1000 + size
 			if cost < bestCost {
 				bestI, bestJ, bestCost = i, j, cost
 			}
@@ -135,14 +136,24 @@ func (s *Summary) closestPair() (int, int) {
 // Matches reports whether any disjunct matches the event. An empty summary
 // matches nothing.
 func (s *Summary) Matches(ev event.Event) bool {
+	return s.MatchesCounted(ev, nil)
+}
+
+// MatchesCounted is Matches with work accounting (one Eval for the
+// invocation, one Comparison per criterion consulted), mirroring the
+// compiled matcher's counters so the two paths' costs compare directly.
+func (s *Summary) MatchesCounted(ev event.Event, mc *MatchCounter) bool {
 	if s == nil {
 		return false
+	}
+	if mc != nil {
+		mc.Evals++
 	}
 	if s.matchAll {
 		return true
 	}
 	for _, sub := range s.subs {
-		if sub.Matches(ev) {
+		if sub.MatchesCounted(ev, mc) {
 			return true
 		}
 	}

@@ -363,6 +363,20 @@ func (n *Node) WireStats() (envelopes, bytes int64) {
 	return n.envelopes.Load(), n.wireBytes.Load()
 }
 
+// MatchStats reports the matching engine's counters — matcher evaluations,
+// attribute comparisons, susceptibility-cache traffic, gossip rounds and
+// profile-computation time. Counters survive process rebuilds (the rebuilt
+// process adopts its predecessor's totals), so they are cumulative for the
+// node's lifetime.
+func (n *Node) MatchStats() core.MatchStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.proc == nil {
+		return core.MatchStats{}
+	}
+	return n.proc.MatchStats()
+}
+
 // Subscribe replaces the node's interests; the change propagates through
 // membership anti-entropy and re-aggregates up the tree.
 func (n *Node) Subscribe(sub interest.Subscription) {

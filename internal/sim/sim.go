@@ -110,6 +110,12 @@ type Result struct {
 	Rounds int
 	// Messages is the number of gossip sends emitted (including lost ones).
 	Messages int
+	// MatchEvals and MatchCacheHits count, fleet-wide, the matcher
+	// evaluations performed and the susceptibility queries answered from the
+	// per-event cache — the simulated run's matching-cost profile, produced
+	// by the same compiled-path cache the live runtime uses.
+	MatchEvals     uint64
+	MatchCacheHits uint64
 	// Publisher is the index of the multicasting process.
 	Publisher int
 }
@@ -285,6 +291,11 @@ func (s *Simulator) Run(pd float64, rng *rand.Rand) (Result, error) {
 	}
 
 	res := Result{Rounds: rounds, Messages: messages, Publisher: publisher}
+	for _, p := range s.procs {
+		ms := p.MatchStats()
+		res.MatchEvals += ms.Evals
+		res.MatchCacheHits += ms.Hits
+	}
 	evID := ev.ID()
 	for i := 0; i < s.n; i++ {
 		if s.run.interested[i] {
@@ -332,6 +343,11 @@ func pow(a, k int) int {
 // runState holds the per-run random draws shared by all synthetic views.
 type runState struct {
 	a, d int
+	// gen counts redraws: the synthetic views' matching behavior changes
+	// wholesale at every redraw, and the generation is what invalidates the
+	// processes' per-event susceptibility caches between runs (the same
+	// event ID is reused run after run).
+	gen uint64
 	// interested[i] is the Bernoulli(p_d) audience bit of leaf i.
 	interested []bool
 	// subInterested[l][s]: subtree s (prefix length l) contains an
@@ -355,6 +371,7 @@ func newRunState(a, d int) *runState {
 
 // redraw resamples interests and crashes and rebuilds subtree aggregates.
 func (rs *runState) redraw(pd, tau float64, rng *rand.Rand) {
+	rs.gen++
 	n := len(rs.interested)
 	for i := 0; i < n; i++ {
 		rs.interested[i] = rng.Float64() < pd
@@ -391,7 +408,11 @@ type simView struct {
 	owner int // owning process index (for MatchingSubgroups selfIn)
 }
 
-var _ core.DepthView = (*simView)(nil)
+var (
+	_ core.DepthView     = (*simView)(nil)
+	_ core.MatchProfiler = (*simView)(nil)
+	_ core.Generational  = (*simView)(nil)
+)
 
 // viewFor builds the depth view of process i.
 func (s *Simulator) viewFor(i, depth int) *simView {
@@ -469,4 +490,37 @@ func (v *simView) MatchingSubgroups(event.Event) (int, bool) {
 		}
 	}
 	return total, selfIn
+}
+
+// Generation implements core.Generational: the shared run state's redraw
+// counter, so per-event profiles cached during one run never leak into the
+// next (the simulator reuses one event ID across runs).
+func (v *simView) Generation() uint64 { return v.sim.run.gen }
+
+// Profile implements core.MatchProfiler: one pass over the A subgroup bits,
+// each synthetic "summary" consulted once and expanded to the line's perR
+// members. The rate is matching lines over A — exactly Rate's expression,
+// so cached and uncached values are bit-identical.
+func (v *simView) Profile(_ event.Event, p *core.MatchProfile) {
+	a := v.sim.params.A
+	p.Ensure(a * v.perR)
+	base := v.group * a
+	level := v.sim.run.subInterested[v.depth]
+	ownSub := v.owner / v.sim.strides[v.depth]
+	hits, lines, selfIn := 0, 0, false
+	for c := 0; c < a; c++ {
+		if !level[base+c] {
+			continue
+		}
+		lines++
+		if base+c == ownSub {
+			selfIn = true
+		}
+		p.SetRange(c*v.perR, (c+1)*v.perR)
+		hits += v.perR
+	}
+	p.Hits, p.Lines, p.SelfIn = hits, lines, selfIn
+	p.Rate = float64(lines) / float64(a)
+	p.Cost.Evals += uint64(a)
+	p.Cost.Comparisons += uint64(a)
 }

@@ -9,6 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"pmcast/internal/addr"
 	"pmcast/internal/interest"
@@ -96,7 +99,8 @@ type Config struct {
 }
 
 // node is one prefix of the trie: a subgroup and, once computed, its
-// delegates, process count (‖prefix‖, Eq. 4) and regrouped interest summary.
+// delegates, process count (‖prefix‖, Eq. 4), regrouped interest summary,
+// the summary's compiled form, and a generation counter.
 type node struct {
 	prefix    addr.Prefix
 	children  map[int]*node // keyed by next digit
@@ -104,6 +108,24 @@ type node struct {
 	delegates []addr.Address
 	count     int
 	summary   *interest.Summary
+	// compiled is the summary's compiled matcher, interned through the
+	// tree's Compiler so identical subtree interests share one form. It is
+	// recompiled exactly when the node is recomputed — i.e. only along the
+	// root path a membership change touched.
+	compiled *interest.CompiledMatcher
+	// gen counts recomputations of this node. Every mutation that can
+	// change the view built over this prefix (its children's delegates,
+	// counts or summaries) recomputes the node — path recomputation always
+	// includes every ancestor of a touched leaf — so "gen unchanged" is a
+	// sound signal that cached per-event matching results over the view
+	// remain exact.
+	gen uint64
+	// orderedFP is the order-sensitive fingerprint of the node's summary
+	// (disjunct fingerprints in slice order): the exact identity of the
+	// summary as a fold input, used to key parent folds in the shared
+	// fold cache. Order matters — regrouping's merge heuristic depends on
+	// accumulation order, so only order-identical inputs may share a fold.
+	orderedFP string
 }
 
 // Tree is the compound spanning tree over a concrete member population.
@@ -115,6 +137,56 @@ type Tree struct {
 	election ElectionStrategy
 	root     *node
 	members  map[string]*Member
+	// compiler interns compiled summaries by fingerprint. Clones share it,
+	// so a harness fleet folding the same roster compiles each distinct
+	// interest language once per process population, not once per node.
+	compiler *interest.Compiler
+	// folds memoizes summary regrouping fleet-wide (shared by clones, like
+	// the compiler): recompute's summary is a pure function of the ordered
+	// child summaries, and co-hosted processes folding the same membership
+	// movement redo identical merges — the first pays, the rest look up.
+	folds *foldCache
+}
+
+// foldEntry is one memoized regrouping result: the merged summary (treated
+// immutable, exactly like summaries shared through Clone), its compiled
+// form, and its order-sensitive fingerprint (the key material for folds
+// that consume this summary one level up).
+type foldEntry struct {
+	summary  *interest.Summary
+	compiled *interest.CompiledMatcher
+	fp       string
+}
+
+// maxFoldEntries bounds the fold cache; past it the cache resets wholesale
+// (deterministic, and correctness never depends on a hit).
+const maxFoldEntries = 1 << 16
+
+// foldCache is the shared regrouping memo. Safe for concurrent use: trees
+// cloned across live nodes rebuild on their own goroutines.
+type foldCache struct {
+	mu sync.Mutex
+	m  map[string]foldEntry
+}
+
+func newFoldCache() *foldCache {
+	return &foldCache{m: make(map[string]foldEntry)}
+}
+
+func (fc *foldCache) get(key string) (foldEntry, bool) {
+	fc.mu.Lock()
+	e, ok := fc.m[key]
+	fc.mu.Unlock()
+	return e, ok
+}
+
+func (fc *foldCache) put(key string, e foldEntry) {
+	fc.mu.Lock()
+	if len(fc.m) >= maxFoldEntries {
+		fc.m = make(map[string]foldEntry)
+	}
+	fc.m[key] = e
+	fc.mu.Unlock()
 }
 
 // New builds an empty tree.
@@ -134,6 +206,8 @@ func New(cfg Config) (*Tree, error) {
 		election: el,
 		root:     &node{prefix: addr.Root(), children: make(map[int]*node)},
 		members:  make(map[string]*Member),
+		compiler: interest.NewCompiler(),
+		folds:    newFoldCache(),
 	}, nil
 }
 
@@ -230,6 +304,8 @@ func (t *Tree) Clone() *Tree {
 		cfg:      t.cfg,
 		election: t.election,
 		members:  make(map[string]*Member, len(t.members)),
+		compiler: t.compiler,
+		folds:    t.folds,
 	}
 	for k, m := range t.members {
 		cp := *m
@@ -246,6 +322,9 @@ func cloneNode(n *node, members map[string]*Member) *node {
 		delegates: n.delegates,
 		count:     n.count,
 		summary:   n.summary,
+		compiled:  n.compiled,
+		gen:       n.gen,
+		orderedFP: n.orderedFP,
 	}
 	if n.member != nil {
 		c.member = members[n.member.Addr.Key()]
@@ -467,23 +546,56 @@ func (t *Tree) recomputePath(path []*node) {
 	}
 }
 
+// recompute refreshes one node's aggregates. Summary regrouping and
+// compilation go through the shared fold cache: the result is a pure
+// function of the ordered child summaries (leaf: of the member's
+// subscription), so identical folds — across prefixes, across clones,
+// across a whole co-hosted fleet digesting the same churn — are computed
+// once and shared. Cached summaries are treated immutable, exactly like
+// summaries shared through Clone.
 func (t *Tree) recompute(n *node) {
+	n.gen++
 	if n.member != nil {
 		n.count = 1
-		n.summary = interest.NewSummaryWithBound(t.cfg.SummaryBound)
-		n.summary.Add(n.member.Sub)
+		key := "L\x00" + n.member.Sub.Fingerprint()
+		e, ok := t.folds.get(key)
+		if !ok {
+			s := interest.NewSummaryWithBound(t.cfg.SummaryBound)
+			s.Add(n.member.Sub)
+			e = foldEntry{summary: s, compiled: t.compiler.CompileSummary(s), fp: s.OrderedFingerprint()}
+			t.folds.put(key, e)
+		}
+		n.summary, n.compiled, n.orderedFP = e.summary, e.compiled, e.fp
 		n.delegates = []addr.Address{n.member.Addr}
 		return
 	}
 	n.count = 0
-	n.summary = interest.NewSummaryWithBound(t.cfg.SummaryBound)
+	digits := sortedDigits(n.children)
+	var kb strings.Builder
+	kb.WriteString("I\x00")
 	candidates := make([]addr.Address, 0, t.cfg.R*len(n.children))
-	for _, digit := range sortedDigits(n.children) {
+	for _, digit := range digits {
 		child := n.children[digit]
 		n.count += child.count
-		n.summary.Merge(child.summary)
+		// Length-prefix each child fingerprint: fingerprints may embed any
+		// byte (including the sentinel and separator values), so bare
+		// concatenation would let different child lists collide on one key.
+		kb.WriteString(strconv.Itoa(len(child.orderedFP)))
+		kb.WriteByte(':')
+		kb.WriteString(child.orderedFP)
 		candidates = append(candidates, child.delegates...)
 	}
+	key := kb.String()
+	e, ok := t.folds.get(key)
+	if !ok {
+		s := interest.NewSummaryWithBound(t.cfg.SummaryBound)
+		for _, digit := range digits {
+			s.Merge(n.children[digit].summary)
+		}
+		e = foldEntry{summary: s, compiled: t.compiler.CompileSummary(s), fp: s.OrderedFingerprint()}
+		t.folds.put(key, e)
+	}
+	n.summary, n.compiled, n.orderedFP = e.summary, e.compiled, e.fp
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Less(candidates[j]) })
 	n.delegates = t.election.Elect(candidates, t.cfg.R)
 }
@@ -538,6 +650,30 @@ func (t *Tree) Summary(p addr.Prefix) *interest.Summary {
 		return nil
 	}
 	return n.summary
+}
+
+// CompiledSummary returns the compiled matcher of the subtree's regrouped
+// interest — the form the runtime matches events against. Nil when the
+// prefix is unpopulated (the nil matcher matches nothing, like a nil
+// Summary).
+func (t *Tree) CompiledSummary(p addr.Prefix) *interest.CompiledMatcher {
+	n := t.lookup(p)
+	if n == nil {
+		return nil
+	}
+	return n.compiled
+}
+
+// Generation returns the recomputation counter of the prefix node: it
+// advances whenever anything below the prefix changed, so equal generations
+// guarantee the views built over this prefix match events identically.
+// Unpopulated prefixes report 0.
+func (t *Tree) Generation(p addr.Prefix) uint64 {
+	n := t.lookup(p)
+	if n == nil {
+		return 0
+	}
+	return n.gen
 }
 
 // IsDelegate reports whether process a represents its depth-i subtree, i.e.

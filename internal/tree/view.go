@@ -23,6 +23,10 @@ type Line struct {
 	Delegates []addr.Address
 	// Summary is the regrouped interest of every process in the subgroup.
 	Summary *interest.Summary
+	// Compiled is the summary's compiled matcher — the indexed form the
+	// runtime evaluates. Views built by Tree always carry it; hand-built
+	// views may leave it nil, in which case adapters compile on demand.
+	Compiled *interest.CompiledMatcher
 	// Count is the total number of processes in the subgroup (‖·‖, Eq. 4),
 	// used by the round-estimation heuristics (Section 2.3, "Process count").
 	Count int
@@ -47,6 +51,11 @@ type View struct {
 	// LeafLevel reports whether this is the deepest view (lines are
 	// individual processes rather than delegate sets).
 	LeafLevel bool
+	// Gen is the generation of the tree node the view was built over: equal
+	// generations (for the same prefix on the same tree lineage) guarantee
+	// identical matching behavior, which is what lets per-event
+	// susceptibility caches survive a process rebuild.
+	Gen uint64
 }
 
 // NumLines returns |view[i]|: the number of populated subgroups (table rows).
@@ -144,7 +153,7 @@ func (t *Tree) ViewOf(p addr.Prefix, depth int) *View {
 		return nil
 	}
 	leaf := depth == t.Depth()
-	v := &View{Prefix: p, Depth: depth, R: t.cfg.R, LeafLevel: leaf}
+	v := &View{Prefix: p, Depth: depth, R: t.cfg.R, LeafLevel: leaf, Gen: n.gen}
 	v.Lines = make([]Line, 0, len(n.children))
 	for _, digit := range sortedDigits(n.children) {
 		child := n.children[digit]
@@ -154,6 +163,7 @@ func (t *Tree) ViewOf(p addr.Prefix, depth int) *View {
 			Infix:     digit,
 			Delegates: dels,
 			Summary:   child.summary,
+			Compiled:  child.compiled,
 			Count:     child.count,
 		})
 	}

@@ -13,8 +13,10 @@ import (
 
 	"pmcast/internal/addr"
 	"pmcast/internal/clock"
+	"pmcast/internal/core"
 	"pmcast/internal/event"
 	"pmcast/internal/interest"
+	"pmcast/internal/membership"
 	"pmcast/internal/node"
 	"pmcast/internal/transport"
 	"pmcast/internal/wire"
@@ -156,6 +158,96 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(enc1, enc3) {
 			t.Fatalf("interned decode diverges:\n%x\n%x", enc1, enc3)
+		}
+	})
+}
+
+// FuzzCompiledMatchParity holds the compiled matching engine to its oracle
+// under adversarial inputs: arbitrary byte pairs decode into a subscription
+// and an event (through the same codecs the wire path uses), and whatever
+// decodes must match identically through the interpretive path and the
+// compiled one — as a bare subscription, as a regrouped summary, and as an
+// interned compiled form. The seed corpus is the wire fuzz corpus: every
+// event the captured mini-fleet gossiped (extracted from its frames) paired
+// with every subscription shape the fleet used, plus the summaries its
+// membership traffic carried.
+func FuzzCompiledMatchParity(f *testing.F) {
+	var evSeeds [][]byte
+	var subSeeds [][]byte
+	addEvent := func(ev event.Event) {
+		if data, err := ev.MarshalBinary(); err == nil {
+			evSeeds = append(evSeeds, data)
+		}
+	}
+	collect := func(msg any) {
+		switch m := msg.(type) {
+		case core.Gossip:
+			addEvent(m.Event)
+		case wire.Batch:
+			for _, g := range m.Gossips {
+				addEvent(g.Event)
+			}
+			if m.Update != nil {
+				for _, rec := range m.Update.Records {
+					if data, err := rec.Sub.MarshalBinary(); err == nil {
+						subSeeds = append(subSeeds, data)
+					}
+				}
+			}
+		case membership.Update:
+			for _, rec := range m.Records {
+				if data, err := rec.Sub.MarshalBinary(); err == nil {
+					subSeeds = append(subSeeds, data)
+				}
+			}
+		}
+	}
+	for _, frame := range captureCorpus(f) {
+		if msg, err := wire.Decode(frame); err == nil {
+			collect(msg)
+		}
+	}
+	// Always-present seeds so the pairing fuzzes even if capture shapes
+	// drift: a multi-criterion subscription and a multi-attribute event.
+	richSub := interest.NewSubscription().
+		Where("b", interest.EqInt(2)).
+		Where("c", interest.Between(10, 220)).
+		Where("e", interest.OneOf("Bob", "Tom"))
+	if data, err := richSub.MarshalBinary(); err == nil {
+		subSeeds = append(subSeeds, data)
+	}
+	richEv := event.NewBuilder().Int("b", 2).Float("c", 155.5).Str("e", "Bob").Build(event.ID{Origin: "seed", Seq: 1})
+	if data, err := richEv.MarshalBinary(); err == nil {
+		evSeeds = append(evSeeds, data)
+	}
+	if len(subSeeds) == 0 || len(evSeeds) == 0 {
+		f.Fatal("corpus capture yielded no subscription/event seeds")
+	}
+	for _, sb := range subSeeds {
+		for _, eb := range evSeeds {
+			f.Add(sb, eb)
+		}
+	}
+	f.Fuzz(func(t *testing.T, subBytes, evBytes []byte) {
+		var sub interest.Subscription
+		if err := sub.UnmarshalBinary(subBytes); err != nil {
+			return // malformed subscription: nothing to compare
+		}
+		var ev event.Event
+		if err := ev.UnmarshalBinary(evBytes); err != nil {
+			return
+		}
+		want := sub.Matches(ev)
+		if got := interest.Compile(sub).Matches(ev); got != want {
+			t.Fatalf("compiled subscription diverges: compiled=%v naive=%v\nsub: %s\nevent: %s", got, want, sub, ev)
+		}
+		sum := interest.Summarize(sub)
+		sumWant := sum.Matches(ev)
+		if got := interest.CompileSummary(sum).Matches(ev); got != sumWant {
+			t.Fatalf("compiled summary diverges: compiled=%v naive=%v\nsummary: %s\nevent: %s", got, sumWant, sum, ev)
+		}
+		if got := interest.NewCompiler().CompileSummary(sum).Matches(ev); got != sumWant {
+			t.Fatalf("interned summary diverges: compiled=%v naive=%v", got, sumWant)
 		}
 	})
 }
