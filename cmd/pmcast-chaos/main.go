@@ -9,6 +9,7 @@
 //	pmcast-chaos -scenario churn1024 -seed 7
 //	pmcast-chaos -scenario lossy256 -seed 1 -o report.json -trace run.trace
 //	pmcast-chaos -scenario soak256 -seed 3 -nobatch   # A/B the batched pipeline
+//	pmcast-chaos -scenario frontier64 -fec-k 8 -fec-r 2   # run with the coding layer on
 //	pmcast-chaos -scenario soak256 -cpuprofile soak.pprof   # profile a soak run
 package main
 
@@ -30,6 +31,9 @@ func main() {
 		traceOut   = flag.String("trace", "", "also write the raw delivery trace to this file")
 		list       = flag.Bool("list", false, "list the scenario catalog and exit")
 		noBatch    = flag.Bool("nobatch", false, "disable the batched gossip pipeline (A/B envelope accounting)")
+		fanout     = flag.Int("fanout", 0, "override the fleet's gossip fan-out F (0 keeps the scenario's own setting)")
+		fecK       = flag.Int("fec-k", 0, "coding-layer generation size k (0 keeps the scenario's own setting)")
+		fecR       = flag.Int("fec-r", -1, "repair symbols per generation r (-1 keeps the scenario's own setting; 0 disables coding)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run here (soak profiling)")
 	)
 	flag.Parse()
@@ -49,6 +53,15 @@ func main() {
 	}
 	if *noBatch {
 		sc.Fleet.NoBatch = true
+	}
+	if *fanout > 0 {
+		sc.Fleet.F = *fanout
+	}
+	if *fecK > 0 {
+		sc.Fleet.FECSources = *fecK
+	}
+	if *fecR >= 0 {
+		sc.Fleet.FECRepairs = *fecR
 	}
 	var profileOut *os.File
 	if *cpuprofile != "" {
@@ -82,6 +95,12 @@ func main() {
 		fatal(err)
 	}
 	enc = append(enc, '\n')
+	if sc.Fleet.FECRepairs > 0 {
+		fmt.Fprintf(os.Stderr,
+			"pmcast-chaos: fec k=%d r=%d  repair_bytes_per_event=%.1f  fec_recoveries=%d  rounds_to_delivery_p99=%.1f\n",
+			sc.Fleet.FECSources, sc.Fleet.FECRepairs,
+			res.Report.RepairBytesPerEvent, res.Report.FECRecoveries, res.Report.RoundsToDeliveryP99)
+	}
 	if *out == "" {
 		os.Stdout.Write(enc)
 		return

@@ -103,7 +103,7 @@ func run(w io.Writer, args []string) error {
 	n, err := pmcast.NewNode(tr,
 		pmcast.WithAddr(self),
 		pmcast.WithSpace(space),
-		pmcast.WithRedundancy(*r),
+		pmcast.WithGroupRedundancy(*r),
 		pmcast.WithFanout(*f),
 		pmcast.WithPittelC(*c),
 		pmcast.WithSubscription(sub),

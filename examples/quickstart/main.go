@@ -29,7 +29,7 @@ func main() {
 		n, err := pmcast.NewNode(net,
 			pmcast.WithAddr(pmcast.MustParseAddress(sp.addr)),
 			pmcast.WithSpace(space),
-			pmcast.WithRedundancy(1),
+			pmcast.WithGroupRedundancy(1),
 			pmcast.WithFanout(2),
 			pmcast.WithPittelC(2),
 			pmcast.WithSubscription(sp.sub),

@@ -41,7 +41,7 @@ func main() {
 		n, err := pmcast.NewNode(net,
 			pmcast.WithAddr(space.AddressAt(i)),
 			pmcast.WithSpace(space),
-			pmcast.WithRedundancy(2),
+			pmcast.WithGroupRedundancy(2),
 			pmcast.WithFanout(3),
 			pmcast.WithPittelC(2),
 			pmcast.WithSubscription(sub),

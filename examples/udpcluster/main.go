@@ -142,7 +142,7 @@ func runChild(addrStr, peerSpec string, publisher bool) error {
 	n, err := pmcast.NewNode(tr,
 		pmcast.WithAddr(self),
 		pmcast.WithSpace(pmcast.MustRegularSpace(arity, depth)),
-		pmcast.WithRedundancy(2),
+		pmcast.WithGroupRedundancy(2),
 		pmcast.WithFanout(4),
 		pmcast.WithPittelC(3),
 		pmcast.WithSubscription(sub),

@@ -280,6 +280,24 @@ func (r *Reader) Bytes() []byte {
 	return out
 }
 
+// Raw reads exactly n raw bytes with no length prefix (copied). Callers
+// that already know a payload's length from surrounding framing — the
+// fixed-size FEC symbols of a batch's repair section — use it to avoid
+// encoding the length twice.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Len() < n {
+		r.fail(ErrShortBuffer)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
 // Count reads a length prefix and validates it against a per-element
 // minimum size, so corrupt inputs cannot trigger huge allocations.
 func (r *Reader) Count(minElemSize int) int {

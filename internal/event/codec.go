@@ -55,6 +55,12 @@ func ReadID(r *binenc.Reader) ID {
 	return ID{Origin: r.String(), Seq: r.Uvarint()}
 }
 
+// IDWireSize returns the encoded size of an event identifier, computed
+// without encoding — the size-walk counterpart of AppendID.
+func IDWireSize(id ID) int {
+	return binenc.StringLen(id.Origin) + binenc.UvarintLen(id.Seq)
+}
+
 // AppendEvent appends an event: its ID, then sorted (name, value) pairs.
 // Attributes are stored sorted, so encoding is a straight walk — no scratch
 // allocations on the batched wire hot path.

@@ -1,0 +1,138 @@
+// The coded-gossip frontier: reliability versus wire cost across loss
+// rates, fan-outs and redundancy levels, measured on the deterministic
+// scenario harness. Each point is one seeded soak campaign; together they
+// trace the Pareto frontier the coding layer is built for — under heavy
+// loss, a coded fleet at reduced fan-out reaches the reliability of an
+// uncoded fleet at high fan-out while spending fewer bytes per event.
+
+package experiments
+
+import (
+	"fmt"
+
+	"pmcast/internal/harness"
+)
+
+// FrontierPoint is one (loss, fan-out, redundancy) cell of the sweep.
+type FrontierPoint struct {
+	// Scenario and Seed identify the campaign; every field below is
+	// deterministic for the pair.
+	Scenario string  `json:"scenario"`
+	Seed     int64   `json:"seed"`
+	Loss     float64 `json:"loss"`
+	// F is the gossip fan-out; K and R the coding parameters (R = 0 is the
+	// uncoded baseline).
+	F int `json:"f"`
+	K int `json:"k"`
+	R int `json:"r"`
+	// Reliability axes.
+	MeanReliability float64 `json:"mean_reliability"`
+	MinReliability  float64 `json:"min_reliability"`
+	// Cost axes. BytesPerEvent includes the repair overhead
+	// (RepairBytesPerEvent breaks it out); RoundsToDeliveryP99 is the
+	// latency tail in gossip rounds.
+	BytesPerEvent       float64 `json:"bytes_per_event"`
+	RepairBytesPerEvent float64 `json:"repair_bytes_per_event"`
+	EnvelopesPerEvent   float64 `json:"envelopes_per_event"`
+	RoundsToDeliveryP99 float64 `json:"rounds_to_delivery_p99"`
+	// FECRecoveries is how many gossips the decoder reconstructed instead
+	// of waiting out a retransmission.
+	FECRecoveries int64 `json:"fec_recoveries"`
+}
+
+// FrontierOptions tunes the sweep.
+type FrontierOptions struct {
+	// Scenario names the base campaign (default frontier64 — the churn-free
+	// soak64 variant, so the loss axis is the only fault source and cells
+	// compare cleanly; soak256 is the acceptance size).
+	Scenario string
+	// Seed seeds every run (default 1).
+	Seed int64
+	// Losses is the ambient loss axis (default 0.20, 0.30, 0.40 — the
+	// regime where coding pays; below that the uncoded protocol is already
+	// near-perfect and repairs are dead weight).
+	Losses []float64
+	// FanOuts is the gossip fan-out axis (default 4, 6, 7).
+	FanOuts []int
+	// Repairs is the redundancy axis (default 0, 2).
+	Repairs []int
+	// K is the generation size (default 8).
+	K int
+}
+
+func (o FrontierOptions) withDefaults() FrontierOptions {
+	if o.Scenario == "" {
+		o.Scenario = "frontier64"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Losses) == 0 {
+		o.Losses = []float64{0.20, 0.30, 0.40}
+	}
+	if len(o.FanOuts) == 0 {
+		o.FanOuts = []int{4, 6, 7}
+	}
+	if len(o.Repairs) == 0 {
+		o.Repairs = []int{0, 2}
+	}
+	if o.K <= 0 {
+		o.K = 8
+	}
+	return o
+}
+
+// FrontierSweep runs the loss × fan-out × redundancy grid and returns one
+// point per cell, in sweep order (loss-major, then fan-out, then r).
+func FrontierSweep(o FrontierOptions) ([]FrontierPoint, error) {
+	o = o.withDefaults()
+	base, err := harness.Lookup(o.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]FrontierPoint, 0, len(o.Losses)*len(o.FanOuts)*len(o.Repairs))
+	for _, loss := range o.Losses {
+		for _, f := range o.FanOuts {
+			for _, r := range o.Repairs {
+				p, err := FrontierPointAt(base, o.Seed, loss, f, o.K, r)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, p)
+			}
+		}
+	}
+	return points, nil
+}
+
+// FrontierPointAt measures one cell: the base scenario re-parameterized to
+// the given loss, fan-out and coding configuration.
+func FrontierPointAt(base harness.Scenario, seed int64, loss float64, f, k, r int) (FrontierPoint, error) {
+	sc := base
+	sc.Loss = loss
+	sc.Fleet.F = f
+	sc.Fleet.FECSources = k
+	sc.Fleet.FECRepairs = r
+	sc.Fleet.MeasureWire = true
+	res, err := sc.Run(seed)
+	if err != nil {
+		return FrontierPoint{}, fmt.Errorf("frontier %s loss=%.2f f=%d r=%d: %w",
+			sc.Name, loss, f, r, err)
+	}
+	rep := res.Report
+	return FrontierPoint{
+		Scenario:            sc.Name,
+		Seed:                seed,
+		Loss:                loss,
+		F:                   f,
+		K:                   k,
+		R:                   r,
+		MeanReliability:     rep.MeanReliability,
+		MinReliability:      rep.MinReliability,
+		BytesPerEvent:       rep.BytesPerEvent,
+		RepairBytesPerEvent: rep.RepairBytesPerEvent,
+		EnvelopesPerEvent:   rep.EnvelopesPerEvent,
+		RoundsToDeliveryP99: rep.RoundsToDeliveryP99,
+		FECRecoveries:       rep.FECRecoveries,
+	}, nil
+}

@@ -91,6 +91,23 @@ type Report struct {
 	MatchEvalsPerEvent  float64 `json:"match_evals_per_event"`
 	MatchMicrosPerRound float64 `json:"match_micros_per_round"`
 
+	// Coding-layer accounting, fleet-wide (crashed generations included).
+	// FECRepairBytes is the encoded size of every repair section emitted;
+	// RepairBytesPerEvent normalizes it by events published — the redundancy
+	// overhead a coded run pays. FECRecoveries counts gossips reconstructed
+	// from repair symbols instead of waiting for retransmission;
+	// FECRepairsReceived and FECExpired expose how much redundancy arrived
+	// and how many partial generations timed out. All zero when coding is
+	// off. RoundsToDeliveryP99 is the 99th percentile, over delivered
+	// (event, node) pairs, of delivery latency measured in gossip rounds —
+	// the tail a coded run is supposed to shorten under loss.
+	FECRepairBytes      int64   `json:"fec_repair_bytes"`
+	RepairBytesPerEvent float64 `json:"repair_bytes_per_event"`
+	FECRecoveries       int64   `json:"fec_recoveries"`
+	FECRepairsReceived  int64   `json:"fec_repairs_received"`
+	FECExpired          int64   `json:"fec_expired"`
+	RoundsToDeliveryP99 float64 `json:"rounds_to_delivery_p99"`
+
 	// MeanReliability and MinReliability summarize, over published events,
 	// the fraction of eligible processes (interested, alive at publish time
 	// and still alive at the end) that delivered the event.
@@ -147,17 +164,19 @@ type run struct {
 	handles   []*handle // fixed index order — the engine's iteration order
 	nextFresh int       // next unused address index for OpJoin
 
-	// envSum, byteSum and matchSum accumulate wire and matching counters of
-	// node generations replaced by rejoins; finish() adds the live
-	// generations on top.
+	// envSum, byteSum, matchSum and fecSum accumulate wire, matching and
+	// coding counters of node generations replaced by rejoins; finish() adds
+	// the live generations on top.
 	envSum   int64
 	byteSum  int64
 	matchSum core.MatchStats
+	fecSum   node.FECStats
 
 	trace     bytes.Buffer
 	delivered map[string][]event.ID
 	pubOrder  []event.ID
 	pubAt     map[event.ID]int64
+	latNanos  []int64 // delivery latencies of traced (event, node) pairs
 	eligible  map[event.ID]map[string]bool
 	gotEvent  map[event.ID]map[string]bool
 
@@ -297,6 +316,7 @@ func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 		r.envSum += env
 		r.byteSum += bytes
 		r.matchSum.Accumulate(h.n.MatchStats())
+		r.fecSum.Accumulate(h.n.FECStats())
 	}
 	n, err := node.New(r.fabric, node.Config{
 		Addr:               a,
@@ -316,6 +336,8 @@ func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 		DeliveryBuffer:     r.sc.Fleet.DeliveryBuffer,
 		NoBatch:            r.sc.Fleet.NoBatch,
 		MeasureWire:        r.sc.Fleet.MeasureWire,
+		FECRepairs:         r.sc.Fleet.FECRepairs,
+		FECSources:         r.sc.Fleet.FECSources,
 		Seed:               mixSeed(r.seed, i, h.gen),
 		Clock:              r.vc,
 	})
@@ -433,12 +455,15 @@ func (r *run) drainDeliveries(h *handle) {
 				return
 			}
 			id := ev.ID()
-			fmt.Fprintf(&r.trace, "%d %s %s#%d\n",
-				r.vc.Now().Sub(r.start).Nanoseconds(), h.key, id.Origin, id.Seq)
+			now := r.vc.Now().Sub(r.start).Nanoseconds()
+			fmt.Fprintf(&r.trace, "%d %s %s#%d\n", now, h.key, id.Origin, id.Seq)
 			r.delivered[h.key] = append(r.delivered[h.key], id)
 			r.report.Delivered++
 			if set, ok := r.gotEvent[id]; ok {
 				set[h.key] = true
+			}
+			if at, ok := r.pubAt[id]; ok {
+				r.latNanos = append(r.latNanos, now-at)
 			}
 		default:
 			return
@@ -676,6 +701,7 @@ func (r *run) finish(wallStart time.Time) {
 	r.report.Envelopes = r.envSum
 	r.report.WireBytes = r.byteSum
 	match := r.matchSum
+	fec := r.fecSum
 	for _, h := range r.handles {
 		if h == nil || h.n == nil {
 			continue
@@ -684,7 +710,12 @@ func (r *run) finish(wallStart time.Time) {
 		r.report.Envelopes += env
 		r.report.WireBytes += wb
 		match.Accumulate(h.n.MatchStats())
+		fec.Accumulate(h.n.FECStats())
 	}
+	r.report.FECRepairBytes = fec.RepairBytes
+	r.report.FECRecoveries = fec.Recovered
+	r.report.FECRepairsReceived = fec.RepairsReceived
+	r.report.FECExpired = fec.Expired
 	r.report.MatchEvals = match.Evals
 	r.report.MatchComparisons = match.Comparisons
 	r.report.MatchCacheHits = match.Hits
@@ -699,6 +730,18 @@ func (r *run) finish(wallStart time.Time) {
 		r.report.EnvelopesPerEvent = float64(r.report.Envelopes) / float64(r.report.Published)
 		r.report.BytesPerEvent = float64(r.report.WireBytes) / float64(r.report.Published)
 		r.report.MatchEvalsPerEvent = float64(r.report.MatchEvals) / float64(r.report.Published)
+		r.report.RepairBytesPerEvent = float64(r.report.FECRepairBytes) / float64(r.report.Published)
+	}
+	// Delivery-latency tail in gossip rounds: p99 over (event, node) pairs.
+	if n := len(r.latNanos); n > 0 {
+		lats := append([]int64(nil), r.latNanos...)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		idx := (n*99 + 99) / 100 // ceil(0.99·n)
+		if idx > n {
+			idx = n
+		}
+		p99 := lats[idx-1]
+		r.report.RoundsToDeliveryP99 = float64(p99) / float64(r.sc.Fleet.GossipInterval.Nanoseconds())
 	}
 
 	// Reliability over events: delivered / eligible, eligibility restricted

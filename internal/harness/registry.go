@@ -21,6 +21,7 @@ func Scenarios() map[string]Scenario {
 		"lossy256":    Lossy256(),
 		"churn1024":   Churn1024(),
 		"soak64":      Soak64(),
+		"frontier64":  Frontier64(),
 		"soak256":     Soak256(),
 		"manyattr512": ManyAttr512(),
 	}
@@ -189,6 +190,25 @@ func Soak64() Scenario {
 		s.StreamAt(100*time.Millisecond+off, 1100*time.Millisecond, 20*time.Millisecond, idx, 2, -1)
 	}
 	s.CrashAt(500*time.Millisecond, 4)
+	return s
+}
+
+// Frontier64 is Soak64 without its crash wave: the base campaign of the
+// coded-gossip frontier sweep (see internal/experiments). Loss is the
+// sweep's independent variable, so the churn soak64 uses to exercise
+// membership is removed — a node crashing mid-stream forfeits its whole
+// tail of deliveries, a catastrophic variance term orthogonal to the
+// loss/redundancy trade-off being measured.
+func Frontier64() Scenario {
+	s := Soak64()
+	s.Name = "frontier64"
+	kept := s.Ops[:0]
+	for _, op := range s.Ops {
+		if op.Kind != OpCrash {
+			kept = append(kept, op)
+		}
+	}
+	s.Ops = kept
 	return s
 }
 

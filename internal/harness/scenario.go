@@ -75,6 +75,13 @@ type Fleet struct {
 	// envelope; soak scenarios turn it on, reliability campaigns leave it
 	// off.
 	MeasureWire bool
+	// FECRepairs and FECSources configure the coding layer fleet-wide
+	// (node.Config.FECRepairs/FECSources): each gossip round's outgoing
+	// events are grouped into generations of FECSources symbols carrying
+	// FECRepairs repair symbols. 0 repairs disables coding — the exact
+	// pre-FEC wire path, so seeded traces are unchanged.
+	FECRepairs int
+	FECSources int
 	// Classes partitions interests: node i subscribes to attribute "b" ==
 	// i mod Classes unless SubscriptionFor overrides it, and published
 	// events carry one class value.

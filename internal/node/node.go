@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"pmcast/internal/clock"
 	"pmcast/internal/core"
 	"pmcast/internal/event"
+	"pmcast/internal/fec"
 	"pmcast/internal/interest"
 	"pmcast/internal/membership"
 	"pmcast/internal/transport"
@@ -94,6 +96,21 @@ type Config struct {
 	// (envelopes/event, bytes/event) and the equivalence property test, not
 	// for correctness.
 	NoBatch bool
+	// FECRepairs enables the coding layer: every distinct event the node
+	// forwards accumulates — per destination subtree, so a generation's
+	// sources are events that subtree's members hold — into a generation of
+	// FECSources source symbols, and when a generation fills, FECRepairs
+	// repair symbols ride the next few round envelopes toward that subtree
+	// (see internal/fec). Any FECSources of the
+	// FECSources+FECRepairs symbols reconstruct the generation, so a
+	// receiver that missed an event on every inbound link rebuilds it from
+	// a repair plus the events it already holds.
+	// 0 disables coding entirely — the pre-FEC wire path, byte for byte.
+	// Coding rides batch envelopes, so NoBatch makes it inert.
+	FECRepairs int
+	// FECSources is the generation size k (default 8 when FECRepairs > 0).
+	// FECSources+FECRepairs must not exceed fec.MaxSymbols.
+	FECSources int
 	// MeasureWire enables sender-side wire accounting: every outgoing
 	// envelope's encoded size is measured (via the wire codec, without
 	// retaining an allocation) and summed into WireStats. Off by default —
@@ -150,6 +167,12 @@ func (c Config) withDefaults() Config {
 	if c.EncodeWorkers < 0 {
 		c.EncodeWorkers = 0
 	}
+	if c.FECRepairs < 0 {
+		c.FECRepairs = 0
+	}
+	if c.FECRepairs > 0 && c.FECSources <= 0 {
+		c.FECSources = 8
+	}
 	if c.Clock == nil {
 		c.Clock = clock.Real{}
 	}
@@ -190,6 +213,20 @@ type Node struct {
 
 	envelopes atomic.Int64 // outgoing envelopes (batched counts as one)
 	wireBytes atomic.Int64 // encoded bytes of outgoing envelopes (MeasureWire)
+
+	// The coding layer (nil when FECRepairs is 0 or NoBatch is set). Both
+	// sides live on the protocol stage — the encoder codes round envelopes in
+	// tickGossip, the assembler reassembles in handle — but stats snapshots
+	// come from other goroutines, so a dedicated mutex arbitrates. It is
+	// uncontended on the hot path.
+	fecMu         sync.Mutex
+	fenc          *fec.Encoder
+	fasm          *fec.Assembler
+	fecKeyAddr    map[string]addr.Address // routing key → last round-send target, tickGossip only
+	fecRevive     []fecRevival            // delayed revival queue, protocol stage only
+	fecReviveTick int                     // revival round clock, protocol stage only
+	repairBytes   atomic.Int64            // encoded bytes of emitted repair sections
+	fecRecovered  atomic.Int64            // gossips reconstructed from repairs and accepted
 
 	// Engine plumbing (engine.go). protoCh and egressCh exist only when
 	// Start brings up a parallel configuration; egressOn routes emit through
@@ -246,6 +283,16 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		deliveries: make(chan event.Event, cfg.DeliveryBuffer),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if cfg.FECRepairs > 0 && !cfg.NoBatch {
+		if cfg.FECSources+cfg.FECRepairs > fec.MaxSymbols {
+			ep.Close()
+			return nil, fmt.Errorf("node: FEC k+r = %d exceeds %d symbols",
+				cfg.FECSources+cfg.FECRepairs, fec.MaxSymbols)
+		}
+		n.fenc = fec.NewEncoder(cfg.FECSources, cfg.FECRepairs)
+		n.fasm = fec.NewAssembler()
+		n.fecKeyAddr = make(map[string]addr.Address)
 	}
 	if err := n.rebuildLocked(); err != nil {
 		ep.Close()
@@ -363,6 +410,55 @@ func (n *Node) WireStats() (envelopes, bytes int64) {
 	return n.envelopes.Load(), n.wireBytes.Load()
 }
 
+// FECStats is a snapshot of the coding layer's counters. All zeros when
+// coding is off.
+type FECStats struct {
+	// RepairBytes is the encoded size of every repair section emitted —
+	// the redundancy overhead this node paid on the wire.
+	RepairBytes int64
+	// RepairsReceived counts repair symbols that reached the assembler.
+	RepairsReceived int64
+	// Decodes counts reconstruction solves attempted.
+	Decodes int64
+	// Recovered counts gossips reconstructed from repairs and accepted into
+	// the protocol — events that would otherwise have waited for a
+	// retransmission or been missed.
+	Recovered int64
+	// Corrupt counts malformed repairs and reconstructions that failed
+	// verification; Expired counts partial generations that timed out.
+	Corrupt int64
+	Expired int64
+}
+
+// Accumulate folds another snapshot into this one — harness-style banking
+// of counters across node generations.
+func (s *FECStats) Accumulate(o FECStats) {
+	s.RepairBytes += o.RepairBytes
+	s.RepairsReceived += o.RepairsReceived
+	s.Decodes += o.Decodes
+	s.Recovered += o.Recovered
+	s.Corrupt += o.Corrupt
+	s.Expired += o.Expired
+}
+
+// FECStats reports the coding layer's work so far.
+func (n *Node) FECStats() FECStats {
+	st := FECStats{
+		RepairBytes: n.repairBytes.Load(),
+		Recovered:   n.fecRecovered.Load(),
+	}
+	if n.fasm != nil {
+		n.fecMu.Lock()
+		s := n.fasm.Stats()
+		n.fecMu.Unlock()
+		st.RepairsReceived = s.RepairsReceived
+		st.Decodes = s.Decodes
+		st.Corrupt = s.Corrupt
+		st.Expired = s.Expired
+	}
+	return st
+}
+
 // MatchStats reports the matching engine's counters — matcher evaluations,
 // attribute comparisons, susceptibility-cache traffic, gossip rounds and
 // profile-computation time. Counters survive process rebuilds (the rebuilt
@@ -475,6 +571,20 @@ func (n *Node) handle(env transport.Envelope) {
 	switch msg := env.Payload.(type) {
 	case core.Gossip:
 		n.handleGossip(msg)
+		if n.fasm != nil {
+			// Feed the coding layer the canonical bytes of what arrived, so
+			// any pending generation listing the event can count it as a
+			// source symbol (the in-memory fabric delivers coded rounds
+			// unbatched: gossips and repairs as separate envelopes).
+			n.observeSourceFEC(msg)
+		}
+	case fec.Repair:
+		if n.fasm != nil {
+			n.fecMu.Lock()
+			recs := n.fasm.ObserveRepair(env.From.Key(), msg)
+			n.fecMu.Unlock()
+			n.acceptRecoveredFEC(recs)
+		}
 	case membership.Digest:
 		n.handleDigest(env.From, msg)
 	case membership.Update:
@@ -493,8 +603,21 @@ func (n *Node) handle(env transport.Envelope) {
 	case wire.Batch:
 		// A round envelope from a byte-oriented fabric (the in-memory fabric
 		// unbatches in transit). Sub-messages are processed in the batch's
-		// canonical order: gossips, update, digest, heartbeat.
+		// canonical order: gossips, repairs, update, digest, heartbeat.
 		n.handleGossipBatch(msg.Gossips)
+		if n.fasm != nil {
+			for _, g := range msg.Gossips {
+				n.observeSourceFEC(g)
+			}
+			for _, gen := range msg.FEC {
+				for _, rp := range gen.Split() {
+					n.fecMu.Lock()
+					recs := n.fasm.ObserveRepair(env.From.Key(), rp)
+					n.fecMu.Unlock()
+					n.acceptRecoveredFEC(recs)
+				}
+			}
+		}
 		if msg.Update != nil {
 			n.mem.Apply(*msg.Update)
 		}
@@ -565,7 +688,174 @@ func (n *Node) handleGossipBatch(gs []core.Gossip) {
 	n.drainDeliveriesLocked()
 }
 
+// observeSourceFEC hands one arrived gossip's canonical event bytes to the
+// assembler and folds in whatever recoveries that unlocks. Symbols are
+// event bytes — invariant across retransmissions and identical from every
+// sender — so any copy of the event fills its slot in every pending
+// generation that lists it, whoever coded that generation.
+func (n *Node) observeSourceFEC(g core.Gossip) {
+	body := wire.AppendEventBody(nil, g.Event)
+	n.fecMu.Lock()
+	recs := n.fasm.ObserveSource(g.Event.ID(), body)
+	n.fecMu.Unlock()
+	n.acceptRecoveredFEC(recs)
+}
+
+// acceptRecoveredFEC validates reconstructed events and queues them for
+// delayed revival. Each recovered body must decode to the event the
+// generation header promised — a mismatch means the solve ran over a
+// poisoned source cache and the result is discarded as corrupt. Accepted
+// recoveries are re-observed as sources, which can complete further
+// pending generations; the worklist is bounded because every completion
+// retires its generation.
+//
+// Recoveries are NOT handed to the protocol immediately. A repair decodes
+// an event a round or two after the gossip it protects was sent, so for a
+// tail loss the real wave usually delivers the event on another link
+// moments later — and a premature re-entry would mark it seen, suppress
+// that reception, and strip this node of its forwarding duty in the live
+// epidemic (measurably lowering fleet reliability). Instead the recovery
+// waits fecReviveDelay gossip rounds in the revival queue: if the real
+// wave shows up the revival cancels as a duplicate and the run is
+// byte-identical to an uncoded one, and only an event that is still
+// nowhere in sight — the subtree-dead case the coding layer exists for —
+// re-enters, with a fresh round budget, to be delivered and re-gossiped
+// downstream.
+func (n *Node) acceptRecoveredFEC(recs []fec.Recovered) {
+	for len(recs) > 0 {
+		rec := recs[0]
+		recs = recs[1:]
+		ev, err := wire.DecodeEventBody(rec.Body)
+		if err != nil || ev.ID() != rec.ID {
+			n.fecMu.Lock()
+			n.fasm.NoteCorrupt()
+			n.fecMu.Unlock()
+			continue
+		}
+		n.fecRecovered.Add(1)
+		if len(n.fecRevive) < maxFECRevive {
+			n.fecRevive = append(n.fecRevive, fecRevival{
+				g: core.Gossip{
+					Event: ev,
+					Depth: rec.Meta.Depth,
+					Rate:  rec.Meta.Rate,
+					Round: 0,
+				},
+				due: n.fecReviveTick + fecReviveDelay,
+			})
+		}
+		n.fecMu.Lock()
+		more := n.fasm.ObserveSource(rec.ID, rec.Body)
+		n.fecMu.Unlock()
+		recs = append(recs, more...)
+	}
+}
+
+// reviveRecoveredFEC runs once per gossip round on the protocol stage:
+// revival candidates whose delay has elapsed re-enter through handleGossip,
+// whose seen-set check is the cancellation — an event the real wave
+// delivered meanwhile is a duplicate and the revival is a no-op.
+func (n *Node) reviveRecoveredFEC() {
+	n.fecReviveTick++
+	if len(n.fecRevive) == 0 {
+		return
+	}
+	keep := n.fecRevive[:0]
+	for _, rv := range n.fecRevive {
+		if rv.due > n.fecReviveTick {
+			keep = append(keep, rv)
+			continue
+		}
+		n.handleGossip(rv.g)
+	}
+	n.fecRevive = keep
+	// Drop the processed tail so retained event references can be collected.
+	tail := n.fecRevive[len(n.fecRevive):cap(n.fecRevive)]
+	for i := range tail {
+		tail[i] = fecRevival{}
+	}
+}
+
+// fecRevival is one recovered gossip waiting out its revival delay.
+type fecRevival struct {
+	g   core.Gossip
+	due int
+}
+
+// fecReviveDelay is how many gossip rounds a recovery waits before
+// re-entering the protocol, giving the real wave time to deliver the event
+// and cancel the revival; maxFECRevive bounds the queue against a hostile
+// repair stream.
+const (
+	fecReviveDelay = 3
+	maxFECRevive   = 4096
+)
+
+// fecFlushAge is how many gossip rounds a partial generation may wait for
+// the accumulator to fill before a dedicated repair-only envelope flushes
+// it. The encoder already piggybacks an aged generation onto the next
+// ordinary envelope after a couple of rounds, so this backstop only fires
+// when the node stops sending entirely — it is deliberately lax because
+// every firing costs a whole envelope.
+const fecFlushAge = 6
+
+// fecRouteKey buckets a round-send destination into its top-level subtree.
+// Generations accumulate per destination subtree because gossip routes
+// events by interest: the events a node sends toward subtree T are the
+// events T's members hold, so a generation coded toward T is decodable
+// there. One accumulator mixing traffic for every subtree would present
+// mostly holes to each receiver — it can fill only its own subtree's
+// slots — and reconstruction needs k of k+r symbols present.
+func fecRouteKey(a addr.Address) string {
+	if a.IsZero() {
+		return ""
+	}
+	return strconv.Itoa(a.Digit(1))
+}
+
+// codeRoundSend feeds one round envelope's gossips into the destination
+// subtree's generation accumulator and returns the generations that should
+// ride this envelope's FEC section: fresh fills, aged piggybacks, and
+// replica copies of recent generations spreading across the subtree. Most
+// round-sends return nothing — the accumulator is what amortizes one
+// repair symbol over k distinct events instead of one round-send's few.
+func (n *Node) codeRoundSend(rs core.RoundSend) []fec.Generation {
+	leaf := n.cfg.Space.Depth()
+	srcs := make([]fec.Source, 0, len(rs.Gossips))
+	for _, g := range rs.Gossips {
+		if g.Depth >= leaf && leaf > 1 {
+			// Leaf-level gossips are the dense tail of dissemination: by the
+			// time an event floods a leaf group, many members hold it and a
+			// lost copy arrives again on another link. Coding them buys
+			// little and their volume dominates — the per-slot header cost
+			// of protecting every leaf transmission dwarfs the repairs.
+			// The sub-leaf delegate hops are where few copies carry the
+			// whole subtree's delivery; those are the ones worth coding.
+			continue
+		}
+		srcs = append(srcs, fec.Source{
+			ID:   g.Event.ID(),
+			Meta: fec.Meta{Depth: g.Depth, Rate: g.Rate, Round: g.Round},
+			Body: wire.AppendEventBody(nil, g.Event),
+		})
+	}
+	key := fecRouteKey(rs.To)
+	n.fecKeyAddr[key] = rs.To
+	n.fecMu.Lock()
+	gens := n.fenc.Add(key, srcs)
+	n.fecMu.Unlock()
+	for _, g := range gens {
+		n.repairBytes.Add(int64(g.RepairBytes()))
+	}
+	return gens
+}
+
 func (n *Node) tickGossip() {
+	if n.fasm != nil {
+		// Revive before ticking: a recovery whose delay just elapsed enters
+		// the gossip buffers now and rides this very round's envelopes.
+		n.reviveRecoveredFEC()
+	}
 	n.mu.Lock()
 	if err := n.rebuildIfStaleLocked(); err != nil {
 		n.mu.Unlock()
@@ -589,11 +879,43 @@ func (n *Node) tickGossip() {
 	jobs := n.proc.TickRound(n.rng)
 	n.drainDeliveriesLocked()
 	n.mu.Unlock()
+	if n.fasm != nil {
+		// One gossip round elapsed: age out partial generations that will
+		// never complete (their arrived sources were already processed).
+		n.fecMu.Lock()
+		n.fasm.Sweep()
+		n.fecMu.Unlock()
+	}
 	for _, rs := range jobs {
-		if len(rs.Gossips) == 1 {
+		var gens []fec.Generation
+		if n.fenc != nil {
+			gens = n.codeRoundSend(rs)
+		}
+		switch {
+		case len(gens) > 0:
+			n.emit(rs.To, wire.Batch{Gossips: rs.Gossips, FEC: gens})
+		case len(rs.Gossips) == 1:
 			n.emit(rs.To, rs.Gossips[0]) // a bare frame is smaller than a batch of one
-		} else {
+		default:
 			n.emit(rs.To, wire.Batch{Gossips: rs.Gossips})
+		}
+	}
+	if n.fenc != nil {
+		// Backstop flush: if gossip traffic stopped with a partial
+		// generation open, ship it as a short (k', r) code in a repair-only
+		// envelope so the trailing events keep their protection.
+		n.fecMu.Lock()
+		aged := n.fenc.FlushAged(fecFlushAge)
+		n.fecMu.Unlock()
+		for _, kg := range aged {
+			to, ok := n.fecKeyAddr[kg.Key]
+			if !ok || to.IsZero() {
+				continue
+			}
+			for _, g := range kg.Gens {
+				n.repairBytes.Add(int64(g.RepairBytes()))
+			}
+			n.emit(to, wire.Batch{FEC: kg.Gens})
 		}
 	}
 }

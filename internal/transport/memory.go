@@ -16,6 +16,7 @@ import (
 
 	"pmcast/internal/addr"
 	"pmcast/internal/clock"
+	"pmcast/internal/fec"
 	"pmcast/internal/wire"
 )
 
@@ -313,11 +314,25 @@ func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
 		return nil // silent partition
 	}
 	rng := n.linkRNGLocked(linkKey)
+	// Repair symbols draw from a separate per-link stream: they are extra
+	// traffic a coded run adds on top of the same gossips an uncoded run
+	// sends, and giving them their own stream keeps the source messages'
+	// fault draws identical to the uncoded run's — the common-random-numbers
+	// property extended to the coding layer, so an r>0 campaign diverges from
+	// its r=0 twin only where the protocol actually diverges.
+	var fecRNG *linkStream
 	// part applies one sub-message's fault draws under mu. A zero-delay
 	// survivor is returned for delivery after the lock drops (deliver takes
 	// endpoint and drop-accounting locks of its own); delayed survivors are
 	// scheduled here.
 	part := func(sub any) (Envelope, bool) {
+		rng := rng
+		if _, isRepair := sub.(fec.Repair); isRepair {
+			if fecRNG == nil {
+				fecRNG = n.linkRNGLocked(linkKey + "|fec")
+			}
+			rng = fecRNG
+		}
 		if n.cfg.Loss > 0 && rng.Float64() < n.cfg.Loss {
 			n.dropped.Add(1)
 			return Envelope{}, false // silent loss

@@ -1,0 +1,319 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pmcast/internal/event"
+	"pmcast/internal/fec"
+)
+
+// codedBatch builds a batch of n gossips coded into generations of k
+// source symbols with r repairs each, the way the protocol stage does.
+func codedBatch(t testing.TB, n, k, r int) Batch {
+	t.Helper()
+	b := sampleBatch(n)
+	enc := fec.NewEncoder(k, r)
+	srcs := make([]fec.Source, n)
+	for i, g := range b.Gossips {
+		srcs[i] = fec.Source{
+			ID:   g.Event.ID(),
+			Meta: fec.Meta{Depth: g.Depth, Rate: g.Rate, Round: g.Round},
+			Body: AppendEventBody(nil, g.Event),
+		}
+	}
+	b.FEC = enc.Encode(srcs)
+	return b
+}
+
+func codedFullBatch(t testing.TB, n, k, r int) Batch {
+	t.Helper()
+	b := codedBatch(t, n, k, r)
+	full := fullBatch()
+	b.Update, b.Digest, b.Heartbeat = full.Update, full.Digest, full.Heartbeat
+	return b
+}
+
+func sameFEC(a, b []fec.Generation) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("generation count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Gen != y.Gen || x.K != y.K || x.R != y.R || x.SymLen != y.SymLen {
+			return fmt.Errorf("generation %d header %+v vs %+v", i, x, y)
+		}
+		if len(x.IDs) != len(y.IDs) {
+			return fmt.Errorf("generation %d id count", i)
+		}
+		for j := range x.IDs {
+			if x.IDs[j] != y.IDs[j] {
+				return fmt.Errorf("generation %d id %d", i, j)
+			}
+			if x.Meta[j] != y.Meta[j] {
+				return fmt.Errorf("generation %d meta %d: %+v vs %+v", i, j, x.Meta[j], y.Meta[j])
+			}
+		}
+		if len(x.Repairs) != len(y.Repairs) {
+			return fmt.Errorf("generation %d repair count %d vs %d", i, len(x.Repairs), len(y.Repairs))
+		}
+		for j := range x.Repairs {
+			if x.Repairs[j].Index != y.Repairs[j].Index || !bytes.Equal(x.Repairs[j].Data, y.Repairs[j].Data) {
+				return fmt.Errorf("generation %d repair %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func TestCodedBatchRoundTrip(t *testing.T) {
+	in := codedFullBatch(t, 7, 4, 2)
+	out := roundTrip(t, in).(Batch)
+	if len(out.Gossips) != 7 {
+		t.Fatalf("gossips = %d", len(out.Gossips))
+	}
+	if err := sameFEC(in.FEC, out.FEC); err != nil {
+		t.Fatal(err)
+	}
+	if out.Update == nil || out.Digest == nil || out.Heartbeat == nil {
+		t.Fatalf("membership tail lost: %+v", out)
+	}
+}
+
+func TestCodedBatchEncodedSizeMatches(t *testing.T) {
+	for _, b := range []Batch{codedBatch(t, 1, 8, 1), codedBatch(t, 9, 4, 3), codedFullBatch(t, 5, 2, 2)} {
+		enc, err := Encode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := EncodedSize(b); got != len(enc) {
+			t.Fatalf("EncodedSize = %d, encoded %d bytes", got, len(enc))
+		}
+	}
+}
+
+// TestCodedBatchEachOrder pins the canonical decomposition: gossips first,
+// then one fec.Repair per repair symbol, then the membership payloads.
+func TestCodedBatchEachOrder(t *testing.T) {
+	b := codedFullBatch(t, 5, 4, 2)
+	var kinds []string
+	repairs := 0
+	b.Each(func(payload any) {
+		kinds = append(kinds, fmt.Sprintf("%T", payload))
+		if rp, ok := payload.(fec.Repair); ok {
+			repairs++
+			if rp.K < 1 || rp.SymLen != len(rp.Data) || len(rp.IDs) != rp.K || len(rp.Meta) != rp.K {
+				t.Fatalf("malformed flattened repair: %+v", rp)
+			}
+		}
+	})
+	want := []string{
+		"core.Gossip", "core.Gossip", "core.Gossip", "core.Gossip", "core.Gossip",
+		"fec.Repair", "fec.Repair", "fec.Repair", "fec.Repair",
+		"membership.Update", "membership.Digest", "membership.Heartbeat",
+	}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", kinds, want)
+	}
+	if got := b.Parts(); got != len(want) {
+		t.Fatalf("Parts = %d, want %d", got, len(want))
+	}
+	_ = repairs
+}
+
+// TestPreFECDecoderRejectsCodedBatch pins the version gate: a coded batch
+// sets a flag bit outside the pre-FEC mask, and this decoder applies the
+// same rule to bits beyond its own mask — unknown flags are a clean
+// ErrBadPayload, never a misparse.
+func TestPreFECDecoderRejectsCodedBatch(t *testing.T) {
+	enc, err := Encode(codedBatch(t, 4, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[1]&batchHasFEC == 0 {
+		t.Fatal("coded batch must set the FEC flag bit")
+	}
+	const preFECMask = batchHasUpdate | batchHasDigest | batchHasHeartbeat
+	if enc[1]&^byte(preFECMask) == 0 {
+		t.Fatal("coded batch flags fit the pre-FEC mask; old decoders would misparse")
+	}
+	// The same future-bit rule in this decoder:
+	bad := append([]byte(nil), enc...)
+	bad[1] |= 1 << 4
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("unknown future flag bit must be rejected")
+	}
+}
+
+func TestCodedBatchDecodeRejectsCorruptFEC(t *testing.T) {
+	enc, err := Encode(codedBatch(t, 4, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations anywhere in the FEC section must error, not panic or
+	// return bogus generations.
+	for cut := len(enc) - 1; cut > len(enc)-40 && cut > 0; cut-- {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}
+
+// TestSplitBatchCodedBoundaryExact is the MTU±1 test: at exactly the
+// encoded size one chunk suffices; one byte under forces a split; and at
+// every limit each emitted chunk re-measures within the budget with no
+// part lost.
+func TestSplitBatchCodedBoundaryExact(t *testing.T) {
+	m := codedFullBatch(t, 9, 4, 2)
+	full := EncodedSize(m)
+
+	chunks, err := SplitBatch(m, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 1 {
+		t.Fatalf("at limit=size: %d chunks, want 1", len(chunks))
+	}
+
+	chunks, err = SplitBatch(m, full-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("at limit=size-1: %d chunks, want ≥ 2", len(chunks))
+	}
+	checkSplit(t, m, chunks, full-1)
+
+	// Sweep a window of limits around practical MTUs down to tiny budgets:
+	// every chunk must measure within the limit, bit-exactly.
+	for limit := full + 1; limit > 120; limit-- {
+		chunks, err := SplitBatch(m, limit)
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		checkSplit(t, m, chunks, limit)
+	}
+}
+
+// checkSplit verifies a split: every chunk fits, encodes to its measured
+// size, and the union of parts is exactly the original batch.
+func checkSplit(t *testing.T, m Batch, chunks []Batch, limit int) {
+	t.Helper()
+	var gossips []string
+	repairs := map[string]int{}
+	tails := 0
+	for i, c := range chunks {
+		enc, err := Encode(c)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if len(enc) > limit {
+			t.Fatalf("limit %d: chunk %d encodes to %d bytes", limit, i, len(enc))
+		}
+		if got := EncodedSize(c); got != len(enc) {
+			t.Fatalf("chunk %d: EncodedSize %d, encoded %d", i, got, len(enc))
+		}
+		for _, g := range c.Gossips {
+			gossips = append(gossips, g.Event.ID().String())
+		}
+		for _, gen := range c.FEC {
+			for _, rs := range gen.Repairs {
+				repairs[fmt.Sprintf("%d/%d", gen.Gen, rs.Index)]++
+			}
+		}
+		if c.Update != nil || c.Digest != nil || c.Heartbeat != nil {
+			if i != 0 {
+				t.Fatalf("membership tail on chunk %d", i)
+			}
+			tails++
+		}
+	}
+	var want []string
+	for _, g := range m.Gossips {
+		want = append(want, g.Event.ID().String())
+	}
+	if fmt.Sprint(gossips) != fmt.Sprint(want) {
+		t.Fatalf("limit %d: gossip order broken: %v", limit, gossips)
+	}
+	wantRepairs := 0
+	for _, gen := range m.FEC {
+		wantRepairs += len(gen.Repairs)
+		for _, rs := range gen.Repairs {
+			if repairs[fmt.Sprintf("%d/%d", gen.Gen, rs.Index)] != 1 {
+				t.Fatalf("limit %d: repair %d/%d carried %d times", limit, gen.Gen, rs.Index,
+					repairs[fmt.Sprintf("%d/%d", gen.Gen, rs.Index)])
+			}
+		}
+	}
+	if len(repairs) != wantRepairs {
+		t.Fatalf("limit %d: %d distinct repairs, want %d", limit, len(repairs), wantRepairs)
+	}
+	if hasTail := m.Update != nil || m.Digest != nil || m.Heartbeat != nil; hasTail && tails != 1 {
+		t.Fatalf("limit %d: membership tail on %d chunks", limit, tails)
+	}
+}
+
+// TestSplitBatchCodedReassembles proves the split is invisible to the
+// receiver: decoding every chunk and feeding the parts to an assembler
+// recovers a generation even when its sources and repairs landed in
+// different datagrams and some sources were lost.
+func TestSplitBatchCodedReassembles(t *testing.T) {
+	m := codedBatch(t, 8, 4, 2)
+	full := EncodedSize(m)
+	chunks, err := SplitBatch(m, full/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 3 {
+		t.Fatalf("want ≥ 3 chunks, got %d", len(chunks))
+	}
+	asm := fec.NewAssembler()
+	lost := map[event.ID]bool{
+		m.Gossips[1].Event.ID(): true,
+		m.Gossips[6].Event.ID(): true,
+	}
+	var recovered []fec.Recovered
+	for _, c := range chunks {
+		dec, err := Decode(mustEncode(t, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := dec.(Batch)
+		for _, g := range b.Gossips {
+			if lost[g.Event.ID()] {
+				continue
+			}
+			recovered = append(recovered, asm.ObserveSource(g.Event.ID(), AppendEventBody(nil, g.Event))...)
+		}
+		for _, gen := range b.FEC {
+			for _, rp := range gen.Split() {
+				recovered = append(recovered, asm.ObserveRepair("s", rp)...)
+			}
+		}
+	}
+	if len(recovered) != len(lost) {
+		t.Fatalf("recovered %d of %d lost gossips", len(recovered), len(lost))
+	}
+	for _, rec := range recovered {
+		ev, err := DecodeEventBody(rec.Body)
+		if err != nil {
+			t.Fatalf("recovered body does not decode: %v", err)
+		}
+		if ev.ID() != rec.ID || !lost[ev.ID()] {
+			t.Fatalf("recovered wrong event: %v", ev.ID())
+		}
+		if rec.Meta.Depth < 1 {
+			t.Fatalf("recovered meta lost its depth: %+v", rec.Meta)
+		}
+	}
+}
+
+func mustEncode(t *testing.T, msg any) []byte {
+	t.Helper()
+	enc, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}

@@ -25,6 +25,7 @@ import (
 	"pmcast/internal/binenc"
 	"pmcast/internal/core"
 	"pmcast/internal/event"
+	"pmcast/internal/fec"
 	"pmcast/internal/interest"
 	"pmcast/internal/membership"
 )
@@ -47,12 +48,17 @@ const (
 	kindBatch
 )
 
-// Batch flag bits (presence of piggybacked sections).
+// Batch flag bits (presence of piggybacked sections). The FEC bit is the
+// coded-gossip wire version gate: decoders reject flags outside their mask,
+// so a pre-FEC decoder drops a coded batch with a clean ErrBadPayload
+// instead of misparsing it, and an uncoded batch (no FEC section, bit
+// clear) remains byte-identical to the pre-FEC format.
 const (
 	batchHasUpdate    byte = 1 << 0
 	batchHasDigest    byte = 1 << 1
 	batchHasHeartbeat byte = 1 << 2
-	batchFlagMask          = batchHasUpdate | batchHasDigest | batchHasHeartbeat
+	batchHasFEC       byte = 1 << 3
+	batchFlagMask          = batchHasUpdate | batchHasDigest | batchHasHeartbeat | batchHasFEC
 )
 
 // Batch is one per-peer round envelope: the multi-event gossip section plus
@@ -62,15 +68,24 @@ const (
 // makes batching a pure envelope-level aggregation (see the equivalence
 // property test in internal/harness).
 type Batch struct {
-	Gossips   []core.Gossip
+	Gossips []core.Gossip
+	// FEC carries the repair symbols of the coded-gossip extension: each
+	// generation codes a run of this round's gossip sections, and any k of
+	// its k+r symbols reconstruct the originals on the receiver.
+	FEC       []fec.Generation
 	Update    *membership.Update
 	Digest    *membership.Digest
 	Heartbeat *membership.Heartbeat
 }
 
-// Parts returns the number of sub-messages carried.
+// Parts returns the number of sub-messages carried. Each repair symbol
+// counts as one part: fabrics decompose batches per sub-message for fault
+// draws and drop accounting.
 func (b Batch) Parts() int {
 	n := len(b.Gossips)
+	for _, g := range b.FEC {
+		n += len(g.Repairs)
+	}
 	if b.Update != nil {
 		n++
 	}
@@ -85,10 +100,17 @@ func (b Batch) Parts() int {
 
 // Each visits every sub-message in canonical order as the bare payload value
 // an unbatched sender would have sent. Simulated fabrics use this to apply
-// per-message fault draws to a batch's contents.
+// per-message fault draws to a batch's contents. Repair symbols visit as
+// flattened fec.Repair values (one per symbol), after the gossips they
+// protect and before the membership payloads.
 func (b Batch) Each(fn func(payload any)) {
 	for _, g := range b.Gossips {
 		fn(g)
+	}
+	for _, gen := range b.FEC {
+		for _, rp := range gen.Split() {
+			fn(rp)
+		}
 	}
 	if b.Update != nil {
 		fn(*b.Update)
@@ -158,10 +180,14 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 }
 
 // AppendBatch appends a batch frame: flags, the length-prefixed gossip
-// sections, then the piggybacked membership payloads flagged present.
+// sections, the repair-symbol section when the batch is coded, then the
+// piggybacked membership payloads flagged present.
 func AppendBatch(b []byte, m Batch) ([]byte, error) {
 	b = append(b, kindBatch)
 	var flags byte
+	if len(m.FEC) > 0 {
+		flags |= batchHasFEC
+	}
 	if m.Update != nil {
 		flags |= batchHasUpdate
 	}
@@ -177,7 +203,128 @@ func AppendBatch(b []byte, m Batch) ([]byte, error) {
 		b = binenc.AppendUvarint(b, uint64(GossipBodySize(g)))
 		b = appendGossipBody(b, g)
 	}
+	if len(m.FEC) > 0 {
+		b = appendFECSection(b, m.FEC)
+	}
 	return appendBatchTail(b, m), nil
+}
+
+// appendFECSection appends the repair-symbol section: a generation count,
+// then per generation its header (sequence number, code shape, symbol
+// length, the source event IDs with their routing metadata in symbol
+// order) and the repair symbols present in this envelope.
+func appendFECSection(b []byte, gens []fec.Generation) []byte {
+	b = binenc.AppendUvarint(b, uint64(len(gens)))
+	for _, g := range gens {
+		b = binenc.AppendUvarint(b, g.Gen)
+		b = binenc.AppendUvarint(b, uint64(g.K))
+		b = binenc.AppendUvarint(b, uint64(g.R))
+		b = binenc.AppendUvarint(b, uint64(g.SymLen))
+		for i, id := range g.IDs {
+			b = event.AppendID(b, id)
+			m := g.Meta[i]
+			b = binenc.AppendUvarint(b, uint64(m.Depth))
+			b = binenc.AppendFloat(b, m.Rate)
+			b = binenc.AppendUvarint(b, uint64(m.Round))
+		}
+		b = binenc.AppendUvarint(b, uint64(len(g.Repairs)))
+		for _, rs := range g.Repairs {
+			b = binenc.AppendUvarint(b, uint64(rs.Index))
+			b = append(b, rs.Data...)
+		}
+	}
+	return b
+}
+
+// FECSectionSize returns the exact encoded size of the repair-symbol
+// section, computed without encoding — the size-walk counterpart of
+// appendFECSection used by batch sizing and MTU splitting.
+func FECSectionSize(gens []fec.Generation) int {
+	n := binenc.UvarintLen(uint64(len(gens)))
+	for _, g := range gens {
+		n += generationSize(g)
+	}
+	return n
+}
+
+// generationSize is the encoded size of one generation entry within the
+// FEC section.
+func generationSize(g fec.Generation) int {
+	n := binenc.UvarintLen(g.Gen) +
+		binenc.UvarintLen(uint64(g.K)) +
+		binenc.UvarintLen(uint64(g.R)) +
+		binenc.UvarintLen(uint64(g.SymLen)) +
+		binenc.UvarintLen(uint64(len(g.Repairs)))
+	for i, id := range g.IDs {
+		m := g.Meta[i]
+		n += event.IDWireSize(id) +
+			binenc.UvarintLen(uint64(m.Depth)) +
+			8 + // rate, IEEE 754 double
+			binenc.UvarintLen(uint64(m.Round))
+	}
+	for _, rs := range g.Repairs {
+		n += binenc.UvarintLen(uint64(rs.Index)) + len(rs.Data)
+	}
+	return n
+}
+
+// readFECSection reads the repair-symbol section. Counts and lengths are
+// validated against the remaining frame before any allocation, and symbol
+// payloads are copied out of the decoder's scratch buffer.
+func readFECSection(r *binenc.Reader) ([]fec.Generation, error) {
+	count := r.Count(6)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	gens := make([]fec.Generation, 0, count)
+	for i := 0; i < count; i++ {
+		g := fec.Generation{Gen: r.Uvarint()}
+		k := r.Uvarint()
+		rr := r.Uvarint()
+		symLen := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if k < 1 || rr < 1 || k+rr > fec.MaxSymbols {
+			return nil, fmt.Errorf("%w: FEC generation shape k=%d r=%d", ErrBadPayload, k, rr)
+		}
+		g.K, g.R, g.SymLen = int(k), int(rr), int(symLen)
+		g.IDs = make([]event.ID, g.K)
+		g.Meta = make([]fec.Meta, g.K)
+		for j := range g.IDs {
+			g.IDs[j] = event.ReadID(r)
+			g.Meta[j] = fec.Meta{
+				Depth: int(r.Uvarint()),
+				Rate:  r.Float(),
+				Round: int(r.Uvarint()),
+			}
+		}
+		reps := r.Count(1)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if reps > int(rr) {
+			return nil, fmt.Errorf("%w: %d repairs for an r=%d generation", ErrBadPayload, reps, rr)
+		}
+		g.Repairs = make([]fec.RepairSymbol, 0, reps)
+		var seen [fec.MaxSymbols]bool
+		for j := 0; j < reps; j++ {
+			idx := r.Uvarint()
+			if r.Err() == nil && (idx >= rr || seen[idx]) {
+				return nil, fmt.Errorf("%w: FEC repair index %d out of range or repeated", ErrBadPayload, idx)
+			}
+			if r.Err() == nil && uint64(r.Len()) < symLen {
+				return nil, fmt.Errorf("%w: FEC symbol overruns frame", ErrBadPayload)
+			}
+			seen[idx] = true
+			g.Repairs = append(g.Repairs, fec.RepairSymbol{Index: int(idx), Data: r.Raw(int(symLen))})
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		gens = append(gens, g)
+	}
+	return gens, nil
 }
 
 // appendBatchTail appends the piggybacked membership bodies in flag order —
@@ -219,6 +366,9 @@ func EncodedSize(msg any) int {
 			s := GossipBodySize(g)
 			n += binenc.UvarintLen(uint64(s)) + s
 		}
+		if len(m.FEC) > 0 {
+			n += FECSectionSize(m.FEC)
+		}
 		if m.Update != nil || m.Digest != nil || m.Heartbeat != nil {
 			p := GetBuffer()
 			b := appendBatchTail(*p, m)
@@ -242,9 +392,31 @@ func EncodedSize(msg any) int {
 // SplitBatch partitions a batch into sub-batches whose encoded frames each
 // fit within limit bytes — the datagram MTU seam of the UDP fabric. The
 // piggybacked membership payloads ride the first sub-batch; gossips fill
-// greedily. A batch whose single gossip (or whose piggybacked payloads
-// alone) cannot fit returns ErrOversized.
+// greedily; repair symbols then pack into whatever room the chunks have
+// left, spilling into trailing chunks of their own (a generation's header
+// repeats in every chunk that carries one of its symbols, and receivers
+// key partial generations by sequence number, so the split is invisible to
+// reassembly). A batch whose single gossip, single repair symbol, or
+// piggybacked payloads alone cannot fit returns ErrOversized.
 func SplitBatch(m Batch, limit int) ([]Batch, error) {
+	if s := EncodedSize(m); s <= limit {
+		return []Batch{m}, nil
+	}
+	base := m
+	base.FEC = nil
+	out, err := splitUncoded(base, limit)
+	if err != nil {
+		return nil, err
+	}
+	return packRepairs(out, m.FEC, limit)
+}
+
+// splitUncoded splits the gossip sections and membership tail (the
+// pre-coding batch format) across chunks.
+func splitUncoded(m Batch, limit int) ([]Batch, error) {
+	if m.Parts() == 0 {
+		return nil, nil
+	}
 	if s := EncodedSize(m); s <= limit {
 		return []Batch{m}, nil
 	}
@@ -298,6 +470,72 @@ func SplitBatch(m Batch, limit int) ([]Batch, error) {
 	}
 	if cur.Parts() > 0 {
 		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// fecContribution is the FEC section's share of a chunk's encoded size:
+// zero when absent (the flag bit is clear and no section is framed).
+func fecContribution(gens []fec.Generation) int {
+	if len(gens) == 0 {
+		return 0
+	}
+	return FECSectionSize(gens)
+}
+
+// addRepair returns gens with one repair symbol added, opening a fresh
+// per-chunk generation entry (header copied from g, repairs of its own) on
+// first sight so chunks never alias the original batch's symbol slices.
+func addRepair(gens []fec.Generation, g fec.Generation, rs fec.RepairSymbol) []fec.Generation {
+	for i := range gens {
+		if gens[i].Gen == g.Gen {
+			gens[i].Repairs = append(gens[i].Repairs, rs)
+			return gens
+		}
+	}
+	return append(gens, fec.Generation{
+		Gen: g.Gen, K: g.K, R: g.R, SymLen: g.SymLen, IDs: g.IDs, Meta: g.Meta,
+		Repairs: []fec.RepairSymbol{rs},
+	})
+}
+
+// packRepairs distributes every repair symbol across the already-split
+// chunks, first-fit in chunk order, growing trailing chunks when nothing
+// has room. Chunk sizes are tracked exactly via the same size walk the
+// encoder uses, so no chunk can exceed the limit by even one byte.
+func packRepairs(out []Batch, gens []fec.Generation, limit int) ([]Batch, error) {
+	if len(gens) == 0 {
+		return out, nil
+	}
+	sizes := make([]int, len(out))
+	for i, c := range out {
+		sizes[i] = EncodedSize(c)
+	}
+	for _, g := range gens {
+		for _, rs := range g.Repairs {
+			placed := false
+			for c := range out {
+				cand := addRepair(append([]fec.Generation(nil), out[c].FEC...), g, rs)
+				newSize := sizes[c] - fecContribution(out[c].FEC) + fecContribution(cand)
+				if newSize <= limit {
+					out[c].FEC = cand
+					sizes[c] = newSize
+					placed = true
+					break
+				}
+			}
+			if placed {
+				continue
+			}
+			nb := Batch{FEC: addRepair(nil, g, rs)}
+			ns := EncodedSize(nb)
+			if ns > limit {
+				return nil, fmt.Errorf("%w: repair symbol needs %d bytes against a %d-byte limit",
+					ErrOversized, ns, limit)
+			}
+			out = append(out, nb)
+			sizes = append(sizes, ns)
+		}
 	}
 	return out, nil
 }
@@ -399,6 +637,13 @@ func readBatchBody(r *binenc.Reader) (Batch, error) {
 		}
 		b.Gossips = append(b.Gossips, g)
 	}
+	if flags&batchHasFEC != 0 {
+		gens, err := readFECSection(r)
+		if err != nil {
+			return Batch{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		b.FEC = gens
+	}
 	if flags&batchHasUpdate != 0 {
 		u := readUpdateBody(r)
 		b.Update = &u
@@ -419,6 +664,28 @@ func appendGossipBody(b []byte, g core.Gossip) []byte {
 	b = binenc.AppendUvarint(b, uint64(g.Depth))
 	b = binenc.AppendFloat(b, g.Rate)
 	return binenc.AppendUvarint(b, uint64(g.Round))
+}
+
+// AppendEventBody appends one event's canonical bytes without frame kind
+// or length prefix — the symbol payload of the coding layer, which codes
+// events exactly as gossip sections carry them. Event bytes are invariant
+// across retransmissions (the per-round gossip metadata rides the
+// generation header instead), which is what lets a repair emitted rounds
+// later still match the copies a receiver cached.
+func AppendEventBody(b []byte, ev event.Event) []byte {
+	return event.AppendEvent(b, ev)
+}
+
+// DecodeEventBody decodes one bare event body as written by
+// AppendEventBody — the inverse the coding layer applies to recovered
+// symbols. The whole slice must be consumed.
+func DecodeEventBody(data []byte) (event.Event, error) {
+	r := binenc.NewReader(data)
+	ev := event.ReadEvent(r)
+	if err := finish(r); err != nil {
+		return event.Event{}, err
+	}
+	return ev, nil
 }
 
 func readGossipBody(r *binenc.Reader) core.Gossip {

@@ -24,9 +24,24 @@ func WithSpace(s Space) NodeOption {
 	return func(c *NodeConfig) { c.Space = s }
 }
 
-// WithRedundancy sets the redundancy factor R (delegates per subgroup).
-func WithRedundancy(r int) NodeOption {
+// WithGroupRedundancy sets the paper's redundancy factor R (delegates per
+// subgroup).
+func WithGroupRedundancy(r int) NodeOption {
 	return func(c *NodeConfig) { c.R = r }
+}
+
+// WithRedundancy enables the erasure-coding layer: each gossip round's
+// outgoing events are grouped into generations of k source symbols, and r
+// repair symbols per generation ride the batch envelopes toward the same
+// destination subtree. Any k of the k+r symbols reconstruct the
+// generation, so a receiver recovers events whose every wire copy was
+// lost. r = 0 disables coding entirely — the wire format, fault draws and
+// seeded traces are byte-identical to a build without this option.
+func WithRedundancy(k, r int) NodeOption {
+	return func(c *NodeConfig) {
+		c.FECSources = k
+		c.FECRepairs = r
+	}
 }
 
 // WithFanout sets the gossip fanout F.

@@ -23,7 +23,7 @@
 //	n, _ := pmcast.NewNode(net,
 //		pmcast.WithAddr(pmcast.MustParseAddress("0.1")),
 //		pmcast.WithSpace(space),
-//		pmcast.WithRedundancy(2),
+//		pmcast.WithGroupRedundancy(2),
 //		pmcast.WithFanout(3),
 //		pmcast.WithSubscription(pmcast.Where("price", pmcast.Gt(100))),
 //	)
@@ -234,7 +234,7 @@ type (
 //
 //	n, err := pmcast.NewNode(tr,
 //		pmcast.WithAddr(a), pmcast.WithSpace(space),
-//		pmcast.WithRedundancy(2), pmcast.WithFanout(3),
+//		pmcast.WithGroupRedundancy(2), pmcast.WithFanout(3),
 //		pmcast.WithSubscription(sub),
 //	)
 func NewNode(tr Transport, opts ...NodeOption) (*Node, error) {

@@ -25,7 +25,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		n, err := pmcast.NewNode(net,
 			pmcast.WithAddr(pmcast.MustParseAddress(key)),
 			pmcast.WithSpace(space),
-			pmcast.WithRedundancy(2),
+			pmcast.WithGroupRedundancy(2),
 			pmcast.WithFanout(3),
 			pmcast.WithPittelC(2),
 			pmcast.WithSubscription(sub),
@@ -124,7 +124,7 @@ func TestFacadeUDPEndToEnd(t *testing.T) {
 		n, err := pmcast.NewNode(tr,
 			pmcast.WithAddr(pmcast.MustParseAddress(key)),
 			pmcast.WithSpace(space),
-			pmcast.WithRedundancy(2),
+			pmcast.WithGroupRedundancy(2),
 			pmcast.WithFanout(3),
 			pmcast.WithPittelC(2),
 			pmcast.WithSubscription(sub),
@@ -232,5 +232,77 @@ func TestFacadeSubscriptionLanguage(t *testing.T) {
 	sum := pmcast.Summarize(sub, pmcast.Where("z", pmcast.Le(5)))
 	if !sum.Matches(ev) {
 		t.Error("summary should cover contributing subscription")
+	}
+}
+
+// TestFacadeCodedCluster exercises WithRedundancy through the public API
+// only: a small coded cluster delivers everything, and the publisher's
+// FEC stats show repair symbols actually left on the wire.
+func TestFacadeCodedCluster(t *testing.T) {
+	net := pmcast.NewNetwork(pmcast.NetworkConfig{})
+	space := pmcast.MustRegularSpace(3, 2)
+	sub := pmcast.Where("b", pmcast.EqInt(1))
+	nodes := make([]*pmcast.Node, 6)
+	for i := range nodes {
+		n, err := pmcast.NewNode(net,
+			pmcast.WithAddr(space.AddressAt(i)),
+			pmcast.WithSpace(space),
+			pmcast.WithGroupRedundancy(2),
+			pmcast.WithFanout(3),
+			pmcast.WithPittelC(2),
+			pmcast.WithSubscription(sub),
+			pmcast.WithGossipInterval(4*time.Millisecond),
+			pmcast.WithMembershipInterval(6*time.Millisecond),
+			pmcast.WithRedundancy(4, 1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	for _, n := range nodes[1:] {
+		if err := n.Join(nodes[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, n := range nodes {
+			if n.KnownMembers() != len(nodes) {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	const events = 4
+	for i := 0; i < events; i++ {
+		if _, err := nodes[0].Publish(map[string]pmcast.Value{"b": pmcast.Int(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes[1:] {
+		got := 0
+		for got < events {
+			select {
+			case <-n.Deliveries():
+				got++
+			case <-time.After(5 * time.Second):
+				t.Fatalf("node %s delivered %d of %d", n.Addr(), got, events)
+			}
+		}
+	}
+	if st := nodes[0].FECStats(); st.RepairBytes == 0 {
+		t.Errorf("publisher sent no repair bytes: %+v", st)
 	}
 }
