@@ -388,7 +388,7 @@ func BenchmarkEnginePublishStream(b *testing.B) {
 				perPub     = 40
 			)
 			space := addr.MustRegular(6, 2)
-			net := transport.NewNetwork(transport.Config{QueueLen: 16384})
+			net := transport.MustNetwork(transport.Config{QueueLen: 16384})
 			defer net.Close()
 			sub := interest.NewSubscription() // match-all: full fan-out per event
 			recs := make([]membership.Record, fleetN)

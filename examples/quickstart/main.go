@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	net := pmcast.NewNetwork(pmcast.NetworkConfig{})
+	net := pmcast.MustNetwork(pmcast.NetworkConfig{})
 	space := pmcast.MustRegularSpace(2, 2) // addresses x.y with x,y ∈ {0,1}
 
 	specs := []struct {

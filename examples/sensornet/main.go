@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	net := pmcast.NewNetwork(pmcast.NetworkConfig{Loss: 0.05, Seed: 3})
+	net := pmcast.MustNetwork(pmcast.NetworkConfig{Loss: 0.05, Seed: 3})
 	space := pmcast.MustRegularSpace(3, 3) // building.floor.room
 
 	mkNode := func(a string, sub pmcast.Subscription) *pmcast.Node {

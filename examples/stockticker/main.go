@@ -24,7 +24,7 @@ const (
 var symbols = []string{"ACME", "GLOBEX", "INITECH"}
 
 func main() {
-	net := pmcast.NewNetwork(pmcast.NetworkConfig{})
+	net := pmcast.MustNetwork(pmcast.NetworkConfig{})
 	space := pmcast.MustRegularSpace(groupArity, treeDepth)
 	rng := rand.New(rand.NewSource(7))
 

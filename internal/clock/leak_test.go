@@ -27,7 +27,7 @@ func TestNodeStopLeavesNoPendingVirtualEvents(t *testing.T) {
 		t.Fatalf("fresh clock has %d pending events", vc.Pending())
 	}
 	baseline := runtime.NumGoroutine()
-	fab := transport.NewNetwork(transport.Config{
+	fab := transport.MustNetwork(transport.Config{
 		Clock:    vc,
 		MinDelay: time.Millisecond,
 		MaxDelay: 5 * time.Millisecond,
@@ -92,7 +92,7 @@ func TestNodeStopLeavesNoPendingVirtualEvents(t *testing.T) {
 // fabric must cancel every one of them.
 func TestNetworkCloseCancelsDelayedDeliveries(t *testing.T) {
 	vc := clock.NewVirtual()
-	fab := transport.NewNetwork(transport.Config{
+	fab := transport.MustNetwork(transport.Config{
 		Clock:    vc,
 		MinDelay: time.Millisecond,
 		MaxDelay: 2 * time.Millisecond,

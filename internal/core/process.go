@@ -87,6 +87,62 @@ type Config struct {
 	// Zero disables flooding. Flooded gossips carry an exhausted round
 	// counter so receivers do not re-flood.
 	LeafFloodRate float64
+	// AdaptiveFanout closes the Section 5.3 tuning loop over measured
+	// instead of assumed loss: per-depth round budgets substitute the view's
+	// mean measured loss for AssumedLoss when it is worse, and each gossip
+	// round adds extra susceptible targets — restoring the Eq. 11 effective
+	// fanout when the whole view measures lossy, or compensating individual
+	// lossy picks when only some links do (see gossipOnce). Off (the
+	// default), the process consumes exactly the RNG draws of the untuned
+	// algorithm, so seeded traces are unchanged.
+	AdaptiveFanout bool
+	// AdaptiveBoost caps the extra susceptible targets added per (event,
+	// round) when loss is measured (default 2).
+	AdaptiveBoost int
+	// AdaptiveLossThreshold is the measured per-peer loss at which a link
+	// counts as lossy for the fan-out boost (default 0.05: a link measured
+	// above 5% loss earns extra redundancy).
+	AdaptiveLossThreshold float64
+	// PeerLoss reports the measured loss estimate toward a peer; ok is
+	// false while the estimator has not seen enough traffic. Required for
+	// AdaptiveFanout to have any effect.
+	PeerLoss func(a addr.Address) (loss float64, ok bool)
+}
+
+// adaptiveOn reports whether the measured-loss tuning loop is active.
+func (c Config) adaptiveOn() bool { return c.AdaptiveFanout && c.PeerLoss != nil }
+
+func (c Config) adaptiveBoost() int {
+	if c.AdaptiveBoost > 0 {
+		return c.AdaptiveBoost
+	}
+	return 2
+}
+
+func (c Config) adaptiveLossThreshold() float64 {
+	if c.AdaptiveLossThreshold > 0 {
+		return c.AdaptiveLossThreshold
+	}
+	return 0.05
+}
+
+// AdaptiveStats counts what the measured-loss tuning loop actually did.
+type AdaptiveStats struct {
+	// Boosts is the number of (event, round) emissions that extended the
+	// target walk; ExtraTargets is the total extra susceptible targets
+	// added.
+	Boosts       int
+	ExtraTargets int
+	// BudgetDepths counts per-depth budget evaluations that used a measured
+	// loss above the assumed one.
+	BudgetDepths int
+}
+
+// Accumulate folds another snapshot into s (fleet-wide aggregation).
+func (s *AdaptiveStats) Accumulate(o AdaptiveStats) {
+	s.Boosts += o.Boosts
+	s.ExtraTargets += o.ExtraTargets
+	s.BudgetDepths += o.BudgetDepths
 }
 
 func (c Config) validate() error {
@@ -145,6 +201,7 @@ type Process struct {
 	// that lives k rounds pays for matching once, not k times.
 	caches     []depthCache
 	matchStats MatchStats
+	adaptive   AdaptiveStats
 
 	deliveries []event.Event
 	received   int // gossips accepted (first receptions)
@@ -275,6 +332,12 @@ func (p *Process) Tick(rng *rand.Rand) []Send {
 			continue
 		}
 		v := p.views[depth-1]
+		// One measured-loss evaluation per depth per round: every event at
+		// this depth shares the view, so it shares the budget's loss term.
+		loss := p.cfg.AssumedLoss
+		if v != nil && p.cfg.adaptiveOn() {
+			loss = p.measuredLossAt(v, loss)
+		}
 		for _, id := range sortedIDs(buf) {
 			e := buf[id]
 			if v == nil {
@@ -284,7 +347,7 @@ func (p *Process) Tick(rng *rand.Rand) []Send {
 			size := v.Size()
 			prof := p.profileAt(e.ev, depth)
 			effRate, tunedSus := p.effectiveRate(prof, e, size)
-			budget := p.roundBudget(size, effRate)
+			budget := p.roundBudget(size, effRate, loss)
 			if e.round >= budget {
 				p.demote(buf, id, e, depth)
 				continue
@@ -296,7 +359,7 @@ func (p *Process) Tick(rng *rand.Rand) []Send {
 				continue
 			}
 			e.round++
-			sends = p.gossipOnce(sends, v, prof, e, depth, size, tunedSus, rng)
+			sends = p.gossipOnce(sends, v, prof, e, depth, size, tunedSus, loss, rng)
 		}
 	}
 	return sends
@@ -362,17 +425,68 @@ func (p *Process) effectiveRate(prof *MatchProfile, e *entry, size int) (float64
 }
 
 // roundBudget evaluates Figure 3 line 7: T(size·rate, F·rate), loss-adjusted
-// per Eq. 11 with the configured conservative ε/τ assumptions.
-func (p *Process) roundBudget(size int, rate float64) int {
+// per Eq. 11. loss is AssumedLoss, or the view's measured loss when the
+// adaptive loop found it worse (Tick computes it once per depth).
+func (p *Process) roundBudget(size int, rate, loss float64) int {
 	return analysis.PittelLossAdjustedRounds(
 		float64(size)*rate, float64(p.cfg.F)*rate, p.cfg.C,
-		p.cfg.AssumedLoss, p.cfg.AssumedCrash)
+		loss, p.cfg.AssumedCrash)
+}
+
+// measuredLossCap bounds the loss fed into round budgets: estimates near 1
+// (a peer behind a fresh partition reads as 100% loss) would blow the
+// Eq. 11 adjustment toward unbounded round counts.
+const measuredLossCap = 0.8
+
+// measuredLossAt averages the measured loss across the view's peers with
+// live estimates. The result only ever lengthens budgets: it replaces
+// assumed when worse, never when better, so the adaptive loop degrades to
+// the configured ε exactly where measurement is silent or rosier.
+func (p *Process) measuredLossAt(v DepthView, assumed float64) float64 {
+	size := v.Size()
+	selfIdx := v.SelfIndex()
+	sum, cnt := 0.0, 0
+	for i := 0; i < size; i++ {
+		if i == selfIdx {
+			continue
+		}
+		if l, ok := p.cfg.PeerLoss(v.MemberAt(i)); ok {
+			sum += l
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return assumed
+	}
+	mean := sum / float64(cnt)
+	if mean > measuredLossCap {
+		mean = measuredLossCap
+	}
+	if mean <= assumed {
+		return assumed
+	}
+	p.adaptive.BudgetDepths++
+	return mean
 }
 
 // gossipOnce chooses F distinct destinations at random from the view
 // (excluding the process itself) and emits sends to the susceptible ones —
-// susceptibility answered by the event's cached profile.
-func (p *Process) gossipOnce(sends []Send, v DepthView, prof *MatchProfile, e *entry, depth, size int, tuned bool, rng *rand.Rand) []Send {
+// susceptibility answered by the event's cached profile. With the adaptive
+// loop on, the round extends the same Fisher–Yates walk by extra targets,
+// never beyond the view. Two gates decide how much of the boost to spend:
+// when the view's mean measured loss (viewLoss, the same per-depth figure
+// the round budget consumed) crosses the threshold, the whole view is
+// under-provisioned and the boost restores the Eq. 11 effective fanout;
+// otherwise one compensating draw is added per susceptible pick that sits
+// behind an individually lossy link — spend targeted where only some links
+// measure bad. The extension is susceptibility-aware: it keeps walking
+// until `extra` susceptible targets joined the prefix (or the view ran
+// out), because a draw that lands on an uninterested line emits nothing —
+// in sparse-audience views (a depth-1 event headed for one subtree) blind
+// extra draws would mostly be wasted exactly where a burst on a delegate
+// link can black out the whole subtree. With the loop off, the RNG
+// consumption is exactly the untuned algorithm's.
+func (p *Process) gossipOnce(sends []Send, v DepthView, prof *MatchProfile, e *entry, depth, size int, tuned bool, viewLoss float64, rng *rand.Rand) []Send {
 	selfIdx := v.SelfIndex()
 	pool := size
 	if selfIdx >= 0 {
@@ -385,12 +499,55 @@ func (p *Process) gossipOnce(sends []Send, v DepthView, prof *MatchProfile, e *e
 	if f > pool {
 		f = pool
 	}
-	for _, idx := range sampleIndices(rng, size, selfIdx, f) {
-		susceptible := prof.Bit(idx)
-		if tuned && !susceptible && idx < p.cfg.Threshold {
-			susceptible = true
+	idxs := viewScratch(size, selfIdx)
+	k := samplePrefix(rng, idxs, 0, f)
+	if p.cfg.adaptiveOn() && k < len(idxs) {
+		threshold := p.cfg.adaptiveLossThreshold()
+		extra := 0
+		if viewLoss >= threshold {
+			// Restore the effective fanout Eq. 11 discounts: F/(1−ε)
+			// targets keep F expected survivors, so the measured loss buys
+			// ceil(F·ε/(1−ε)) extra draws — one at the ~10% regimes, more
+			// only when the view measures substantially worse.
+			extra = int(math.Ceil(float64(f) * viewLoss / (1 - viewLoss)))
+			if extra < 1 {
+				extra = 1
+			}
+			if boost := p.cfg.adaptiveBoost(); extra > boost {
+				extra = boost
+			}
+		} else {
+			lossy := 0
+			for _, idx := range idxs[:k] {
+				if !p.susceptibleAt(prof, idx, tuned) {
+					continue
+				}
+				if l, ok := p.cfg.PeerLoss(v.MemberAt(idx)); ok && l >= threshold {
+					lossy++
+				}
+			}
+			extra = lossy
+			if boost := p.cfg.adaptiveBoost(); extra > boost {
+				extra = boost
+			}
 		}
-		if !susceptible {
+		if extra > 0 {
+			before := k
+			added := 0
+			for added < extra && k < len(idxs) {
+				k = samplePrefix(rng, idxs, k, 1)
+				if p.susceptibleAt(prof, idxs[k-1], tuned) {
+					added++
+				}
+			}
+			if k > before {
+				p.adaptive.Boosts++
+				p.adaptive.ExtraTargets += added
+			}
+		}
+	}
+	for _, idx := range idxs[:k] {
+		if !p.susceptibleAt(prof, idx, tuned) {
 			continue
 		}
 		p.sent++
@@ -405,6 +562,15 @@ func (p *Process) gossipOnce(sends []Send, v DepthView, prof *MatchProfile, e *e
 		})
 	}
 	return sends
+}
+
+// susceptibleAt answers one view slot's susceptibility: the cached profile
+// bit, widened by the Section 5.3 first-h rule when tuning is active.
+func (p *Process) susceptibleAt(prof *MatchProfile, idx int, tuned bool) bool {
+	if prof.Bit(idx) {
+		return true
+	}
+	return tuned && idx < p.cfg.Threshold
 }
 
 // floodLeaf sends the event once to every susceptible leaf neighbor (the
@@ -462,20 +628,35 @@ func sortedIDs(buf map[event.ID]*entry) []event.ID {
 // sampleIndices draws k distinct indices uniformly from [0, size) \ {excl}
 // via a partial Fisher–Yates over a scratch slice.
 func sampleIndices(rng *rand.Rand, size, excl, k int) []int {
+	idxs := viewScratch(size, excl)
+	return idxs[:samplePrefix(rng, idxs, 0, k)]
+}
+
+// viewScratch builds the candidate slice [0, size) \ {excl}.
+func viewScratch(size, excl int) []int {
 	idxs := make([]int, 0, size)
 	for i := 0; i < size; i++ {
 		if i != excl {
 			idxs = append(idxs, i)
 		}
 	}
-	if k > len(idxs) {
-		k = len(idxs)
+	return idxs
+}
+
+// samplePrefix extends the uniformly-sampled prefix of idxs from have to
+// have+k elements (clamped to the slice) by continuing the partial
+// Fisher–Yates walk, and returns the new prefix length. Continuing the same
+// walk is what lets the adaptive boost add draws without re-sampling — and
+// without consuming any RNG when it never runs.
+func samplePrefix(rng *rand.Rand, idxs []int, have, k int) int {
+	if k > len(idxs)-have {
+		k = len(idxs) - have
 	}
-	for i := 0; i < k; i++ {
+	for i := have; i < have+k; i++ {
 		j := i + rng.Intn(len(idxs)-i)
 		idxs[i], idxs[j] = idxs[j], idxs[i]
 	}
-	return idxs[:k]
+	return have + k
 }
 
 // AdoptState carries the gossip buffers, seen-set, pending deliveries and
@@ -502,6 +683,9 @@ func (p *Process) AdoptState(old *Process) {
 	p.deliveries = append(p.deliveries, old.deliveries...)
 	p.sent += old.sent
 	p.received += old.received
+	p.adaptive.Boosts += old.adaptive.Boosts
+	p.adaptive.ExtraTargets += old.adaptive.ExtraTargets
+	p.adaptive.BudgetDepths += old.adaptive.BudgetDepths
 }
 
 // Deliveries drains the events delivered (HPDELIVER) since the last call.
@@ -530,6 +714,9 @@ func (p *Process) Pending() int {
 // Stats reports protocol counters: messages emitted and first receptions.
 func (p *Process) Stats() (sent, received int) { return p.sent, p.received }
 
+// Adaptive reports what the measured-loss tuning loop did so far.
+func (p *Process) Adaptive() AdaptiveStats { return p.adaptive }
+
 // Forget drops an event from the seen-set (retention GC for long-running
 // nodes; the paper's passive garbage collection only bounds buffer rounds).
 func (p *Process) Forget(id event.ID) {
@@ -553,6 +740,7 @@ func (p *Process) Reset() {
 		p.caches[i] = depthCache{}
 	}
 	p.matchStats = MatchStats{}
+	p.adaptive = AdaptiveStats{}
 	clear(p.seen)
 	p.deliveries = nil
 	p.received = 0

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"testing"
+
+	"pmcast/internal/harness"
+	"pmcast/internal/transport"
+)
+
+// TestAdaptiveBeatsFixedUnderBurstyLoss pins the acceptance point of the
+// loss-aware tuning loop: on the bursty-link noisy64 campaign, the
+// adaptive fleet at base fan-out (f=3) matches-or-beats the raised fixed
+// baseline (f=5 — the fan-out the adaptation could reach) on mean
+// reliability while spending strictly fewer bytes per event, AND beats
+// the base fixed arm (f=3) on mean reliability — all averaged over four
+// seeds. The harness is deterministic, so this is a fixed-point
+// regression: any change to the estimator, the boost policy, or the
+// budget adaptation that erodes the win trips it.
+func TestAdaptiveBeatsFixedUnderBurstyLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed adaptive ablation is a long test")
+	}
+	cells, err := AdaptiveAblation(AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRel, _, baseBytes, baseN := MeanOverSeeds(cells, "fixed_f3")
+	raisedRel, _, raisedBytes, raisedN := MeanOverSeeds(cells, "fixed_f5")
+	adaptRel, adaptMin, adaptBytes, adaptN := MeanOverSeeds(cells, "adaptive_f3")
+	if baseN != 4 || raisedN != 4 || adaptN != 4 {
+		t.Fatalf("arm cell counts: base %d raised %d adaptive %d", baseN, raisedN, adaptN)
+	}
+	t.Logf("over %d seeds: fixed f=3 rel %.6f bytes %.1f | fixed f=5 rel %.6f bytes %.1f | adaptive f=3 rel %.6f min %.4f bytes %.1f",
+		adaptN, baseRel, baseBytes, raisedRel, raisedBytes, adaptRel, adaptMin, adaptBytes)
+	if adaptRel < raisedRel {
+		t.Errorf("adaptive mean reliability %.6f fell below raised fixed arm's %.6f", adaptRel, raisedRel)
+	}
+	if adaptBytes > raisedBytes {
+		t.Errorf("adaptive bytes/event %.1f exceeded raised fixed arm's %.1f", adaptBytes, raisedBytes)
+	}
+	if adaptRel <= baseRel {
+		t.Errorf("adaptive mean reliability %.6f no better than base fixed arm's %.6f — adaptation did nothing", adaptRel, baseRel)
+	}
+	// The win must come from the tuning loop actually firing, not from a
+	// scenario drift that flattened the arms.
+	for _, c := range cells {
+		switch {
+		case c.Adaptive && (c.AdaptiveBoosts == 0 || c.EstLossPeers == 0):
+			t.Errorf("adaptive cell seed %d shows no tuning activity: %+v", c.Seed, c)
+		case !c.Adaptive && (c.AdaptiveBoosts != 0 || c.EstLossPeers != 0):
+			t.Errorf("fixed cell %s seed %d shows tuning activity: %+v", c.Variant, c.Seed, c)
+		}
+	}
+}
+
+// TestAdaptiveCellShape checks one adaptive and one fixed cell populate
+// the cell fields consistently on a single quick seed.
+func TestAdaptiveCellShape(t *testing.T) {
+	base, err := harness.Lookup("noisy64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapt, err := AdaptiveCellAt(base, "adaptive_f3", 1, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := AdaptiveCellAt(base, "fixed_f3", 1, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapt.Variant != "adaptive_f3" || adapt.F != 3 || !adapt.Adaptive {
+		t.Fatalf("adaptive cell mislabeled: %+v", adapt)
+	}
+	if adapt.EstLossPeers == 0 || adapt.EstLossMean <= 0 {
+		t.Fatalf("adaptive cell measured nothing: %+v", adapt)
+	}
+	if adapt.AdaptiveBoosts == 0 || adapt.AdaptiveExtraTargets == 0 {
+		t.Fatalf("adaptive cell never boosted: %+v", adapt)
+	}
+	if fixed.Adaptive || fixed.AdaptiveBoosts != 0 || fixed.EstLossPeers != 0 {
+		t.Fatalf("fixed cell shows tuning activity: %+v", fixed)
+	}
+	if adapt.MeanReliability <= 0 || fixed.MeanReliability <= 0 {
+		t.Fatalf("reliability missing: adaptive %+v fixed %+v", adapt, fixed)
+	}
+	if adapt.BytesPerEvent <= 0 || fixed.BytesPerEvent <= 0 {
+		t.Fatalf("wire accounting missing: adaptive %+v fixed %+v", adapt, fixed)
+	}
+}
+
+// TestFrontierLinkedRepinsCodedWin re-runs the PR 6 frontier acceptance
+// cells under correlated loss: the coded fleet (f=6, k=8, r=2) against the
+// uncoded high-fan-out baseline (f=7) on Gilbert–Elliott chains whose
+// bursts average 10 messages — the regime where a whole generation's wire
+// copies can die in one burst. The coded arm must still match-or-beat the
+// baseline on reliability at no more bytes, averaged over four seeds, and
+// the chain's stationary rate must land in the cells' Loss field.
+func TestFrontierLinkedRepinsCodedWin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed linked frontier sweep is a long test")
+	}
+	base, err := harness.Lookup("frontier64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep bursts at a high stationary rate: 0.04/(0.04+0.10) ≈ 28.6%.
+	link := transport.LinkModel{BadLoss: 1, PGB: 0.04, PBG: 0.10}
+	var (
+		codedRel, codedBytes     float64
+		uncodedRel, uncodedBytes float64
+		recoveries               int64
+	)
+	const seeds = 4
+	for seed := int64(1); seed <= seeds; seed++ {
+		coded, err := FrontierPointLinked(base, seed, link, 6, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uncoded, err := FrontierPointLinked(base, seed, link, 7, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := link.PGB / (link.PGB + link.PBG)
+		if diff := coded.Loss - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("seed %d: linked cell Loss %.6f, want stationary %.6f", seed, coded.Loss, want)
+		}
+		codedRel += coded.MeanReliability
+		codedBytes += coded.BytesPerEvent
+		uncodedRel += uncoded.MeanReliability
+		uncodedBytes += uncoded.BytesPerEvent
+		recoveries += coded.FECRecoveries
+	}
+	codedRel /= seeds
+	codedBytes /= seeds
+	uncodedRel /= seeds
+	uncodedBytes /= seeds
+	t.Logf("GE bursts over %d seeds: coded f=6 k=8 r=2 rel %.6f bytes %.1f | uncoded f=7 rel %.6f bytes %.1f",
+		seeds, codedRel, codedBytes, uncodedRel, uncodedBytes)
+	if codedRel < uncodedRel {
+		t.Errorf("coded mean reliability %.6f fell below uncoded %.6f under bursty loss", codedRel, uncodedRel)
+	}
+	if codedBytes > uncodedBytes {
+		t.Errorf("coded bytes/event %.1f exceeded uncoded %.1f under bursty loss", codedBytes, uncodedBytes)
+	}
+	if recoveries == 0 {
+		t.Error("coded cells recorded zero FEC recoveries under bursty loss")
+	}
+}

@@ -12,14 +12,21 @@ import "testing"
 // naive walk produced, so seeded traces must not move. A hash moving here
 // means the protocol's observable behavior changed — intentional protocol
 // changes re-pin these constants and say why in the PR.
+//
+// smoke16 and lossy256 were re-pinned at PR 7: the fabric now draws ONE
+// delay per batch envelope (it drew one per sub-message part, an artifact
+// that let parts of one datagram arrive at different times), which shifts
+// RNG consumption on every delayed campaign. soak256 is delay-free, so its
+// hashes are untouched — direct evidence the link-model plumbing itself
+// changed nothing when disabled.
 var goldenTraces = map[string]map[int64]string{
 	"smoke16": {
-		1:  "12c9f07c5fc44b48962800f2539cdf2a32c683b0dcbcc77d392a7f5b3edd72da",
-		42: "5f22b868e2656fef85af50668af7863070cd621348dd44d348e8707bb09f9f0a",
+		1:  "f65fbbe6d35ef701b4a7ad7cbba509164d29bb4dee0d310d77005553d691a43b",
+		42: "5b428b454df1073d47cc2c31f5b7681c81401dcf536c87a3db5f537a3e4d8f88",
 	},
 	"lossy256": {
-		1:  "6a1edfcb1fc3998c213d6fb29f7229b9f0ad23932332826557f29d441d833de4",
-		42: "a44c2048f2095c4be57bb9fda50b36be79d2ae69403217f171623d42e740ce46",
+		1:  "d21ca69a501e7a059a7848c897cd0a86cdda91f87bee706c44a8d21010532e57",
+		42: "70382bc7e688c023bf6650319aceadfb0dcc544da986601e1ea26515942b7e15",
 	},
 	"soak256": {
 		1:  "454fd0ed637045edbf1ed4a8ce2ce6b83ca1c6ed7aec0354a8506db26d2ee6d4",

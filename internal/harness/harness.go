@@ -108,6 +108,24 @@ type Report struct {
 	FECExpired          int64   `json:"fec_expired"`
 	RoundsToDeliveryP99 float64 `json:"rounds_to_delivery_p99"`
 
+	// Adaptive-fanout accounting (the Section 5.3 tuning loop over measured
+	// loss; all zero when Fleet.AdaptiveFanout is off). AdaptiveBoosts counts
+	// (event, round) emissions that sampled extra targets, and
+	// AdaptiveExtraTargets the extra sends those boosts added;
+	// AdaptiveBudgetDepths counts per-depth round-budget evaluations that
+	// used a measured loss above the configured assumption. EstLossPeers and
+	// EstLossMean summarize the fleet's loss estimators at the end of the
+	// run: directed links with at least one measured window, and the mean
+	// estimate over them. LinkModel records whether the fabric ran the
+	// Gilbert–Elliott/jitter link model, so reports are self-describing.
+	Adaptive             bool    `json:"adaptive"`
+	AdaptiveBoosts       int     `json:"adaptive_boosts"`
+	AdaptiveExtraTargets int     `json:"adaptive_extra_targets"`
+	AdaptiveBudgetDepths int     `json:"adaptive_budget_depths"`
+	EstLossPeers         int     `json:"est_loss_peers"`
+	EstLossMean          float64 `json:"est_loss_mean"`
+	LinkModel            bool    `json:"link_model"`
+
 	// MeanReliability and MinReliability summarize, over published events,
 	// the fraction of eligible processes (interested, alive at publish time
 	// and still alive at the end) that delivered the event.
@@ -171,6 +189,7 @@ type run struct {
 	byteSum  int64
 	matchSum core.MatchStats
 	fecSum   node.FECStats
+	adaptSum core.AdaptiveStats
 
 	trace     bytes.Buffer
 	delivered map[string][]event.ID
@@ -216,14 +235,18 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	defer debug.SetMemoryLimit(prevLimit)
 	wallStart := time.Now()
 	vc := clock.NewVirtual()
-	fabric := transport.NewNetwork(transport.Config{
+	fabric, err := transport.NewNetwork(transport.Config{
 		Loss:     sc.Loss,
 		MinDelay: sc.MinDelay,
 		MaxDelay: sc.MaxDelay,
+		Link:     sc.Link,
 		QueueLen: sc.QueueLen,
 		Seed:     seed,
 		Clock:    vc,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: scenario %q: %w", sc.Name, err)
+	}
 	defer fabric.Close()
 
 	r := &run{
@@ -317,29 +340,33 @@ func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 		r.byteSum += bytes
 		r.matchSum.Accumulate(h.n.MatchStats())
 		r.fecSum.Accumulate(h.n.FECStats())
+		r.adaptSum.Accumulate(h.n.AdaptiveStats())
 	}
 	n, err := node.New(r.fabric, node.Config{
-		Addr:               a,
-		Space:              r.space,
-		R:                  r.sc.Fleet.R,
-		F:                  r.sc.Fleet.F,
-		C:                  r.sc.Fleet.C,
-		Threshold:          r.sc.Fleet.Threshold,
-		LocalDescent:       r.sc.Fleet.LocalDescent,
-		LeafFloodRate:      r.sc.Fleet.LeafFloodRate,
-		Subscription:       sub,
-		GossipInterval:     r.sc.Fleet.GossipInterval,
-		MembershipInterval: r.sc.Fleet.MembershipInterval,
-		MembershipFanout:   r.sc.Fleet.MembershipFanout,
-		SuspectAfter:       r.sc.Fleet.SuspectAfter,
-		SuspicionSweeps:    r.sc.Fleet.SuspicionSweeps,
-		DeliveryBuffer:     r.sc.Fleet.DeliveryBuffer,
-		NoBatch:            r.sc.Fleet.NoBatch,
-		MeasureWire:        r.sc.Fleet.MeasureWire,
-		FECRepairs:         r.sc.Fleet.FECRepairs,
-		FECSources:         r.sc.Fleet.FECSources,
-		Seed:               mixSeed(r.seed, i, h.gen),
-		Clock:              r.vc,
+		Addr:                  a,
+		Space:                 r.space,
+		R:                     r.sc.Fleet.R,
+		F:                     r.sc.Fleet.F,
+		C:                     r.sc.Fleet.C,
+		Threshold:             r.sc.Fleet.Threshold,
+		LocalDescent:          r.sc.Fleet.LocalDescent,
+		LeafFloodRate:         r.sc.Fleet.LeafFloodRate,
+		Subscription:          sub,
+		GossipInterval:        r.sc.Fleet.GossipInterval,
+		MembershipInterval:    r.sc.Fleet.MembershipInterval,
+		MembershipFanout:      r.sc.Fleet.MembershipFanout,
+		SuspectAfter:          r.sc.Fleet.SuspectAfter,
+		SuspicionSweeps:       r.sc.Fleet.SuspicionSweeps,
+		DeliveryBuffer:        r.sc.Fleet.DeliveryBuffer,
+		NoBatch:               r.sc.Fleet.NoBatch,
+		MeasureWire:           r.sc.Fleet.MeasureWire,
+		FECRepairs:            r.sc.Fleet.FECRepairs,
+		FECSources:            r.sc.Fleet.FECSources,
+		AdaptiveFanout:        r.sc.Fleet.AdaptiveFanout,
+		AdaptiveBoost:         r.sc.Fleet.AdaptiveBoost,
+		AdaptiveLossThreshold: r.sc.Fleet.AdaptiveLossThreshold,
+		Seed:                  mixSeed(r.seed, i, h.gen),
+		Clock:                 r.vc,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: spawning node %d (%s): %w", i, a, err)
@@ -702,6 +729,8 @@ func (r *run) finish(wallStart time.Time) {
 	r.report.WireBytes = r.byteSum
 	match := r.matchSum
 	fec := r.fecSum
+	adapt := r.adaptSum
+	var estSum float64
 	for _, h := range r.handles {
 		if h == nil || h.n == nil {
 			continue
@@ -711,6 +740,19 @@ func (r *run) finish(wallStart time.Time) {
 		r.report.WireBytes += wb
 		match.Accumulate(h.n.MatchStats())
 		fec.Accumulate(h.n.FECStats())
+		adapt.Accumulate(h.n.AdaptiveStats())
+		if est := h.n.LossEstimates(); est.MeasuredPeers > 0 {
+			r.report.EstLossPeers += est.MeasuredPeers
+			estSum += est.MeanLoss * float64(est.MeasuredPeers)
+		}
+	}
+	r.report.Adaptive = r.sc.Fleet.AdaptiveFanout
+	r.report.LinkModel = r.sc.Link.Enabled()
+	r.report.AdaptiveBoosts = adapt.Boosts
+	r.report.AdaptiveExtraTargets = adapt.ExtraTargets
+	r.report.AdaptiveBudgetDepths = adapt.BudgetDepths
+	if r.report.EstLossPeers > 0 {
+		r.report.EstLossMean = estSum / float64(r.report.EstLossPeers)
 	}
 	r.report.FECRepairBytes = fec.RepairBytes
 	r.report.FECRecoveries = fec.Recovered

@@ -9,6 +9,7 @@ import (
 	"pmcast/internal/addr"
 	"pmcast/internal/event"
 	"pmcast/internal/interest"
+	"pmcast/internal/transport"
 )
 
 // Scenarios returns the named scenario catalog — the test matrix the chaos
@@ -24,6 +25,9 @@ func Scenarios() map[string]Scenario {
 		"frontier64":  Frontier64(),
 		"soak256":     Soak256(),
 		"manyattr512": ManyAttr512(),
+		"noisy64":     Noisy64(),
+		"noisy256":    Noisy256(),
+		"bursty1024":  Bursty1024(),
 	}
 }
 
@@ -253,6 +257,74 @@ func Soak256() Scenario {
 	s.CrashAt(900*time.Millisecond, 16).
 		FluxAt(1200*time.Millisecond, 16).
 		RejoinAt(1700*time.Millisecond, 8)
+	return s
+}
+
+// Noisy64 is the quick bursty-link campaign and the base of the
+// adaptive-vs-fixed ablation (internal/experiments): Frontier64's sustained
+// stream, but the ambient Bernoulli loss replaced by per-link
+// Gilbert–Elliott chains — ~9% stationary loss arriving in bursts of mean
+// length 5, the regime where a uniform loss assumption under-budgets some
+// links and over-budgets others. Adaptation is off here; the ablation turns
+// it on (and raises fixed fan-out for the comparison arm) scenario-side.
+func Noisy64() Scenario {
+	s := Frontier64()
+	s.Name = "noisy64"
+	s.Loss = 0
+	s.Link = transport.LinkModel{
+		BadLoss: 1,
+		PGB:     0.02, // enter a burst every ~50 messages
+		PBG:     0.20, // mean burst length 5; stationary loss 0.02/0.22 ≈ 9.1%
+	}
+	// Frontier64's 200ms post-stream tail is tighter than the depth
+	// budgets' worst-case descent, so with it the campaign measures horizon
+	// truncation, not loss: every fan-out variant loses its last events'
+	// deep deliveries regardless of how robustly they gossip. The ablation
+	// needs reliability differences to be loss-driven, so give the tail
+	// enough rounds for any arm's full descent.
+	s.Horizon = 1900 * time.Millisecond
+	return s
+}
+
+// Noisy256 is the fleet-scale bursty-link campaign: 256 nodes whose links
+// run Gilbert–Elliott chains (~9% stationary loss in mean-length-5 bursts)
+// plus per-link latency jitter, with eight publishers streaming through a
+// mid-run crash wave. Adaptive fan-out is on: the report's reliability,
+// bytes/event and adaptive_* fields are the loss-aware tuning loop's
+// headline numbers under correlated loss.
+func Noisy256() Scenario {
+	s := Soak256()
+	s.Name = "noisy256"
+	s.Fleet.AdaptiveFanout = true
+	s.Loss = 0
+	s.Link = transport.LinkModel{
+		BadLoss:   1,
+		PGB:       0.02,
+		PBG:       0.20,
+		JitterMin: 200 * time.Microsecond,
+		JitterMax: 3 * time.Millisecond,
+	}
+	return s
+}
+
+// Bursty1024 is the scale campaign under correlated loss: Churn1024's fleet
+// and churn schedule, with the ambient 2% Bernoulli loss replaced by
+// deeper Gilbert–Elliott bursts (~9% stationary loss, mean burst length 10
+// — a link that goes bad stays bad for most of a gossip round's fan-out).
+// Adaptive fan-out is on and wire accounting measures what the adaptation
+// spends; jitter is left off so the campaign stays delay-free and fast at
+// 1024 nodes.
+func Bursty1024() Scenario {
+	s := Churn1024()
+	s.Name = "bursty1024"
+	s.Fleet.AdaptiveFanout = true
+	s.Fleet.MeasureWire = true
+	s.Loss = 0
+	s.Link = transport.LinkModel{
+		BadLoss: 1,
+		PGB:     0.01,
+		PBG:     0.10,
+	}
 	return s
 }
 

@@ -23,6 +23,7 @@ import (
 	"pmcast/internal/addr"
 	"pmcast/internal/event"
 	"pmcast/internal/interest"
+	"pmcast/internal/transport"
 )
 
 // Bootstrap selects how the initial fleet learns about itself.
@@ -82,6 +83,15 @@ type Fleet struct {
 	// pre-FEC wire path, so seeded traces are unchanged.
 	FECRepairs int
 	FECSources int
+	// AdaptiveFanout enables the loss-aware tuning loop fleet-wide
+	// (node.Config.AdaptiveFanout): every node runs the passive per-peer
+	// loss estimator and the gossip core widens round budgets and fan-out
+	// toward measured loss. AdaptiveBoost and AdaptiveLossThreshold tune it
+	// (0 = node defaults). Off keeps the estimator out of the build entirely
+	// — seeded traces are unchanged.
+	AdaptiveFanout        bool
+	AdaptiveBoost         int
+	AdaptiveLossThreshold float64
 	// Classes partitions interests: node i subscribes to attribute "b" ==
 	// i mod Classes unless SubscriptionFor overrides it, and published
 	// events carry one class value.
@@ -102,7 +112,11 @@ type Scenario struct {
 	// into its own virtual-time event.
 	Loss               float64
 	MinDelay, MaxDelay time.Duration
-	QueueLen           int
+	// Link configures the fabric's correlated fault model: per-link
+	// Gilbert–Elliott bursty loss plus latency jitter (transport.LinkModel).
+	// The zero value is disabled and leaves seeded traces untouched.
+	Link     transport.LinkModel
+	QueueLen int
 	// Horizon is the virtual duration of the campaign.
 	Horizon time.Duration
 	// Ops is the schedule, executed at their virtual offsets.

@@ -63,6 +63,12 @@ type Digest struct {
 	From    addr.Address
 	Hash    uint64
 	Count   int
+	// Sent is the loss-estimator beacon: the cumulative number of protocol
+	// sub-messages the sender has addressed to this digest's destination.
+	// The receiver compares it against what actually arrived to estimate
+	// the link's loss rate — piggybacked here because digests already flow
+	// on every link the estimator cares about. Zero when estimation is off.
+	Sent    uint32
 	Entries []DigestEntry
 }
 
@@ -96,6 +102,9 @@ type Leave struct {
 // the contact time; the heartbeat merely guarantees a bounded refresh rate.
 type Heartbeat struct {
 	From addr.Address
+	// Sent is the same cumulative loss-estimator beacon a Digest carries
+	// (Digest.Sent): heartbeats reach the subgroup peers digests may skip.
+	Sent uint32
 }
 
 // Config parameterizes the service.

@@ -44,7 +44,7 @@ func TestStopLifecycle(t *testing.T) {
 	}
 
 	t.Run("stop before start leaves the node inert", func(t *testing.T) {
-		n := mk(transport.NewNetwork(transport.Config{}))
+		n := mk(transport.MustNetwork(transport.Config{}))
 		n.Stop()
 		n.Start() // must not launch a runtime against the closed channels
 		if _, err := n.Publish(map[string]event.Value{"b": event.Int(1)}); err != ErrStopped {
@@ -57,7 +57,7 @@ func TestStopLifecycle(t *testing.T) {
 	})
 
 	t.Run("double stop after start", func(t *testing.T) {
-		n := mk(transport.NewNetwork(transport.Config{}))
+		n := mk(transport.MustNetwork(transport.Config{}))
 		n.Start()
 		n.Stop()
 		n.Stop()
@@ -67,7 +67,7 @@ func TestStopLifecycle(t *testing.T) {
 	})
 
 	t.Run("concurrent stops", func(t *testing.T) {
-		n := mk(transport.NewNetwork(transport.Config{}))
+		n := mk(transport.MustNetwork(transport.Config{}))
 		n.Start()
 		var wg sync.WaitGroup
 		for i := 0; i < 4; i++ {
@@ -81,7 +81,7 @@ func TestStopLifecycle(t *testing.T) {
 	})
 
 	t.Run("stop after the transport closed underneath", func(t *testing.T) {
-		net := transport.NewNetwork(transport.Config{})
+		net := transport.MustNetwork(transport.Config{})
 		n := mk(net)
 		n.Start()
 		net.Close() // every endpoint force-detached
@@ -89,7 +89,7 @@ func TestStopLifecycle(t *testing.T) {
 	})
 
 	t.Run("parallel engine winds down with its transport", func(t *testing.T) {
-		net := transport.NewNetwork(transport.Config{})
+		net := transport.MustNetwork(transport.Config{})
 		n, err := New(net, Config{
 			Addr: space.AddressAt(0), Space: space, R: 1, F: 1,
 			Subscription:  subEq(1),
@@ -114,7 +114,7 @@ func TestStopLifecycle(t *testing.T) {
 	})
 
 	t.Run("late step deliveries drop instead of panicking", func(t *testing.T) {
-		n := mk(transport.NewNetwork(transport.Config{})) // step mode: never started
+		n := mk(transport.MustNetwork(transport.Config{})) // step mode: never started
 		gossip := func(seq uint64) transport.Envelope {
 			ev := event.NewBuilder().Int("b", 1).Build(event.ID{Origin: "x", Seq: seq})
 			return transport.Envelope{
@@ -145,7 +145,7 @@ func TestStopLifecycle(t *testing.T) {
 // loose on purpose; the test's job is to put every engine stage under the
 // race detector (the CI race job runs the whole suite with -race).
 func TestEngineConcurrentPublishFluxStop(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{QueueLen: 4096})
+	net := transport.MustNetwork(transport.Config{QueueLen: 4096})
 	space := addr.MustRegular(3, 2)
 	const fleetN = 9
 	subFor := func(a addr.Address) interest.Subscription {

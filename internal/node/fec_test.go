@@ -25,7 +25,7 @@ func fecGossip(origin string, seq uint64) core.Gossip {
 // repair symbol must reconstruct it — the node delivers all events,
 // including the one that never arrived on the wire.
 func TestFECRecoversWithheldGossip(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{})
+	net := transport.MustNetwork(transport.Config{})
 	space := addr.MustRegular(3, 2)
 	n, err := New(net, Config{
 		Addr:         space.AddressAt(0),
@@ -118,7 +118,7 @@ func TestFECRecoversWithheldGossip(t *testing.T) {
 // batch once it ages out.
 func TestFECCodedRoundOnWire(t *testing.T) {
 	var batches []wire.Batch
-	net := transport.NewNetwork(transport.Config{
+	net := transport.MustNetwork(transport.Config{
 		Tap: func(from, to addr.Address, payload any) {
 			if b, ok := payload.(wire.Batch); ok {
 				batches = append(batches, b)
@@ -216,7 +216,7 @@ func TestFECCodedRoundOnWire(t *testing.T) {
 // delivery test with the coding layer on: a 25%-lossy fabric, a coded
 // fleet, and every interested node still delivers every event.
 func TestLossyNetworkCodedDelivers(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{Loss: 0.25, Seed: 5})
+	net := transport.MustNetwork(transport.Config{Loss: 0.25, Seed: 5})
 	space := addr.MustRegular(3, 2)
 	nodes := make([]*Node, 9)
 	for i := range nodes {

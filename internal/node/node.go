@@ -85,6 +85,19 @@ type Config struct {
 	LocalDescent bool
 	// LeafFloodRate enables the Section 6 leaf-flooding extension (0 = off).
 	LeafFloodRate float64
+	// AdaptiveFanout closes the Section 5.3 tuning loop over measured loss:
+	// the node runs a passive per-peer loss estimator (beacons piggybacked on
+	// the digests and heartbeats it already sends — see lossest.go) and feeds
+	// the estimates to the gossip core, which widens round budgets where a
+	// view's measured loss exceeds the configured assumption and samples
+	// extra fan-out targets toward lossy peers.
+	AdaptiveFanout bool
+	// AdaptiveBoost caps the extra gossip targets per (event, round) when
+	// adapting (default 2).
+	AdaptiveBoost int
+	// AdaptiveLossThreshold is the estimated per-peer loss at which a link
+	// counts as lossy for fan-out boosting (default 0.05).
+	AdaptiveLossThreshold float64
 	// DeliveryBuffer sizes the Deliveries channel (default 256). When the
 	// consumer lags, further deliveries are dropped and counted.
 	DeliveryBuffer int
@@ -228,6 +241,12 @@ type Node struct {
 	repairBytes   atomic.Int64            // encoded bytes of emitted repair sections
 	fecRecovered  atomic.Int64            // gossips reconstructed from repairs and accepted
 
+	// The loss estimator behind AdaptiveFanout (nil when disabled). It has
+	// its own lock: the protocol stage writes (stamping in emit, counting in
+	// handle), the core tuning loop reads on the same stage, and stats
+	// snapshots read from anywhere.
+	est *lossEstimator
+
 	// Engine plumbing (engine.go). protoCh and egressCh exist only when
 	// Start brings up a parallel configuration; egressOn routes emit through
 	// the egress stage and is set before the engine goroutines launch.
@@ -283,6 +302,9 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		deliveries: make(chan event.Event, cfg.DeliveryBuffer),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if cfg.AdaptiveFanout {
+		n.est = newLossEstimator()
 	}
 	if cfg.FECRepairs > 0 && !cfg.NoBatch {
 		if cfg.FECSources+cfg.FECRepairs > fec.MaxSymbols {
@@ -568,6 +590,9 @@ func (n *Node) handle(env transport.Envelope) {
 		return
 	}
 	n.mem.MarkHeard(env.From)
+	if n.est != nil {
+		n.observeIncoming(env.From, env.Payload)
+	}
 	switch msg := env.Payload.(type) {
 	case core.Gossip:
 		n.handleGossip(msg)
@@ -986,6 +1011,30 @@ func (n *Node) rebuildIfStaleLocked() error {
 	return nil
 }
 
+// coreConfig assembles the gossip-core configuration both rebuild paths
+// (rebuildLocked, AdoptViewsFrom) share, wiring the loss estimator into the
+// core's Section 5.3 tuning loop when adaptive fan-out is on.
+func (n *Node) coreConfig() core.Config {
+	cfg := core.Config{
+		D:             n.cfg.Space.Depth(),
+		F:             n.cfg.F,
+		C:             n.cfg.C,
+		Threshold:     n.cfg.Threshold,
+		LocalDescent:  n.cfg.LocalDescent,
+		LeafFloodRate: n.cfg.LeafFloodRate,
+	}
+	if n.est != nil {
+		est := n.est
+		cfg.AdaptiveFanout = true
+		cfg.AdaptiveBoost = n.cfg.AdaptiveBoost
+		cfg.AdaptiveLossThreshold = n.cfg.AdaptiveLossThreshold
+		cfg.PeerLoss = func(a addr.Address) (float64, bool) {
+			return est.Estimate(a.Key())
+		}
+	}
+	return cfg
+}
+
 // appliedRecord remembers the membership line last folded into the tree, so
 // rebuilds only touch what actually moved.
 type appliedRecord struct {
@@ -1063,14 +1112,7 @@ func (n *Node) rebuildLocked() error {
 		}
 	}
 	if changed || n.proc == nil {
-		proc, err := core.BuildProcess(n.tree, n.cfg.Addr, core.Config{
-			D:             n.cfg.Space.Depth(),
-			F:             n.cfg.F,
-			C:             n.cfg.C,
-			Threshold:     n.cfg.Threshold,
-			LocalDescent:  n.cfg.LocalDescent,
-			LeafFloodRate: n.cfg.LeafFloodRate,
-		})
+		proc, err := core.BuildProcess(n.tree, n.cfg.Addr, n.coreConfig())
 		if err != nil {
 			return fmt.Errorf("node: rebuilding process: %w", err)
 		}
@@ -1103,3 +1145,15 @@ func (n *Node) drainDeliveriesLocked() {
 
 // KnownMembers returns the current alive membership size as seen locally.
 func (n *Node) KnownMembers() int { return n.mem.Len() }
+
+// AdaptiveStats reports the gossip core's adaptation counters — fan-out
+// boosts taken, extra targets sampled, depths budgeted off measured loss.
+// Zero when AdaptiveFanout is off.
+func (n *Node) AdaptiveStats() core.AdaptiveStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.proc == nil {
+		return core.AdaptiveStats{}
+	}
+	return n.proc.Adaptive()
+}

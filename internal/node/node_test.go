@@ -84,7 +84,7 @@ func subEq(val int64) interest.Subscription {
 }
 
 func TestPublishReachesInterestedOnly(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{})
+	net := transport.MustNetwork(transport.Config{})
 	space := addr.MustRegular(3, 2)
 	// Members of subtree 0 and 1 want b=1; subtree 2 wants b=2.
 	subFor := func(a addr.Address) interest.Subscription {
@@ -129,7 +129,7 @@ func TestPublishReachesInterestedOnly(t *testing.T) {
 }
 
 func TestExactlyOnceDelivery(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{})
+	net := transport.MustNetwork(transport.Config{})
 	space := addr.MustRegular(3, 1)
 	nodes := cluster(t, net, space, gridAddrs(space, 3), func(addr.Address) interest.Subscription {
 		return subEq(7)
@@ -176,7 +176,7 @@ func TestExactlyOnceDelivery(t *testing.T) {
 }
 
 func TestSubscribeChangesRouting(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{})
+	net := transport.MustNetwork(transport.Config{})
 	space := addr.MustRegular(4, 1)
 	nodes := cluster(t, net, space, gridAddrs(space, 4), func(addr.Address) interest.Subscription {
 		return subEq(1)
@@ -203,7 +203,7 @@ func TestSubscribeChangesRouting(t *testing.T) {
 }
 
 func TestLeaveTombstonesAcrossCluster(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{})
+	net := transport.MustNetwork(transport.Config{})
 	space := addr.MustRegular(4, 1)
 	nodes := cluster(t, net, space, gridAddrs(space, 4), func(addr.Address) interest.Subscription {
 		return subEq(1)
@@ -217,7 +217,7 @@ func TestLeaveTombstonesAcrossCluster(t *testing.T) {
 }
 
 func TestFailureDetectionExpelsSilentNeighbor(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{})
+	net := transport.MustNetwork(transport.Config{})
 	space := addr.MustRegular(3, 1)
 	addrs := gridAddrs(space, 3)
 	nodes := make([]*Node, len(addrs))
@@ -260,7 +260,7 @@ func TestFailureDetectionExpelsSilentNeighbor(t *testing.T) {
 }
 
 func TestPublishAfterStop(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{})
+	net := transport.MustNetwork(transport.Config{})
 	space := addr.MustRegular(2, 1)
 	n, err := New(net, Config{
 		Addr: space.AddressAt(0), Space: space, R: 1, F: 1,
@@ -278,7 +278,7 @@ func TestPublishAfterStop(t *testing.T) {
 }
 
 func TestPartitionHealsAndMembershipReconverges(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{})
+	net := transport.MustNetwork(transport.Config{})
 	space := addr.MustRegular(4, 1)
 	nodes := cluster(t, net, space, gridAddrs(space, 4), func(addr.Address) interest.Subscription {
 		return subEq(1)
@@ -322,7 +322,7 @@ func TestPartitionHealsAndMembershipReconverges(t *testing.T) {
 }
 
 func TestLossyNetworkStillDelivers(t *testing.T) {
-	net := transport.NewNetwork(transport.Config{Loss: 0.2, Seed: 5})
+	net := transport.MustNetwork(transport.Config{Loss: 0.2, Seed: 5})
 	space := addr.MustRegular(3, 2)
 	nodes := cluster(t, net, space, gridAddrs(space, 9), func(addr.Address) interest.Subscription {
 		return subEq(1)

@@ -93,14 +93,7 @@ func (n *Node) AdoptViewsFrom(donor *Node) error {
 	n.tree = clone
 	n.applied = applied
 	n.treeVersion = n.mem.Version()
-	proc, err := core.BuildProcess(n.tree, n.cfg.Addr, core.Config{
-		D:             n.cfg.Space.Depth(),
-		F:             n.cfg.F,
-		C:             n.cfg.C,
-		Threshold:     n.cfg.Threshold,
-		LocalDescent:  n.cfg.LocalDescent,
-		LeafFloodRate: n.cfg.LeafFloodRate,
-	})
+	proc, err := core.BuildProcess(n.tree, n.cfg.Addr, n.coreConfig())
 	if err != nil {
 		return fmt.Errorf("node: rebuilding process: %w", err)
 	}

@@ -29,7 +29,7 @@ func testBatch(events int) wire.Batch {
 // envelope arrives as its constituent messages, as separate envelopes, in
 // the batch's canonical order.
 func TestBatchUnbatchesInTransit(t *testing.T) {
-	net := NewNetwork(Config{})
+	net := MustNetwork(Config{})
 	defer net.Close()
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))
@@ -62,7 +62,7 @@ func TestBatchUnbatchesInTransit(t *testing.T) {
 // traffic batched or not, on every fault path — partition, loss, and
 // unknown destination — so the soak A/B reports stay comparable.
 func TestBatchDropAccountingParity(t *testing.T) {
-	net := NewNetwork(Config{})
+	net := MustNetwork(Config{})
 	defer net.Close()
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))

@@ -20,23 +20,98 @@ import (
 	"pmcast/internal/wire"
 )
 
+// LinkModel layers a correlated fault model on top of the i.i.d. Loss knob:
+// a per-directed-link Gilbert–Elliott two-state Markov chain (bursty loss)
+// plus uniform latency jitter added to the MinDelay/MaxDelay base delay.
+//
+// The chain starts in the good state and takes one transition step per
+// sub-message crossing the link: good→bad with probability PGB, bad→good
+// with probability PBG. The message then drops with the current state's loss
+// probability (GoodLoss or BadLoss), independently of the ambient Loss draw.
+// The stationary loss rate is therefore
+//
+//	P(bad)·BadLoss + P(good)·GoodLoss, with P(bad) = PGB/(PGB+PBG)
+//
+// and loss bursts in the classic GoodLoss=0, BadLoss=1 configuration have
+// mean length 1/PBG messages. Chain state and all its draws live on the same
+// per-link streams as the base faults (repair symbols included, on their
+// separate "|fec" streams), so the common-random-numbers property holds: a
+// link's fault outcomes depend only on its own traffic.
+//
+// The zero value disables the model entirely — zero extra RNG draws, so
+// every seeded trace pinned before the model existed replays byte-identically.
+type LinkModel struct {
+	// GoodLoss and BadLoss are the drop probabilities while the chain is in
+	// the good and bad state. Both zero with PGB > 0 gives a pure
+	// jitter/no-extra-loss chain (legal but pointless).
+	GoodLoss, BadLoss float64
+	// PGB is the per-message good→bad transition probability; zero disables
+	// the chain (GoodLoss/BadLoss must then be zero too).
+	PGB float64
+	// PBG is the per-message bad→good transition probability; must be
+	// positive when PGB is, or the chain could never leave the bad state.
+	PBG float64
+	// JitterMin and JitterMax bound an extra uniform delay added to every
+	// delayed delivery on top of the Config.MinDelay/MaxDelay base draw.
+	// Both zero disables jitter.
+	JitterMin, JitterMax time.Duration
+}
+
+// Enabled reports whether any part of the model is active; the zero value
+// reports false and the fabric's fault-free fast path stays eligible.
+func (m LinkModel) Enabled() bool {
+	return m.PGB > 0 || m.JitterMin > 0 || m.JitterMax > 0
+}
+
+// validate rejects configurations that would silently misbehave.
+func (m LinkModel) validate() error {
+	for _, p := range [...]struct {
+		name string
+		v    float64
+	}{{"GoodLoss", m.GoodLoss}, {"BadLoss", m.BadLoss}, {"PGB", m.PGB}, {"PBG", m.PBG}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("transport: Link.%s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if m.PGB > 0 && m.PBG == 0 {
+		return fmt.Errorf("transport: Link.PBG must be > 0 when PGB > 0 (the chain could never leave the bad state)")
+	}
+	if m.PGB == 0 && (m.GoodLoss > 0 || m.BadLoss > 0) {
+		return fmt.Errorf("transport: Link.GoodLoss/BadLoss need PGB > 0 to ever apply")
+	}
+	if m.JitterMin < 0 || m.JitterMax < 0 {
+		return fmt.Errorf("transport: negative link jitter bound")
+	}
+	if m.JitterMin > m.JitterMax {
+		return fmt.Errorf("transport: Link.JitterMin %v exceeds JitterMax %v", m.JitterMin, m.JitterMax)
+	}
+	return nil
+}
+
 // Config tunes the in-memory network fabric.
 type Config struct {
-	// Loss is the probability a message is silently dropped in transit.
+	// Loss is the probability a message is silently dropped in transit
+	// (i.i.d. per sub-message; see Link for correlated loss).
 	Loss float64
 	// MinDelay and MaxDelay bound the uniform random delivery delay; both
-	// zero means synchronous hand-off on the sender's goroutine.
+	// zero means synchronous hand-off on the sender's goroutine. NewNetwork
+	// rejects MinDelay > MaxDelay; MinDelay == MaxDelay > 0 is a fixed delay.
 	MinDelay, MaxDelay time.Duration
+	// Link layers bursty (Gilbert–Elliott) loss and latency jitter on the
+	// link; the zero value disables it with zero extra RNG draws.
+	Link LinkModel
 	// QueueLen is each endpoint's inbox capacity (default 1024); overflow
 	// drops messages, mirroring UDP socket buffers.
 	QueueLen int
-	// Seed seeds the fault RNGs (0 uses a fixed default for
-	// reproducibility). Every directed link draws loss and delay from its
-	// own seed-derived stream — common random numbers, in simulation terms —
-	// so fault outcomes depend only on a link's own traffic, not on how
-	// traffic to other links is interleaved or enveloped. That is what
-	// makes a batched and an unbatched run of the same campaign
-	// fault-equivalent (see the harness equivalence test).
+	// Seed seeds the fault RNGs. Every directed link draws loss and delay
+	// from its own seed-derived stream — common random numbers, in
+	// simulation terms — so fault outcomes depend only on a link's own
+	// traffic, not on how traffic to other links is interleaved or
+	// enveloped. That is what makes a batched and an unbatched run of the
+	// same campaign fault-equivalent (see the harness equivalence test).
+	// Seed 0 selects its own dedicated stream constant, distinct from every
+	// explicit seed, so sweeps that iterate from 0 never duplicate a
+	// campaign.
 	Seed int64
 	// Tap, when set, observes every routed payload before fault injection —
 	// whole round envelopes included, exactly as a byte-oriented fabric
@@ -52,38 +127,54 @@ type Config struct {
 // Network is the shared in-memory fabric. Endpoints attach under their
 // address; sends route by address. All methods are safe for concurrent use.
 //
-// Batched round envelopes (wire.Batch) are modelled as their constituent
-// messages in transit: each sub-message draws loss and delay independently
-// from the link's fault stream and is delivered as its own envelope, exactly
-// as the same messages sent unbatched would be. Real batch-loss correlation
-// (a dropped datagram losing all its events) is a property of the UDP
-// fabric; the simulated fabric deliberately preserves per-message fault
-// semantics so batching stays a measurable, behavior-preserving aggregation.
+// Batched round envelopes (wire.Batch) are modelled as one datagram whose
+// constituent messages are unbatched in transit: each sub-message draws loss
+// independently from the link's fault stream (so batching stays a measurable,
+// behavior-preserving aggregation of the same messages sent unbatched), while
+// the batch draws a single delivery delay — its survivors land together, in
+// the batch's canonical order. Delayed deliveries additionally respect
+// per-link FIFO: a later send on the same directed link never lands before an
+// earlier delayed one.
 type Network struct {
 	clk clock.Clock
 
 	// mu is a reader/writer lock so the fault-free hot path — no loss, no
-	// delay, no tap, no partitions — routes under a shared read lock:
-	// concurrent engine fleets would otherwise serialize every send on one
-	// global mutex, capping multicore campaigns at single-core throughput.
-	// Anything that mutates fabric state (fault draws advance per-link RNG
-	// streams, timers register, knobs change) takes the write lock.
+	// delay, no link model, no tap, no partitions — routes under a shared
+	// read lock: concurrent engine fleets would otherwise serialize every
+	// send on one global mutex, capping multicore campaigns at single-core
+	// throughput. Anything that mutates fabric state (fault draws advance
+	// per-link RNG streams, timers register, knobs change) takes the write
+	// lock.
 	mu        sync.RWMutex
 	cfg       Config
+	seedMix   uint64                 // Seed as stream material; seed 0 gets its own constant
 	links     map[string]*linkStream // per directed link fault streams
 	endpoints map[string]*memEndpoint
 	blocked   map[string]bool // "from|to" directed block rules
-	timers    map[clock.Timer]struct{}
-	dropped   atomic.Int64
-	closed    bool
+	// lastDelayed tracks, per directed link, the latest scheduled delivery
+	// instant — the per-link FIFO floor for subsequent delayed deliveries.
+	lastDelayed map[string]time.Time
+	timers      map[clock.Timer]struct{}
+	dropped     atomic.Int64
+	closed      bool
 }
 
+// defaultSeedStream is the stream-selection constant for Config.Seed == 0.
+// It is mixed exactly where an explicit seed would be, chosen so no int64
+// seed a sweep is likely to use collides with the default's streams.
+const defaultSeedStream = 0x9e3779b97f4a7c15
+
 // linkStream is a tiny deterministic PRNG (splitmix64) dedicated to one
-// directed link's fault draws. A fleet crosses O(n·fanout) distinct links
-// and math/rand's 607-word lagged-Fibonacci seeding was a measurable slice
-// of fleet-scale campaigns; splitmix64 is one word of state, free to create,
-// and statistically more than good enough for loss and delay draws.
-type linkStream struct{ state uint64 }
+// directed link's fault draws, plus that link's Gilbert–Elliott chain state
+// (bad == false is the good state, the chain's start). A fleet crosses
+// O(n·fanout) distinct links and math/rand's 607-word lagged-Fibonacci
+// seeding was a measurable slice of fleet-scale campaigns; splitmix64 is one
+// word of state, free to create, and statistically more than good enough for
+// loss and delay draws.
+type linkStream struct {
+	state uint64
+	bad   bool
+}
 
 func (s *linkStream) next() uint64 {
 	s.state += 0x9e3779b97f4a7c15
@@ -103,26 +194,55 @@ func (s *linkStream) Int63n(n int64) int64 { return int64(s.next()>>1) % n }
 // Network implements the full fault-injection surface.
 var _ Fabric = (*Network)(nil)
 
-// NewNetwork builds a fabric with the given configuration.
-func NewNetwork(cfg Config) *Network {
+// NewNetwork builds a fabric with the given configuration. It rejects
+// configurations the fault paths would otherwise misread: inverted delay or
+// jitter bounds, probabilities outside [0, 1], and chain parameters that
+// could never apply (see LinkModel).
+func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 1024
 	}
+	if cfg.Loss < 0 || cfg.Loss > 1 {
+		return nil, fmt.Errorf("transport: Loss %v outside [0, 1]", cfg.Loss)
+	}
+	if cfg.MinDelay < 0 || cfg.MaxDelay < 0 {
+		return nil, fmt.Errorf("transport: negative delay bound")
+	}
+	if cfg.MinDelay > cfg.MaxDelay {
+		return nil, fmt.Errorf("transport: MinDelay %v exceeds MaxDelay %v", cfg.MinDelay, cfg.MaxDelay)
+	}
+	if err := cfg.Link.validate(); err != nil {
+		return nil, err
+	}
+	seedMix := uint64(cfg.Seed)
 	if cfg.Seed == 0 {
-		cfg.Seed = 1
+		seedMix = defaultSeedStream
 	}
 	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.Real{}
 	}
 	return &Network{
-		clk:       clk,
-		cfg:       cfg,
-		links:     make(map[string]*linkStream),
-		endpoints: make(map[string]*memEndpoint),
-		blocked:   make(map[string]bool),
-		timers:    make(map[clock.Timer]struct{}),
+		clk:         clk,
+		cfg:         cfg,
+		seedMix:     seedMix,
+		links:       make(map[string]*linkStream),
+		endpoints:   make(map[string]*memEndpoint),
+		blocked:     make(map[string]bool),
+		lastDelayed: make(map[string]time.Time),
+		timers:      make(map[clock.Timer]struct{}),
+	}, nil
+}
+
+// MustNetwork is NewNetwork for callers with static configurations — tests,
+// examples, benchmarks — where a config error is a programming bug. It
+// panics instead of returning the error.
+func MustNetwork(cfg Config) *Network {
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return n
 }
 
 // linkRNGLocked returns the directed link's fault stream, creating it
@@ -137,7 +257,7 @@ func (n *Network) linkRNGLocked(linkKey string) *linkStream {
 	for i := 0; i < len(linkKey); i++ {
 		h = (h ^ uint64(linkKey[i])) * 1099511628211
 	}
-	s := &linkStream{state: uint64(n.cfg.Seed) ^ h}
+	s := &linkStream{state: n.seedMix ^ h}
 	n.links[linkKey] = s
 	return s
 }
@@ -242,22 +362,26 @@ func (n *Network) Size() int {
 }
 
 // route delivers one envelope subject to faults. A wire.Batch payload is
-// unbatched in transit: each sub-message draws its own loss and delay from
-// the link's fault stream and arrives as its own envelope, in the batch's
-// canonical order — the same draws, in the same order, the same messages
-// sent unbatched would have made. Returns ErrUnknownAddr only for routing
-// errors the sender can act on — faults are silent, as on a real network.
+// unbatched in transit: each sub-message draws its own loss from the link's
+// fault stream, the batch draws one delivery delay, and survivors arrive as
+// their own envelopes in the batch's canonical order — the same loss draws,
+// in the same order, the same messages sent unbatched would have made.
+// Returns ErrUnknownAddr only for routing errors the sender can act on —
+// faults are silent, as on a real network.
 //
-// A fault-free fabric (no loss, no delay, no tap, no partition rules) routes
-// under the read lock: no fault draws means no per-link RNG state advances,
-// so concurrent senders stay independent and the path scales with cores.
+// A fault-free fabric (no loss, no delay, no jitter, no link model, no tap,
+// no partition rules) routes under the read lock: no fault draws means no
+// per-link RNG state advances, so concurrent senders stay independent and
+// the path scales with cores.
 func (n *Network) route(from, to addr.Address, payload any) error {
 	n.mu.RLock()
 	if n.closed {
 		n.mu.RUnlock()
 		return ErrClosed
 	}
-	if n.cfg.Tap == nil && n.cfg.Loss == 0 && n.cfg.MaxDelay == 0 && len(n.blocked) == 0 {
+	if n.cfg.Tap == nil && n.cfg.Loss == 0 &&
+		n.cfg.MaxDelay == 0 && n.cfg.MinDelay == 0 &&
+		!n.cfg.Link.Enabled() && len(n.blocked) == 0 {
 		dst, ok := n.endpoints[to.Key()]
 		n.mu.RUnlock()
 		if !ok {
@@ -284,6 +408,85 @@ func payloadParts(payload any) int {
 		return b.Parts()
 	}
 	return 1
+}
+
+// lostLocked draws one sub-message's fate from its link stream: the ambient
+// i.i.d. Loss draw composed with one Gilbert–Elliott chain step plus the
+// resulting state's loss draw. Disabled knobs consume no draws, which is the
+// replay contract: traces pinned before a knob existed stay byte-identical
+// while it is off.
+func (n *Network) lostLocked(rng *linkStream) bool {
+	lost := n.cfg.Loss > 0 && rng.Float64() < n.cfg.Loss
+	if lm := n.cfg.Link; lm.PGB > 0 {
+		if rng.bad {
+			if rng.Float64() < lm.PBG {
+				rng.bad = false
+			}
+		} else if rng.Float64() < lm.PGB {
+			rng.bad = true
+		}
+		p := lm.GoodLoss
+		if rng.bad {
+			p = lm.BadLoss
+		}
+		if p > 0 && rng.Float64() < p {
+			lost = true
+		}
+	}
+	return lost
+}
+
+// delayLocked draws one delivery delay: the uniform MinDelay/MaxDelay base
+// plus uniform link jitter. Each bound pair with span zero is a fixed offset
+// consuming no draw.
+func (n *Network) delayLocked(rng *linkStream) time.Duration {
+	var d time.Duration
+	if n.cfg.MaxDelay > 0 {
+		if span := n.cfg.MaxDelay - n.cfg.MinDelay; span > 0 {
+			d = n.cfg.MinDelay + time.Duration(rng.Int63n(int64(span)))
+		} else {
+			d = n.cfg.MinDelay
+		}
+	}
+	if lm := n.cfg.Link; lm.JitterMax > 0 {
+		if span := lm.JitterMax - lm.JitterMin; span > 0 {
+			d += lm.JitterMin + time.Duration(rng.Int63n(int64(span)))
+		} else {
+			d += lm.JitterMin
+		}
+	}
+	return d
+}
+
+// scheduleLocked registers one delayed delivery of envs (in order) on the
+// link, clamped to the per-link FIFO floor: it never lands before an earlier
+// delayed delivery on the same directed link. The timer is registered while
+// still holding mu: the callback also takes mu first, so it cannot observe
+// the map before the timer is tracked, and Close cancels anything still
+// registered. On a virtual clock the callback only runs when the harness
+// advances time — in strict (time, scheduling-order) order, which together
+// with the clamp is what makes the FIFO guarantee deterministic.
+func (n *Network) scheduleLocked(dst *memEndpoint, linkKey string, delay time.Duration, envs []Envelope) {
+	now := n.clk.Now()
+	at := now.Add(delay)
+	if last, ok := n.lastDelayed[linkKey]; ok && last.After(at) {
+		at = last
+		delay = at.Sub(now)
+	}
+	n.lastDelayed[linkKey] = at
+	var timer clock.Timer
+	timer = n.clk.AfterFunc(delay, func() {
+		n.mu.Lock()
+		_, live := n.timers[timer]
+		delete(n.timers, timer)
+		n.mu.Unlock()
+		if live {
+			for _, env := range envs {
+				n.deliver(dst, env)
+			}
+		}
+	})
+	n.timers[timer] = struct{}{}
 }
 
 // routeFaulty is the fault-injecting path, serialized under the write lock
@@ -319,77 +522,77 @@ func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
 	// sends, and giving them their own stream keeps the source messages'
 	// fault draws identical to the uncoded run's — the common-random-numbers
 	// property extended to the coding layer, so an r>0 campaign diverges from
-	// its r=0 twin only where the protocol actually diverges.
+	// its r=0 twin only where the protocol actually diverges. The same rule
+	// governs the batch delay draw below: it comes from the main stream
+	// exactly when a main-stream sub-message survived, so the main stream's
+	// consumption is a pure function of the link's non-repair traffic.
 	var fecRNG *linkStream
-	// part applies one sub-message's fault draws under mu. A zero-delay
-	// survivor is returned for delivery after the lock drops (deliver takes
-	// endpoint and drop-accounting locks of its own); delayed survivors are
-	// scheduled here.
-	part := func(sub any) (Envelope, bool) {
-		rng := rng
-		if _, isRepair := sub.(fec.Repair); isRepair {
-			if fecRNG == nil {
-				fecRNG = n.linkRNGLocked(linkKey + "|fec")
-			}
-			rng = fecRNG
+	fecStream := func() *linkStream {
+		if fecRNG == nil {
+			fecRNG = n.linkRNGLocked(linkKey + "|fec")
 		}
-		if n.cfg.Loss > 0 && rng.Float64() < n.cfg.Loss {
-			n.dropped.Add(1)
-			return Envelope{}, false // silent loss
-		}
-		var delay time.Duration
-		if n.cfg.MaxDelay > 0 {
-			span := n.cfg.MaxDelay - n.cfg.MinDelay
-			if span > 0 {
-				delay = n.cfg.MinDelay + time.Duration(rng.Int63n(int64(span)))
-			} else {
-				delay = n.cfg.MinDelay
-			}
-		}
-		env := Envelope{From: from, To: to, Payload: sub}
-		if delay == 0 {
-			return env, true
-		}
-		// Register the timer while still holding mu: the callback also takes
-		// mu first, so it cannot observe the map before the timer is tracked,
-		// and Close cancels anything still registered. On a virtual clock the
-		// callback only runs when the harness advances time, strictly after
-		// this function returns, so the same invariant holds without real
-		// goroutines.
-		var timer clock.Timer
-		timer = n.clk.AfterFunc(delay, func() {
-			n.mu.Lock()
-			_, live := n.timers[timer]
-			delete(n.timers, timer)
-			n.mu.Unlock()
-			if live {
-				n.deliver(dst, env)
-			}
-		})
-		n.timers[timer] = struct{}{}
-		return Envelope{}, false
+		return fecRNG
 	}
 	if b, isBatch := payload.(wire.Batch); isBatch {
-		// Sub-messages of one batch must land in order, so zero-delay
-		// survivors are collected and handed off together.
-		var inline []Envelope
+		// One datagram, one delay: per-sub-message loss draws decide the
+		// survivors, then the batch draws a single delay and the survivors
+		// land together in canonical order (per-message delays would let
+		// them land reordered — the invariant this path exists to keep).
+		var survivors []Envelope
+		mainSurvived := false
 		b.Each(func(sub any) {
-			if env, ok := part(sub); ok {
-				inline = append(inline, env)
+			s := rng
+			if _, isRepair := sub.(fec.Repair); isRepair {
+				s = fecStream()
 			}
+			if n.lostLocked(s) {
+				n.dropped.Add(1) // silent loss
+				return
+			}
+			if s == rng {
+				mainSurvived = true
+			}
+			survivors = append(survivors, Envelope{From: from, To: to, Payload: sub})
 		})
-		n.mu.Unlock()
-		for _, env := range inline {
-			n.deliver(dst, env)
+		if len(survivors) == 0 {
+			n.mu.Unlock()
+			return nil
 		}
+		delayStream := rng
+		if !mainSurvived {
+			delayStream = fecStream()
+		}
+		delay := n.delayLocked(delayStream)
+		if delay == 0 {
+			n.mu.Unlock()
+			for _, env := range survivors {
+				n.deliver(dst, env)
+			}
+			return nil
+		}
+		n.scheduleLocked(dst, linkKey, delay, survivors)
+		n.mu.Unlock()
 		return nil
 	}
 	// Bare payload: the common zero-delay case stays allocation-free.
-	env, ok := part(payload)
-	n.mu.Unlock()
-	if ok {
-		n.deliver(dst, env)
+	s := rng
+	if _, isRepair := payload.(fec.Repair); isRepair {
+		s = fecStream()
 	}
+	if n.lostLocked(s) {
+		n.dropped.Add(1) // silent loss
+		n.mu.Unlock()
+		return nil
+	}
+	env := Envelope{From: from, To: to, Payload: payload}
+	delay := n.delayLocked(s)
+	if delay == 0 {
+		n.mu.Unlock()
+		n.deliver(dst, env)
+		return nil
+	}
+	n.scheduleLocked(dst, linkKey, delay, []Envelope{env})
+	n.mu.Unlock()
 	return nil
 }
 

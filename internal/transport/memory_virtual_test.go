@@ -15,7 +15,7 @@ func virtualPair(t *testing.T, cfg Config) (*clock.Virtual, *Network, Endpoint, 
 	t.Helper()
 	vc := clock.NewVirtual()
 	cfg.Clock = vc
-	net := NewNetwork(cfg)
+	net := MustNetwork(cfg)
 	t.Cleanup(func() { net.Close() })
 	a, err := net.Attach(addr.New(0))
 	if err != nil {

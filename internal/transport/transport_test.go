@@ -9,7 +9,7 @@ import (
 )
 
 func TestAttachSendRecv(t *testing.T) {
-	net := NewNetwork(Config{})
+	net := MustNetwork(Config{})
 	a, err := net.Attach(addr.New(1, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +35,7 @@ func TestAttachSendRecv(t *testing.T) {
 }
 
 func TestDuplicateAttach(t *testing.T) {
-	net := NewNetwork(Config{})
+	net := MustNetwork(Config{})
 	if _, err := net.Attach(addr.New(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestDuplicateAttach(t *testing.T) {
 }
 
 func TestUnknownDestination(t *testing.T) {
-	net := NewNetwork(Config{})
+	net := MustNetwork(Config{})
 	a, _ := net.Attach(addr.New(1))
 	if err := a.Send(addr.New(9), "x"); !errors.Is(err, ErrUnknownAddr) {
 		t.Errorf("err = %v", err)
@@ -56,7 +56,7 @@ func TestUnknownDestination(t *testing.T) {
 }
 
 func TestLossDropsSilently(t *testing.T) {
-	net := NewNetwork(Config{Loss: 1.0})
+	net := MustNetwork(Config{Loss: 1.0})
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))
 	for i := 0; i < 10; i++ {
@@ -85,7 +85,7 @@ func TestLossDropsSilently(t *testing.T) {
 }
 
 func TestPartitionAndHeal(t *testing.T) {
-	net := NewNetwork(Config{})
+	net := MustNetwork(Config{})
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))
 	net.BlockBidirectional(a.Addr(), b.Addr())
@@ -114,7 +114,7 @@ func TestPartitionAndHeal(t *testing.T) {
 }
 
 func TestDelayedDelivery(t *testing.T) {
-	net := NewNetwork(Config{MinDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond})
+	net := MustNetwork(Config{MinDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond})
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))
 	start := time.Now()
@@ -132,7 +132,7 @@ func TestDelayedDelivery(t *testing.T) {
 }
 
 func TestCloseStopsReception(t *testing.T) {
-	net := NewNetwork(Config{})
+	net := MustNetwork(Config{})
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))
 	b.Close()
@@ -154,7 +154,7 @@ func TestCloseStopsReception(t *testing.T) {
 }
 
 func TestNetworkCloseCancelsDelayedDeliveries(t *testing.T) {
-	net := NewNetwork(Config{MinDelay: 50 * time.Millisecond, MaxDelay: 60 * time.Millisecond})
+	net := MustNetwork(Config{MinDelay: 50 * time.Millisecond, MaxDelay: 60 * time.Millisecond})
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))
 	for i := 0; i < 10; i++ {
@@ -184,7 +184,7 @@ func TestNetworkCloseCancelsDelayedDeliveries(t *testing.T) {
 }
 
 func TestNetworkCloseRejectsFurtherUse(t *testing.T) {
-	net := NewNetwork(Config{})
+	net := MustNetwork(Config{})
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))
 	if err := net.Close(); err != nil {
@@ -205,7 +205,7 @@ func TestNetworkCloseRejectsFurtherUse(t *testing.T) {
 }
 
 func TestNetworkImplementsFabric(t *testing.T) {
-	var f Fabric = NewNetwork(Config{})
+	var f Fabric = MustNetwork(Config{})
 	ep, err := f.Attach(addr.New(1))
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +218,7 @@ func TestNetworkImplementsFabric(t *testing.T) {
 }
 
 func TestQueueOverflowDrops(t *testing.T) {
-	net := NewNetwork(Config{QueueLen: 2})
+	net := MustNetwork(Config{QueueLen: 2})
 	a, _ := net.Attach(addr.New(1))
 	b, _ := net.Attach(addr.New(2))
 	for i := 0; i < 5; i++ {

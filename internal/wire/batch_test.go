@@ -41,8 +41,9 @@ func fullBatch() Batch {
 		From:  addr.New(0, 1),
 		Hash:  12345,
 		Count: 7,
+		Sent:  901,
 	}
-	b.Heartbeat = &membership.Heartbeat{From: addr.New(0, 1)}
+	b.Heartbeat = &membership.Heartbeat{From: addr.New(0, 1), Sent: 333}
 	return b
 }
 
@@ -63,10 +64,10 @@ func TestBatchRoundTrip(t *testing.T) {
 	if out.Update == nil || len(out.Update.Records) != 1 || !out.Update.Records[0].Sub.Equal(sampleSub()) {
 		t.Errorf("update = %+v", out.Update)
 	}
-	if out.Digest == nil || out.Digest.Hash != 12345 || out.Digest.Count != 7 {
+	if out.Digest == nil || out.Digest.Hash != 12345 || out.Digest.Count != 7 || out.Digest.Sent != 901 {
 		t.Errorf("digest = %+v", out.Digest)
 	}
-	if out.Heartbeat == nil || !out.Heartbeat.From.Equal(addr.New(0, 1)) {
+	if out.Heartbeat == nil || !out.Heartbeat.From.Equal(addr.New(0, 1)) || out.Heartbeat.Sent != 333 {
 		t.Errorf("heartbeat = %+v", out.Heartbeat)
 	}
 	if got, want := in.Parts(), 6; got != want {

@@ -30,7 +30,7 @@ func captureCorpus(tb testing.TB) [][]byte {
 	var frames [][]byte
 	seen := make(map[string]bool)
 	vc := clock.NewVirtual()
-	fab := transport.NewNetwork(transport.Config{
+	fab := transport.MustNetwork(transport.Config{
 		Clock: vc,
 		Tap: func(from, to addr.Address, payload any) {
 			data, err := wire.Encode(payload)

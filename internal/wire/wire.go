@@ -171,7 +171,8 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 		return binenc.AppendUvarint(b, m.Stamp), nil
 	case membership.Heartbeat:
 		b = append(b, kindHeartbeat)
-		return addr.AppendAddress(b, m.From), nil
+		b = addr.AppendAddress(b, m.From)
+		return binenc.AppendUvarint(b, uint64(m.Sent)), nil
 	case Batch:
 		return AppendBatch(b, m)
 	default:
@@ -338,6 +339,7 @@ func appendBatchTail(b []byte, m Batch) []byte {
 	}
 	if m.Heartbeat != nil {
 		b = addr.AppendAddress(b, m.Heartbeat.From)
+		b = binenc.AppendUvarint(b, uint64(m.Heartbeat.Sent))
 	}
 	return b
 }
@@ -600,6 +602,7 @@ func decodeFrom(r *binenc.Reader, kind byte) (any, error) {
 		return l, finish(r)
 	case kindHeartbeat:
 		hb := membership.Heartbeat{From: addr.ReadAddress(r)}
+		hb.Sent = uint32(r.Uvarint())
 		return hb, finish(r)
 	case kindBatch:
 		b, err := readBatchBody(r)
@@ -654,6 +657,7 @@ func readBatchBody(r *binenc.Reader) (Batch, error) {
 	}
 	if flags&batchHasHeartbeat != 0 {
 		hb := membership.Heartbeat{From: addr.ReadAddress(r)}
+		hb.Sent = uint32(r.Uvarint())
 		b.Heartbeat = &hb
 	}
 	return b, nil
@@ -701,6 +705,7 @@ func appendDigestBody(b []byte, m membership.Digest) []byte {
 	b = addr.AppendAddress(b, m.From)
 	b = binenc.AppendUvarint(b, m.Hash)
 	b = binenc.AppendUvarint(b, uint64(m.Count))
+	b = binenc.AppendUvarint(b, uint64(m.Sent))
 	b = binenc.AppendUvarint(b, uint64(len(m.Entries)))
 	for _, e := range m.Entries {
 		b = binenc.AppendString(b, e.Key)
@@ -714,6 +719,7 @@ func readDigestBody(r *binenc.Reader) membership.Digest {
 	d := membership.Digest{From: addr.ReadAddress(r)}
 	d.Hash = r.Uvarint()
 	d.Count = int(r.Uvarint())
+	d.Sent = uint32(r.Uvarint())
 	n := r.Count(2)
 	if n > 0 {
 		d.Entries = make([]membership.DigestEntry, 0, n)

@@ -61,6 +61,7 @@ func TestGossipRoundTrip(t *testing.T) {
 func TestDigestRoundTrip(t *testing.T) {
 	in := membership.Digest{
 		From: addr.New(1, 2, 3),
+		Sent: math.MaxUint32,
 		Entries: []membership.DigestEntry{
 			{Key: "0.0.1", Stamp: 5},
 			{Key: "2.9.1", Stamp: math.MaxUint64},
@@ -69,6 +70,9 @@ func TestDigestRoundTrip(t *testing.T) {
 	out := roundTrip(t, in).(membership.Digest)
 	if !out.From.Equal(in.From) || len(out.Entries) != 2 {
 		t.Fatalf("digest = %+v", out)
+	}
+	if out.Sent != in.Sent {
+		t.Errorf("sent beacon = %d, want %d", out.Sent, in.Sent)
 	}
 	for i := range in.Entries {
 		if out.Entries[i] != in.Entries[i] {

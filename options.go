@@ -103,6 +103,25 @@ func WithLeafFlooding(rate float64) NodeOption {
 	return func(c *NodeConfig) { c.LeafFloodRate = rate }
 }
 
+// WithAdaptiveFanout closes the Section 5.3 tuning loop over measured loss.
+// The node runs a passive per-peer loss estimator — beacons piggybacked on
+// the digests and heartbeats it already sends, so the estimator costs a few
+// bytes per membership message and no extra envelopes — and the gossip core
+// consumes the estimates two ways: round budgets widen where a view's
+// measured loss exceeds the configured assumption, and each gossip round
+// samples up to boost extra targets (0 = default 2) when the sampled peers'
+// estimated loss crosses lossThreshold (0 = default 0.05). With defaults the
+// adaptation is strictly demand-driven: on a clean network it changes
+// nothing — budgets, targets and the node's RNG stream are byte-identical
+// to a non-adaptive node.
+func WithAdaptiveFanout(boost int, lossThreshold float64) NodeOption {
+	return func(c *NodeConfig) {
+		c.AdaptiveFanout = true
+		c.AdaptiveBoost = boost
+		c.AdaptiveLossThreshold = lossThreshold
+	}
+}
+
 // WithoutBatching disables the batched gossip pipeline: every gossip,
 // digest and heartbeat goes out as its own envelope. Batching is a pure
 // envelope-level aggregation (the per-peer sub-messages and their order are

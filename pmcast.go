@@ -18,7 +18,7 @@
 // the default (0, 0) is the serial, deterministic configuration.
 // Quickstart:
 //
-//	net := pmcast.NewNetwork(pmcast.NetworkConfig{})
+//	net := pmcast.MustNetwork(pmcast.NetworkConfig{})
 //	space := pmcast.MustRegularSpace(4, 2) // 16 addresses: x.y, 0 ≤ x,y < 4
 //	n, _ := pmcast.NewNode(net,
 //		pmcast.WithAddr(pmcast.MustParseAddress("0.1")),
@@ -190,12 +190,21 @@ type (
 type (
 	// Network is the in-memory transport fabric.
 	Network = transport.Network
-	// NetworkConfig tunes loss, delay and queue sizes.
+	// NetworkConfig tunes loss, delay, link models and queue sizes.
 	NetworkConfig = transport.Config
+	// LinkModel layers Gilbert–Elliott bursty loss and latency jitter on
+	// every fabric link (NetworkConfig.Link); the zero value disables it.
+	LinkModel = transport.LinkModel
 )
 
-// NewNetwork builds an in-memory network fabric.
-func NewNetwork(cfg NetworkConfig) *Network { return transport.NewNetwork(cfg) }
+// NewNetwork builds an in-memory network fabric. It returns an error for
+// inconsistent fault configurations (inverted delay/jitter bounds,
+// probabilities outside [0, 1]).
+func NewNetwork(cfg NetworkConfig) (*Network, error) { return transport.NewNetwork(cfg) }
+
+// MustNetwork is NewNetwork that panics on a config error — for examples and
+// tests with static configurations.
+func MustNetwork(cfg NetworkConfig) *Network { return transport.MustNetwork(cfg) }
 
 // UDP fabric (real sockets, wire-codec framing).
 type (

@@ -11,7 +11,7 @@ import (
 // TestFacadeEndToEnd drives the public API only: a small cluster over the
 // in-memory network, content-based subscriptions, publish, delivery.
 func TestFacadeEndToEnd(t *testing.T) {
-	net := pmcast.NewNetwork(pmcast.NetworkConfig{})
+	net := pmcast.MustNetwork(pmcast.NetworkConfig{})
 	space := pmcast.MustRegularSpace(3, 2)
 
 	subs := map[string]pmcast.Subscription{
@@ -239,7 +239,7 @@ func TestFacadeSubscriptionLanguage(t *testing.T) {
 // only: a small coded cluster delivers everything, and the publisher's
 // FEC stats show repair symbols actually left on the wire.
 func TestFacadeCodedCluster(t *testing.T) {
-	net := pmcast.NewNetwork(pmcast.NetworkConfig{})
+	net := pmcast.MustNetwork(pmcast.NetworkConfig{})
 	space := pmcast.MustRegularSpace(3, 2)
 	sub := pmcast.Where("b", pmcast.EqInt(1))
 	nodes := make([]*pmcast.Node, 6)
