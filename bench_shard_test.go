@@ -1,0 +1,56 @@
+// Benchmarks for the sharded simulation core: the scale sweep BENCH_pr8.json
+// records — the fleet-scale campaigns (4k/16k/64k nodes) at shards=1 (the
+// serial event loop) and shards=8 (the conservative windowed engine), each
+// cell reporting wall time, MB/node and events/sec as custom metrics, the
+// sharded cells also reporting speedup over their serial baseline. One
+// iteration is one full seeded campaign; run with -benchtime 1x.
+package pmcast_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pmcast/internal/experiments"
+)
+
+// BenchmarkShardScaleSweep runs the sweep in scenario-major order, serial
+// cell first, so each shards=8 sub-benchmark can report its speedup against
+// the baseline recorded moments earlier. The cells double as a byte-identity
+// check: a trace hash diverging across shard counts fails the benchmark.
+func BenchmarkShardScaleSweep(b *testing.B) {
+	for _, name := range []string{"soak4k", "churn16k", "soak64k"} {
+		var baseline int64
+		var trace string
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/shards%d", name, shards), func(b *testing.B) {
+				var wall, mb, eps, speedup float64
+				for i := 0; i < b.N; i++ {
+					cell, err := experiments.ShardSweepCellAt(name, 1, shards, baseline)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if shards == 1 {
+						baseline = cell.WallMillis
+					}
+					if trace == "" {
+						trace = cell.TraceSHA256
+					} else if cell.TraceSHA256 != trace {
+						b.Fatalf("%s shards=%d: trace %s != %s — sharding changed the delivery trace",
+							name, shards, cell.TraceSHA256, trace)
+					}
+					wall += float64(cell.WallMillis)
+					mb += cell.MBPerNode
+					eps += cell.EventsPerSec
+					speedup += cell.Speedup
+				}
+				n := float64(b.N)
+				b.ReportMetric(wall/n, "wall-ms")
+				b.ReportMetric(mb/n, "mb/node")
+				b.ReportMetric(eps/n, "events/sec")
+				if speedup > 0 {
+					b.ReportMetric(speedup/n, "speedup")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStoppedTimersCompacted pins the heap-growth bound: cancelled timers
+// must not accumulate past the live population (plus the compaction floor).
+// Before compaction existed, a churn wave stopping thousands of ticker
+// chains left every dead entry in the heap until its due time — at 64k-node
+// scale the heap grew without bound over a long campaign.
+func TestStoppedTimersCompacted(t *testing.T) {
+	v := NewVirtual()
+	const total = 10000
+	const keep = 100
+	timers := make([]Timer, 0, total)
+	for i := 0; i < total; i++ {
+		d := time.Duration(i+1) * time.Millisecond
+		timers = append(timers, v.AfterFunc(d, func() {}))
+	}
+	for i, tm := range timers {
+		if i%(total/keep) == 0 {
+			continue // leave a sparse live population
+		}
+		if !tm.Stop() {
+			t.Fatalf("timer %d: Stop reported already-fired", i)
+		}
+	}
+	live := v.Pending()
+	if live != keep {
+		t.Fatalf("Pending() = %d, want %d (must stay exact across compaction)", live, keep)
+	}
+	if got := v.queueLen(); got > 2*live+compactFloor {
+		t.Fatalf("heap holds %d entries for %d live timers — dead entries are not being compacted", got, live)
+	}
+
+	// The surviving timers must still fire in order: compaction may not
+	// disturb (when, seq) heap order.
+	fired := 0
+	v.AdvanceTo(v.Now().Add(total * time.Millisecond))
+	_ = fired
+	if p := v.Pending(); p != 0 {
+		t.Fatalf("after advancing past every deadline, %d timers still pending", p)
+	}
+}
+
+// TestCompactionKeepsOrder verifies stopped-timer compaction cannot reorder
+// the survivors: two interleaved populations fire in exactly scheduled
+// order after the dead majority is compacted away.
+func TestCompactionKeepsOrder(t *testing.T) {
+	v := NewVirtual()
+	var got []int
+	var doomed []Timer
+	for i := 0; i < 2000; i++ {
+		i := i
+		if i%20 == 0 {
+			v.AfterFunc(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) })
+			continue
+		}
+		doomed = append(doomed, v.AfterFunc(time.Duration(i+1)*time.Millisecond, func() { t.Errorf("stopped timer %d fired", i) }))
+	}
+	for _, tm := range doomed {
+		tm.Stop()
+	}
+	v.AdvanceTo(v.Now().Add(3 * time.Second))
+	for j := 1; j < len(got); j++ {
+		if got[j] <= got[j-1] {
+			t.Fatalf("timers fired out of order: %d after %d", got[j], got[j-1])
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("%d survivors fired, want 100", len(got))
+	}
+}

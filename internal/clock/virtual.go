@@ -26,6 +26,11 @@ type Virtual struct {
 	now   time.Time
 	seq   uint64
 	queue vqueue
+	// dead counts cancelled entries still occupying heap slots. Lazy discard
+	// alone lets the heap grow without bound when long-lived runs stop many
+	// timers (churn waves stopping thousands of ticker chains); once dead
+	// entries outnumber live ones the heap is compacted in place.
+	dead int
 }
 
 var _ Clock = (*Virtual)(nil)
@@ -59,6 +64,91 @@ func (v *Virtual) scheduleLocked(when time.Time, f func()) *vtimer {
 	v.seq++
 	heap.Push(&v.queue, t)
 	return t
+}
+
+// ScheduleTagged schedules a callback at an absolute instant, tagged with an
+// owner (the sharded harness tags every entry with the fleet index of the
+// node the callback belongs to, -1 for engine-owned work). Instants in the
+// past fire at the current time on the next advance, like AfterFunc.
+func (v *Virtual) ScheduleTagged(at time.Time, tag int32, f func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if at.Before(v.now) {
+		at = v.now
+	}
+	t := v.scheduleLocked(at, f)
+	t.tag = tag
+	return t
+}
+
+// PopDue removes and returns the earliest pending callback due at or before
+// until, without running it and without moving the clock — the primitive a
+// windowed dispatcher builds batches from. ok=false means nothing is due.
+func (v *Virtual) PopDue(until time.Time) (when time.Time, tag int32, fn func(), ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.discardDeadLocked()
+	if len(v.queue) == 0 || v.queue[0].when.After(until) {
+		return time.Time{}, 0, nil, false
+	}
+	tm := heap.Pop(&v.queue).(*vtimer)
+	tm.pending = false
+	return tm.when, tm.tag, tm.fn, true
+}
+
+// SetNow moves the clock reading forward to t without running callbacks.
+// Callers (the windowed dispatcher) guarantee everything due at or before t
+// has already been popped; t never moves the clock backwards.
+func (v *Virtual) SetNow(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.After(v.now) {
+		v.now = t
+	}
+}
+
+// discardDeadLocked drops cancelled entries off the heap top.
+func (v *Virtual) discardDeadLocked() {
+	for len(v.queue) > 0 && !v.queue[0].pending {
+		heap.Pop(&v.queue)
+		v.dead--
+	}
+}
+
+// compactFloor is the heap size below which compaction is not worth a
+// rebuild.
+const compactFloor = 64
+
+// maybeCompactLocked rebuilds the heap when cancelled entries outnumber
+// pending ones: the live entries are filtered in place and re-heapified,
+// which preserves the (when, seq) order exactly — seq survives the rebuild.
+func (v *Virtual) maybeCompactLocked() {
+	if len(v.queue) < compactFloor || v.dead*2 <= len(v.queue) {
+		return
+	}
+	live := v.queue[:0]
+	for _, t := range v.queue {
+		if t.pending {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(v.queue); i++ {
+		v.queue[i] = nil
+	}
+	v.queue = live
+	for i, t := range v.queue {
+		t.index = i
+	}
+	heap.Init(&v.queue)
+	v.dead = 0
+}
+
+// queueLen reports the heap's physical size, dead entries included (test
+// hook for the compaction bound).
+func (v *Virtual) queueLen() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.queue)
 }
 
 // NewTicker implements Clock. A virtual ticker re-schedules itself every d;
@@ -103,9 +193,7 @@ func (v *Virtual) Pending() int {
 func (v *Virtual) NextAt() (time.Time, bool) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	for len(v.queue) > 0 && !v.queue[0].pending {
-		heap.Pop(&v.queue)
-	}
+	v.discardDeadLocked()
 	if len(v.queue) == 0 {
 		return time.Time{}, false
 	}
@@ -169,9 +257,7 @@ func (v *Virtual) RunNext() (time.Time, int) {
 // clock freely.
 func (v *Virtual) runDueLocked(t time.Time) bool {
 	v.mu.Lock()
-	for len(v.queue) > 0 && !v.queue[0].pending {
-		heap.Pop(&v.queue)
-	}
+	v.discardDeadLocked()
 	if len(v.queue) == 0 || v.queue[0].when.After(t) {
 		v.mu.Unlock()
 		return false
@@ -187,12 +273,14 @@ func (v *Virtual) runDueLocked(t time.Time) bool {
 }
 
 // vtimer is one scheduled callback. The pending flag is guarded by the
-// owning clock's mutex; cancelled entries stay in the heap and are lazily
-// discarded.
+// owning clock's mutex; cancelled entries stay in the heap, are lazily
+// discarded off the top, and trigger an in-place compaction once they
+// outnumber the live entries (see maybeCompactLocked).
 type vtimer struct {
 	v       *Virtual
 	when    time.Time
 	seq     uint64
+	tag     int32
 	fn      func()
 	pending bool
 	index   int
@@ -203,7 +291,11 @@ func (t *vtimer) Stop() bool {
 	t.v.mu.Lock()
 	defer t.v.mu.Unlock()
 	stopped := t.pending
-	t.pending = false
+	if stopped {
+		t.pending = false
+		t.v.dead++
+		t.v.maybeCompactLocked()
+	}
 	return stopped
 }
 

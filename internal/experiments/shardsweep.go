@@ -1,0 +1,126 @@
+// The sharded-core scale sweep: the fleet-scale campaigns run at shards=1
+// (the serial event loop) and shards=8 (the conservative windowed engine),
+// recording wall time, MB/node and events/sec per cell. The claims under
+// test: the delivery trace is byte-identical across shard counts — the
+// engine's determinism contract at sizes the golden tests cannot afford —
+// and the sharded run beats the serial one by a wide margin wherever
+// jittered link delays scatter deliveries across virtual instants (the
+// serial loop pays a fleet-wide pump per instant; the sharded loop pumps
+// only the nodes an instant touched).
+
+package experiments
+
+import (
+	"fmt"
+
+	"pmcast/internal/harness"
+)
+
+// ShardSweepCell is one (scenario, shards) campaign of the scale sweep.
+type ShardSweepCell struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Nodes    int    `json:"nodes"`
+	// Shards is what the engine actually ran (a zero-lookahead scenario
+	// degrades to 1 regardless of what the sweep asked for).
+	Shards int `json:"shards"`
+	// The three reported axes of the sharded core: wall time, memory
+	// compaction, throughput.
+	WallMillis   int64   `json:"wall_ms"`
+	MBPerNode    float64 `json:"mb_per_node"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is WallMillis(shards=1) / WallMillis for this cell, when the
+	// sweep ran the serial baseline for the same scenario (0 otherwise).
+	Speedup float64 `json:"speedup"`
+	// TraceSHA256 must agree across every cell of one scenario — the
+	// byte-identity contract at scale.
+	TraceSHA256     string  `json:"trace_sha256"`
+	MeanReliability float64 `json:"mean_reliability"`
+	ClockEvents     int     `json:"clock_events"`
+}
+
+// ShardSweepOptions tunes the sweep.
+type ShardSweepOptions struct {
+	// Scenarios are the campaign names (default soak4k, churn16k, soak64k).
+	Scenarios []string
+	// Shards are the shard counts per scenario, run in order (default 1, 8;
+	// keep 1 first — later cells compute Speedup against it).
+	Shards []int
+	// Seed is the campaign seed (default 1).
+	Seed int64
+}
+
+func (o ShardSweepOptions) withDefaults() ShardSweepOptions {
+	if len(o.Scenarios) == 0 {
+		o.Scenarios = []string{"soak4k", "churn16k", "soak64k"}
+	}
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 8}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ShardSweepCellAt runs one cell: the named campaign at the given shard
+// count. baselineWallMillis, when positive, is the serial wall time used to
+// fill Speedup.
+func ShardSweepCellAt(name string, seed int64, shards int, baselineWallMillis int64) (ShardSweepCell, error) {
+	sc, err := harness.Lookup(name)
+	if err != nil {
+		return ShardSweepCell{}, err
+	}
+	sc.Shards = shards
+	res, err := sc.Run(seed)
+	if err != nil {
+		return ShardSweepCell{}, fmt.Errorf("shard sweep %s shards=%d seed=%d: %w",
+			name, shards, seed, err)
+	}
+	rep := res.Report
+	cell := ShardSweepCell{
+		Scenario:        name,
+		Seed:            seed,
+		Nodes:           rep.Nodes,
+		Shards:          rep.Shards,
+		WallMillis:      rep.WallMillis,
+		MBPerNode:       rep.MBPerNode,
+		EventsPerSec:    rep.EventsPerSec,
+		TraceSHA256:     rep.TraceSHA256,
+		MeanReliability: rep.MeanReliability,
+		ClockEvents:     rep.ClockEvents,
+	}
+	if baselineWallMillis > 0 && rep.WallMillis > 0 {
+		cell.Speedup = float64(baselineWallMillis) / float64(rep.WallMillis)
+	}
+	return cell, nil
+}
+
+// ShardSweep runs every (scenario, shards) cell in scenario-major order and
+// errors if any scenario's cells disagree on the delivery trace — a sweep
+// that returns is itself a byte-identity check at scale.
+func ShardSweep(o ShardSweepOptions) ([]ShardSweepCell, error) {
+	o = o.withDefaults()
+	cells := make([]ShardSweepCell, 0, len(o.Scenarios)*len(o.Shards))
+	for _, name := range o.Scenarios {
+		var baseline int64
+		var trace string
+		for _, shards := range o.Shards {
+			c, err := ShardSweepCellAt(name, o.Seed, shards, baseline)
+			if err != nil {
+				return nil, err
+			}
+			if shards == 1 {
+				baseline = c.WallMillis
+			}
+			if trace == "" {
+				trace = c.TraceSHA256
+			} else if c.TraceSHA256 != trace {
+				return nil, fmt.Errorf("shard sweep %s: shards=%d trace %s != %s — sharding changed the delivery trace",
+					name, shards, c.TraceSHA256, trace)
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}

@@ -22,22 +22,6 @@ import (
 	"pmcast/internal/transport"
 )
 
-// membershipRecordSource is one initial-fleet line for the oracle bootstrap.
-type membershipRecordSource struct {
-	a   addr.Address
-	sub interest.Subscription
-}
-
-// oracleUpdate materializes the initial fleet as a full membership update,
-// the "anti-entropy already ran" starting point of large campaigns.
-func oracleUpdate(srcs []membershipRecordSource) membership.Update {
-	recs := make([]membership.Record, len(srcs))
-	for i, s := range srcs {
-		recs[i] = membership.Record{Addr: s.a, Sub: s.sub, Stamp: 1, Alive: true}
-	}
-	return membership.Update{Records: recs}
-}
-
 // Report is the JSON summary of one scenario run. Every field except the
 // wall-clock duration is deterministic for a (scenario, seed) pair.
 type Report struct {
@@ -48,6 +32,14 @@ type Report struct {
 	VirtualMillis int64 `json:"virtual_ms"`
 	WallMillis    int64 `json:"wall_ms"`
 	ClockEvents   int   `json:"clock_events"`
+
+	// Shards is the worker-goroutine count the engine actually ran with
+	// (a zero-lookahead scenario degrades to 1 whatever was asked for);
+	// MBPerNode is live heap per node after the run, the memory-compaction
+	// metric of fleet-scale campaigns. Like WallMillis, MBPerNode is not
+	// part of the deterministic replay contract.
+	Shards    int     `json:"shards"`
+	MBPerNode float64 `json:"mb_per_node"`
 
 	Published int `json:"published"`
 	Delivered int `json:"delivered"`
@@ -178,6 +170,14 @@ type run struct {
 	fabric *transport.Network
 	rng    *rand.Rand
 	space  addr.Space
+	// roster is the shared bootstrap roster of an oracle fleet: one immutable
+	// record table every initial-generation node adopts copy-on-write instead
+	// of applying (and storing) n full membership updates — the difference
+	// between O(n²) and O(n) bootstrap memory at 64k nodes.
+	roster *membership.Roster
+	// eng is the sharded conservative engine (shard.go); nil runs the
+	// classic serial loop.
+	eng *shardEngine
 
 	handles   []*handle // fixed index order — the engine's iteration order
 	nextFresh int       // next unused address index for OpJoin
@@ -228,6 +228,9 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	prevGC := debug.SetGCPercent(-1)
 	defer debug.SetGCPercent(prevGC)
 	limit := int64(4 << 30)
+	if need := int64(sc.Nodes) * (256 << 10); need > limit {
+		limit = need // 64k-node campaigns need headroom beyond the 4 GiB floor
+	}
 	if cur := debug.SetMemoryLimit(-1); cur < limit {
 		limit = cur
 	}
@@ -268,6 +271,34 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	r.report.Nodes = sc.Nodes
 	r.report.Batching = !sc.Fleet.NoBatch
 
+	// The sharded engine needs a positive lookahead window; without one the
+	// conservative window is empty and only the serial loop is correct.
+	shards := sc.Shards
+	lookahead := sc.lookahead()
+	if lookahead <= 0 {
+		shards = 1
+	}
+	r.report.Shards = shards
+	if shards > 1 {
+		r.eng = newShardEngine(r, shards, lookahead)
+		defer r.eng.stop()
+	}
+
+	// An oracle fleet starts from "anti-entropy already ran": build that
+	// state once as a shared immutable roster instead of handing every node
+	// its own copy of every line.
+	if sc.Bootstrap == BootstrapOracle {
+		recs := make([]membership.Record, sc.Nodes)
+		for i := 0; i < sc.Nodes; i++ {
+			a := space.AddressAt(i)
+			recs[i] = membership.Record{Addr: a, Sub: sc.subscriptionFor(a, i), Stamp: 1, Alive: true}
+		}
+		r.roster, err = membership.NewRoster(recs)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scenario %q: %w", sc.Name, err)
+		}
+	}
+
 	// Spawn the initial fleet.
 	for i := 0; i < sc.Nodes; i++ {
 		if _, err := r.spawn(i, sc.subscriptionFor(space.AddressAt(i), i)); err != nil {
@@ -279,30 +310,42 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	}
 	r.pump()
 
-	// Schedule the operation timeline.
+	// Schedule the operation timeline (tag −1: ops run on the coordinator).
 	for _, op := range sc.Ops {
 		op := op
 		if op.At < 0 || op.At > sc.Horizon {
 			return nil, fmt.Errorf("harness: scenario %q: op %s at %v outside horizon %v",
 				sc.Name, op.Kind, op.At, sc.Horizon)
 		}
-		vc.AfterFunc(op.At, func() { r.exec(op) })
+		if r.eng != nil {
+			vc.ScheduleTagged(r.start.Add(op.At), -1, func() { r.exec(op) })
+		} else {
+			vc.AfterFunc(op.At, func() { r.exec(op) })
+		}
 	}
 
-	// The event loop: one virtual instant at a time, then drain every inbox
-	// and delivery channel to quiescence. Single-threaded, hence replayable.
 	end := r.start.Add(sc.Horizon)
-	for {
-		next, ok := vc.NextAt()
-		if !ok || next.After(end) {
-			break
+	if r.eng != nil {
+		// The sharded conservative loop (shard.go): windowed batches across
+		// worker goroutines, merged back in serial order.
+		r.runSharded(end)
+		r.eng.stop()
+	} else {
+		// The serial event loop: one virtual instant at a time, then drain
+		// every inbox and delivery channel to quiescence. Single-threaded,
+		// hence replayable.
+		for {
+			next, ok := vc.NextAt()
+			if !ok || next.After(end) {
+				break
+			}
+			_, ran := vc.RunNext()
+			r.report.ClockEvents += ran
+			r.pump()
 		}
-		_, ran := vc.RunNext()
-		r.report.ClockEvents += ran
+		vc.AdvanceTo(end)
 		r.pump()
 	}
-	vc.AdvanceTo(end)
-	r.pump()
 
 	r.finish(wallStart)
 	res := &Result{
@@ -342,7 +385,7 @@ func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 		r.fecSum.Accumulate(h.n.FECStats())
 		r.adaptSum.Accumulate(h.n.AdaptiveStats())
 	}
-	n, err := node.New(r.fabric, node.Config{
+	cfg := node.Config{
 		Addr:                  a,
 		Space:                 r.space,
 		R:                     r.sc.Fleet.R,
@@ -367,13 +410,31 @@ func (r *run) spawn(i int, sub interest.Subscription) (*handle, error) {
 		AdaptiveLossThreshold: r.sc.Fleet.AdaptiveLossThreshold,
 		Seed:                  mixSeed(r.seed, i, h.gen),
 		Clock:                 r.vc,
-	})
+	}
+	if r.eng != nil {
+		// The node's notion of now and every schedule it causes go through
+		// its owner shard's clock.
+		cfg.Clock = r.eng.clockFor(i)
+	}
+	if r.roster != nil && h.gen == 1 && i < r.sc.Nodes {
+		// Initial-generation oracle nodes share the bootstrap roster
+		// copy-on-write and receive their first fold from the donor clone in
+		// bootstrap(); rejoined generations and fresh joiners diverge from
+		// the roster immediately, so they run the classic backing.
+		cfg.MembershipRoster = r.roster
+		cfg.DeferViews = true
+	}
+	n, err := node.New(r.fabric, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: spawning node %d (%s): %w", i, a, err)
 	}
 	h.n = n
 	h.sub = sub
 	h.alive = true
+	if r.eng != nil {
+		r.eng.register(h.key, i)
+		r.fabric.SetEndpointClock(a, r.eng.clockFor(i))
+	}
 	r.startTickers(h)
 	return h, nil
 }
@@ -390,29 +451,35 @@ func (r *run) startTickers(h *handle) {
 				return
 			}
 			task(h.n)
-			r.vc.AfterFunc(d, fire)
+			r.schedule(h, d, fire)
 		}
-		r.vc.AfterFunc(d, fire)
+		r.schedule(h, d, fire)
 	}
 	chain(r.sc.Fleet.GossipInterval, func(n *node.Node) { n.TickGossip() })
 	chain(r.sc.Fleet.MembershipInterval, func(n *node.Node) { n.TickMembership() })
 	chain(r.sc.Fleet.SuspectAfter/2, func(n *node.Node) { n.SweepFailures() })
 }
 
+// schedule books a node-owned callback d from now: directly on the virtual
+// clock in a serial run, through the node's shard clock in a sharded one
+// (buffered during shard execution, tagged-direct at barriers).
+func (r *run) schedule(h *handle, d time.Duration, f func()) {
+	if r.eng != nil {
+		r.eng.clockFor(h.index).AfterFunc(d, f)
+		return
+	}
+	r.vc.AfterFunc(d, f)
+}
+
 // bootstrap converges the initial fleet per the scenario's bootstrap mode.
 func (r *run) bootstrap() error {
 	switch r.sc.Bootstrap {
 	case BootstrapOracle:
-		recs := make([]membershipRecordSource, 0, len(r.handles))
-		for _, h := range r.handles {
-			recs = append(recs, membershipRecordSource{h.a, h.sub})
-		}
-		for _, h := range r.handles {
-			h.n.Membership().Apply(oracleUpdate(recs))
-		}
-		// Fold the oracle roster once and clone it into the rest of the
-		// fleet (identical rosters ⇒ identical folds, checked by roster
-		// hash); clones run in parallel. Both are node-local, deterministic
+		// Every initial node was constructed over the shared roster, so the
+		// fleet already agrees on membership. Fold the roster once and clone
+		// it into the rest of the fleet (identical rosters ⇒ identical folds,
+		// checked by roster hash); clones run in parallel. Both are
+		// node-local, deterministic
 		// work a real fleet does on n machines at once — the engine's
 		// single-threaded discipline only matters once protocol events
 		// start flowing.
@@ -473,8 +540,14 @@ func (r *run) pump() {
 	}
 }
 
-// drainDeliveries appends the node's pending deliveries to the trace.
+// drainDeliveries appends the node's pending deliveries to the trace. In a
+// sharded run (only ops and the pre-loop pump call this) the deliveries are
+// recorded instead, for the end-of-run serial-order merge.
 func (r *run) drainDeliveries(h *handle) {
+	if r.eng != nil {
+		r.eng.coordDrain(h)
+		return
+	}
 	for {
 		select {
 		case ev, ok := <-h.n.Deliveries():
@@ -541,6 +614,11 @@ func (r *run) exec(op Op) {
 			}
 			r.eligible[id] = elig
 			r.gotEvent[id] = make(map[string]bool)
+			if r.eng != nil {
+				// The publisher's self-delivery sits in its channel until the
+				// owner shard pumps it at this instant.
+				r.eng.markOpDirty(h)
+			}
 			logf("publish %s#%d class=%d from %s (%d eligible)",
 				id.Origin, id.Seq, class, h.key, len(elig))
 		}
@@ -699,6 +777,9 @@ func (r *run) contact(h *handle) *handle {
 
 // finish computes the end-of-run report fields and stops the fleet.
 func (r *run) finish(wallStart time.Time) {
+	if r.eng != nil {
+		r.eng.mergeDeliveries()
+	}
 	r.report.VirtualMillis = r.vc.Now().Sub(r.start).Milliseconds()
 
 	memMin, memMax := -1, 0
@@ -823,6 +904,16 @@ func (r *run) finish(wallStart time.Time) {
 	r.report.TraceSHA256 = hex.EncodeToString(sumHash[:])
 	r.report.TraceBytes = r.trace.Len()
 	r.report.WallMillis = time.Since(wallStart).Milliseconds()
+
+	// Measure live heap per node while the fleet is still resident: a full
+	// collection first so the figure reflects reachable state, not garbage
+	// accumulated while GC was off.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if r.report.Nodes > 0 {
+		r.report.MBPerNode = float64(ms.HeapAlloc) / float64(r.report.Nodes) / (1 << 20)
+	}
 
 	for _, h := range r.handles {
 		if h != nil && h.alive {

@@ -28,6 +28,9 @@ func Scenarios() map[string]Scenario {
 		"noisy64":     Noisy64(),
 		"noisy256":    Noisy256(),
 		"bursty1024":  Bursty1024(),
+		"soak4k":      Soak4k(),
+		"churn16k":    Churn16k(),
+		"soak64k":     Soak64k(),
 	}
 }
 
@@ -325,6 +328,139 @@ func Bursty1024() Scenario {
 		PGB:     0.01,
 		PBG:     0.10,
 	}
+	return s
+}
+
+// Soak4k is the entry-level sharded-core campaign: a 4096-node fleet (the
+// regular 4^6 tree) under ambient loss and jittered per-link delays, with a
+// publish wave on each side of a 64-node crash. The jitter matters: every
+// delivery lands at its own virtual instant, which is exactly the regime
+// where the serial loop's fleet-wide pump per instant goes quadratic — the
+// sharded engine pumps only the nodes an instant touched, so this campaign
+// is the smallest member of the bench sweep's shards=1 vs shards=8
+// comparison.
+func Soak4k() Scenario {
+	s := Scenario{
+		Name: "soak4k",
+		Fleet: Fleet{
+			Arity: 4, Depth: 6,
+			R: 2, F: 4, C: 3,
+			GossipInterval:     40 * time.Millisecond,
+			MembershipInterval: 300 * time.Millisecond,
+			SuspectAfter:       900 * time.Millisecond,
+			Classes:            4,
+			DeliveryBuffer:     256,
+		},
+		Nodes:     4096,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.01,
+		MinDelay:  500 * time.Microsecond,
+		MaxDelay:  2 * time.Millisecond,
+		QueueLen:  256,
+		Horizon:   2000 * time.Millisecond,
+		Shards:    8,
+		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {
+			return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%4)))
+		},
+	}
+	s.PublishAt(200*time.Millisecond, -1, 4, -1).
+		CrashAt(500*time.Millisecond, 64).
+		PublishAt(900*time.Millisecond, -1, 4, -1)
+	return s
+}
+
+// Churn16k is the bench sweep's headline campaign: a 16384-node fleet (the
+// regular 4^7 tree) with jittered delays, a 256-node crash wave detected and
+// expelled mid-run, a partial rejoin, and publish waves probing the healthy,
+// wounded and healed fleet. Between the membership beacons and the gossip
+// fan-out, hundreds of thousands of deliveries each occupy their own jittered
+// instant — the serial loop pays a fleet-wide pump for every one of them,
+// the sharded engine pays for the touched node only, and the gap between
+// those two is BENCH_pr8.json's speedup headline.
+func Churn16k() Scenario {
+	s := Scenario{
+		Name: "churn16k",
+		Fleet: Fleet{
+			Arity: 4, Depth: 7,
+			R: 2, F: 4, C: 3,
+			// 25ms rounds: a depth-7 descent takes ~40 gossip rounds, so the
+			// publish waves need round throughput, not wire throughput — a
+			// shorter round costs nothing per-round (gossip only sends when
+			// events are buffered) but halves the virtual time each wave
+			// needs to reach the whole audience.
+			GossipInterval:     25 * time.Millisecond,
+			MembershipInterval: 400 * time.Millisecond,
+			SuspectAfter:       1200 * time.Millisecond,
+			Classes:            4,
+			DeliveryBuffer:     256,
+		},
+		Nodes:     16384,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.01,
+		MinDelay:  1 * time.Millisecond,
+		MaxDelay:  4 * time.Millisecond,
+		QueueLen:  256,
+		Horizon:   2500 * time.Millisecond,
+		Shards:    8,
+		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {
+			return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%4)))
+		},
+	}
+	// The crash wave lands at 600ms and is expelled by ~2.4s (deadline
+	// 1200ms, sweeps every 600ms); rejoins follow at 1.4s. Publishes probe
+	// the healthy fleet, the fleet with 256 undetected corpses in its
+	// views, and the post-rejoin fleet — each with enough rounds left
+	// before the horizon for a full depth-7 descent.
+	s.PublishAt(200*time.Millisecond, -1, 4, -1).
+		CrashAt(600*time.Millisecond, 256).
+		PublishAt(900*time.Millisecond, -1, 4, -1).
+		RejoinAt(1400*time.Millisecond, 128).
+		PublishAt(1600*time.Millisecond, -1, 4, -1)
+	return s
+}
+
+// Soak64k is the scale-ceiling campaign ROADMAP item 1 asked for: 65536
+// nodes — the regular 4^8 tree, two orders of magnitude past the paper's own
+// evaluation — publishing four event waves through interest-clustered
+// subtrees. The fixed 2ms link delay is deliberate: delays keep the
+// lookahead window real (the sharded path genuinely runs), while their
+// uniformity keeps deliveries clustered onto a few instants per gossip round
+// so the serial shards=1 arm of the byte-identity contract stays affordable
+// even at this size. Membership is frozen (digest interval past the horizon,
+// detection off) — at 64k the roster beacons alone would dominate the wire,
+// and what this campaign measures is dissemination at scale, with per-node
+// memory compaction (shared roster, small queues) reported as MB/node.
+func Soak64k() Scenario {
+	s := Scenario{
+		Name: "soak64k",
+		Fleet: Fleet{
+			Arity: 4, Depth: 8,
+			R: 2, F: 4, C: 3,
+			// A depth-8 descent needs ~5-6 gossip rounds per tree level
+			// (empirically: depth 6 completes in ~30 rounds, depth 7 in
+			// ~40), so the horizon must hold 50+ rounds after the last
+			// publish. 20ms rounds buy that throughput without touching
+			// wire cost — gossip only sends when events are buffered.
+			GossipInterval:     20 * time.Millisecond,
+			MembershipInterval: 10 * time.Second, // one per horizon: frozen
+			SuspectAfter:       time.Hour,        // detection off
+			Classes:            4,
+			DeliveryBuffer:     64,
+		},
+		Nodes:     65536,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.005,
+		MinDelay:  2 * time.Millisecond,
+		MaxDelay:  2 * time.Millisecond,
+		QueueLen:  64,
+		Horizon:   1200 * time.Millisecond,
+		Shards:    8,
+		SubscriptionFor: func(a addr.Address, _ int) interest.Subscription {
+			return interest.NewSubscription().Where("b", interest.EqInt(int64(a.Digit(1)%4)))
+		},
+	}
+	s.PublishAt(50*time.Millisecond, -1, 2, -1).
+		PublishAt(150*time.Millisecond, -1, 2, -1)
 	return s
 }
 

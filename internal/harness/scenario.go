@@ -119,6 +119,13 @@ type Scenario struct {
 	QueueLen int
 	// Horizon is the virtual duration of the campaign.
 	Horizon time.Duration
+	// Shards partitions the fleet across worker goroutines in the
+	// conservative parallel engine (shard.go); 1 — the default — runs the
+	// classic serial loop. The merged delivery trace is byte-identical at
+	// any shard count. A scenario with zero link lookahead (MinDelay and
+	// JitterMin both zero) has no conservative window and silently degrades
+	// to the serial loop; Report.Shards records what actually ran.
+	Shards int
 	// Ops is the schedule, executed at their virtual offsets.
 	Ops []Op
 	// SubscriptionFor overrides the modular class scheme (optional). It must
@@ -297,7 +304,41 @@ func (s Scenario) withDefaults() (Scenario, error) {
 	if s.Horizon <= 0 {
 		s.Horizon = 2 * time.Second
 	}
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
 	return s, nil
+}
+
+// lookahead is the conservative-engine window length: the minimum virtual
+// duration any event executed now needs before its consequences can come due.
+// Every fabric delivery waits at least MinDelay plus JitterMin, and every
+// periodic-task chain reschedules at least its own interval ahead, so during
+// a window of this length the due-event set is fixed at the window's start.
+// Zero (a fabric that can deliver synchronously) means no window exists and
+// the engine must run serially.
+func (s *Scenario) lookahead() time.Duration {
+	var link time.Duration
+	if s.MaxDelay > 0 {
+		link = s.MinDelay
+	}
+	if s.Link.JitterMax > 0 {
+		link += s.Link.JitterMin
+	}
+	if link <= 0 {
+		return 0
+	}
+	la := link
+	for _, d := range []time.Duration{
+		s.Fleet.GossipInterval,
+		s.Fleet.MembershipInterval,
+		s.Fleet.SuspectAfter / 2,
+	} {
+		if d < la {
+			la = d
+		}
+	}
+	return la
 }
 
 // subscriptionFor evaluates the scenario's interest scheme for one node.

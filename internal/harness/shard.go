@@ -1,0 +1,545 @@
+// The sharded conservative engine: the scenario event loop parallelized
+// across worker goroutines with a merged trace that is byte-identical to the
+// serial loop's for any (scenario, seed, shard count).
+//
+// The design is classic conservative parallel discrete-event simulation
+// specialized to this harness. Every message crossing the fabric waits at
+// least the link lookahead (MinDelay plus JitterMin) and every periodic-task
+// chain reschedules at least one interval ahead, so during a virtual window
+// of length L = min(link lookahead, tick intervals) no executed event can
+// schedule another event inside the same window: the window's due-event set
+// is fixed at its start. The coordinator therefore pops a whole window from
+// the virtual clock at once, routes each event to the shard owning its node
+// (fleet index mod shard count), and lets the shards execute concurrently —
+// including pumping their own nodes' inboxes per completed instant, which is
+// where the serial loop burns O(fleet) per instant and the sharded loop only
+// touches nodes that actually received something.
+//
+// Determinism rests on three invariants:
+//
+//  1. All of one node's work happens on one shard. A delivery event is owned
+//     by its destination, so a node's inbox is filled and drained in the
+//     same order the serial loop would use, and each directed link's fault
+//     stream advances only on its source node's sends, in source order.
+//  2. Schedules made during a window are buffered with a replay key — the
+//     (instant, phase, origin, issue order) position the serial loop would
+//     have made them at — and inserted into the virtual clock at the window
+//     barrier in exactly that order. Since the clock breaks due-time ties by
+//     insertion order, the sharded heap pops in the serial sequence.
+//  3. Deliveries are recorded, not traced inline, and merged under the same
+//     keys at the end of the run, which reproduces the serial trace bytes.
+//
+// Scheduled operations (tag −1) are barriers: the coordinator cuts the
+// window's batch at the op, waits for the shards, replays their buffered
+// schedules, and runs the op inline on a quiescent fleet — crash/rejoin/
+// publish surgery needs no locks because nothing else is running. A pump
+// deferred by an op cut (the op's instant is not over) is flushed by the
+// next dispatch, so a node crashed at t never handles the envelopes that
+// reached it at t — exactly the serial order of operations.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pmcast/internal/clock"
+	"pmcast/internal/event"
+	"pmcast/internal/node"
+)
+
+// shardEvent is one popped virtual-clock entry routed to a shard.
+type shardEvent struct {
+	when time.Time
+	tag  int32 // owning fleet index; −1 for coordinator (op) events
+	pop  int64 // global heap pop order — the serial execution position
+	fn   func()
+}
+
+// schedKey is the serial-order position of a buffered schedule or a recorded
+// delivery: the instant it originated at, the phase within that instant
+// (events run before op drains before pumps), the origin inside the phase
+// (pop index for events, issue counter for ops, fleet index for pumps) and
+// the issue order within the origin.
+type schedKey struct {
+	whenNs int64
+	phase  int8
+	a      int64
+	ord    int32
+}
+
+func (k schedKey) less(o schedKey) bool {
+	if k.whenNs != o.whenNs {
+		return k.whenNs < o.whenNs
+	}
+	if k.phase != o.phase {
+		return k.phase < o.phase
+	}
+	if k.a != o.a {
+		return k.a < o.a
+	}
+	return k.ord < o.ord
+}
+
+// bufferedSched is a schedule made during shard execution, replayed into the
+// virtual clock at the next barrier in schedKey order.
+type bufferedSched struct {
+	key schedKey
+	at  time.Time
+	tag int32
+	fn  func()
+	tm  *proxyTimer
+}
+
+// deliveryRecord is one node's deliveries at one instant, merged into the
+// trace at the end of the run.
+type deliveryRecord struct {
+	key  schedKey
+	node int32
+	ids  []event.ID
+}
+
+// proxyTimer stands in for a virtual-clock timer whose creation is deferred
+// to the barrier replay. Stopping it before the replay marks it dead; the
+// replay then stops the real timer the moment it binds.
+type proxyTimer struct {
+	mu      sync.Mutex
+	real    clock.Timer
+	stopped bool
+}
+
+func (t *proxyTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	if t.real != nil {
+		return t.real.Stop()
+	}
+	return true
+}
+
+func (t *proxyTimer) bind(real clock.Timer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		real.Stop()
+		return
+	}
+	t.real = real
+}
+
+// nodeClock is one node's view of time: the owner shard's cursor while that
+// shard is executing (so Now() reads the current event's instant, as the
+// serial loop's virtual clock would), the real virtual clock otherwise.
+// Schedules made during shard execution are buffered for barrier replay;
+// schedules made at barriers (ops, bootstrap) go straight to the clock,
+// tagged with their owner. It implements transport.OwnedScheduler so the
+// fabric can tag delayed deliveries with their destination.
+type nodeClock struct {
+	w   *shardWorker
+	tag int32
+}
+
+func (c *nodeClock) Now() time.Time {
+	if c.w.live {
+		return c.w.cursor
+	}
+	return c.w.eng.r.vc.Now()
+}
+
+func (c *nodeClock) AfterFunc(d time.Duration, f func()) clock.Timer {
+	return c.scheduleTagged(d, c.tag, f)
+}
+
+func (c *nodeClock) AfterFuncOwned(ownerKey string, d time.Duration, f func()) clock.Timer {
+	return c.scheduleTagged(d, c.w.eng.tagOf(ownerKey), f)
+}
+
+func (c *nodeClock) scheduleTagged(d time.Duration, tag int32, f func()) clock.Timer {
+	w := c.w
+	if !w.live {
+		vc := w.eng.r.vc
+		return vc.ScheduleTagged(vc.Now().Add(d), tag, f)
+	}
+	tm := &proxyTimer{}
+	w.scheds = append(w.scheds, bufferedSched{
+		key: schedKey{whenNs: w.curWhenNs, phase: w.curPhase, a: w.curA, ord: w.ord},
+		at:  w.cursor.Add(d),
+		tag: tag,
+		fn:  f,
+		tm:  tm,
+	})
+	w.ord++
+	return tm
+}
+
+func (c *nodeClock) NewTicker(time.Duration) clock.Ticker {
+	panic("harness: NewTicker is not available on a sharded run (step mode drives by callback)")
+}
+
+func (c *nodeClock) Sleep(time.Duration) {
+	panic("harness: Sleep is not available on a sharded run")
+}
+
+// shardCmd is one dispatch from the coordinator: the shard's slice of a
+// window segment, plus pump bookkeeping. cutAt, when set, is an instant an
+// op will interrupt — the shard defers that instant's pump until a later
+// dispatch closes it. extraDirty marks nodes an op touched (a publisher's
+// self-delivery) as pumpable at opAt.
+type shardCmd struct {
+	events     []shardEvent
+	cutAt      time.Time
+	opAt       time.Time
+	extraDirty []int32
+}
+
+// shardWorker owns every fleet index congruent to its position mod the shard
+// count: it executes their events, pumps their inboxes, and buffers their
+// schedules and delivery records. All fields are touched either by the
+// worker goroutine during a dispatch or by the coordinator between
+// dispatches; the cmd/done channel pair provides the happens-before edges.
+type shardWorker struct {
+	eng  *shardEngine
+	cmds chan shardCmd
+	done chan []bufferedSched
+
+	live   bool
+	cursor time.Time
+
+	// Current schedule-origin key components (see schedKey).
+	curWhenNs int64
+	curPhase  int8
+	curA      int64
+	ord       int32
+
+	inbox        []shardEvent // coordinator-side staging for the next cmd
+	dirty        map[int32]struct{}
+	deferInstant time.Time
+	scheds       []bufferedSched
+	recs         []deliveryRecord
+}
+
+func (w *shardWorker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for cmd := range w.cmds {
+		w.live = true
+		w.runCmd(cmd)
+		w.live = false
+		scheds := w.scheds
+		w.scheds = nil
+		w.done <- scheds
+	}
+}
+
+func (w *shardWorker) runCmd(cmd shardCmd) {
+	for _, i := range cmd.extraDirty {
+		w.dirty[i] = struct{}{}
+	}
+	cur := w.deferInstant
+	if cur.IsZero() && len(cmd.extraDirty) > 0 {
+		cur = cmd.opAt
+	}
+	w.deferInstant = time.Time{}
+	for _, ev := range cmd.events {
+		if !cur.IsZero() && ev.when.After(cur) {
+			w.pump(cur)
+			cur = time.Time{}
+		}
+		cur = ev.when
+		w.cursor = ev.when
+		w.curWhenNs = ev.when.Sub(w.eng.r.start).Nanoseconds()
+		w.curPhase = 0
+		w.curA = ev.pop
+		w.ord = 0
+		w.dirty[ev.tag] = struct{}{}
+		ev.fn()
+	}
+	if !cur.IsZero() {
+		if cur.Equal(cmd.cutAt) {
+			w.deferInstant = cur
+		} else {
+			w.pump(cur)
+		}
+	}
+}
+
+// pump drains the dirty nodes' inboxes and delivery channels for one
+// completed instant, in fleet-index order — the serial loop pumps every node
+// after every instant, but only dirty nodes can have anything queued, so the
+// sequence of observable effects is identical. With a positive link
+// lookahead no handling can enqueue more same-instant envelopes, so one pass
+// suffices (the serial loop's second pass finds quiescence).
+func (w *shardWorker) pump(at time.Time) {
+	if len(w.dirty) == 0 {
+		return
+	}
+	idxs := make([]int32, 0, len(w.dirty))
+	for i := range w.dirty {
+		idxs = append(idxs, i)
+	}
+	clear(w.dirty)
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	whenNs := at.Sub(w.eng.r.start).Nanoseconds()
+	w.cursor = at
+	for _, i := range idxs {
+		h := w.eng.r.handles[i]
+		if h == nil || !h.alive {
+			continue
+		}
+		w.curWhenNs = whenNs
+		w.curPhase = 2
+		w.curA = int64(i)
+		w.ord = 0
+		h.n.PumpInbox()
+		if ids := drainIDs(h.n); len(ids) > 0 {
+			w.recs = append(w.recs, deliveryRecord{
+				key:  schedKey{whenNs: whenNs, phase: 2, a: int64(i)},
+				node: i,
+				ids:  ids,
+			})
+		}
+	}
+}
+
+// drainIDs empties a node's delivery channel without blocking.
+func drainIDs(n *node.Node) []event.ID {
+	var ids []event.ID
+	for {
+		select {
+		case ev, ok := <-n.Deliveries():
+			if !ok {
+				return ids
+			}
+			ids = append(ids, ev.ID())
+		default:
+			return ids
+		}
+	}
+}
+
+// shardEngine is the coordinator's state: the workers, the per-node clocks,
+// the address→index map the fabric tags deliveries with, and the delivery
+// records the coordinator itself produces while running ops.
+type shardEngine struct {
+	r         *run
+	workers   []*shardWorker
+	wg        sync.WaitGroup
+	stopOnce  sync.Once
+	clocks    []*nodeClock
+	keyIdx    map[string]int32
+	lookahead time.Duration
+
+	popIdx     int64
+	opOrd      int64
+	opRecs     []deliveryRecord
+	extraDirty []int32
+	gather     []bufferedSched
+}
+
+func newShardEngine(r *run, shards int, lookahead time.Duration) *shardEngine {
+	eng := &shardEngine{
+		r:         r,
+		lookahead: lookahead,
+		keyIdx:    make(map[string]int32),
+	}
+	for s := 0; s < shards; s++ {
+		w := &shardWorker{
+			eng:   eng,
+			cmds:  make(chan shardCmd, 1),
+			done:  make(chan []bufferedSched, 1),
+			dirty: make(map[int32]struct{}),
+		}
+		eng.workers = append(eng.workers, w)
+		eng.wg.Add(1)
+		go w.loop(&eng.wg)
+	}
+	return eng
+}
+
+// clockFor returns (creating on first use) the node clock of a fleet index.
+func (eng *shardEngine) clockFor(i int) *nodeClock {
+	for len(eng.clocks) <= i {
+		eng.clocks = append(eng.clocks, nil)
+	}
+	if eng.clocks[i] == nil {
+		eng.clocks[i] = &nodeClock{w: eng.workers[i%len(eng.workers)], tag: int32(i)}
+	}
+	return eng.clocks[i]
+}
+
+// register maps an address key to its fleet index (called at spawn, before
+// any send can target the address).
+func (eng *shardEngine) register(key string, i int) { eng.keyIdx[key] = int32(i) }
+
+func (eng *shardEngine) tagOf(key string) int32 {
+	i, ok := eng.keyIdx[key]
+	if !ok {
+		panic(fmt.Sprintf("harness: delivery to unregistered address %q", key))
+	}
+	return i
+}
+
+// markOpDirty records that an op touched a node's delivery channel (publish
+// self-delivery): its owner shard must pump it when the op's instant closes.
+func (eng *shardEngine) markOpDirty(h *handle) {
+	eng.extraDirty = append(eng.extraDirty, int32(h.index))
+}
+
+func (eng *shardEngine) takeExtraDirty() []int32 {
+	d := eng.extraDirty
+	eng.extraDirty = nil
+	return d
+}
+
+// coordDrain records a node's pending deliveries during an op (phase 1: after
+// the instant's events, before its pumps — the serial position of an op's
+// inline drain).
+func (eng *shardEngine) coordDrain(h *handle) {
+	ids := drainIDs(h.n)
+	if len(ids) == 0 {
+		return
+	}
+	eng.opRecs = append(eng.opRecs, deliveryRecord{
+		key:  schedKey{whenNs: eng.r.vc.Now().Sub(eng.r.start).Nanoseconds(), phase: 1, a: eng.opOrd},
+		node: int32(h.index),
+		ids:  ids,
+	})
+	eng.opOrd++
+}
+
+// runSegment dispatches one op-free slice of a window to the shards, waits
+// for the barrier, and replays the buffered schedules into the virtual clock
+// in serial order. cut names an instant a following op leaves open;
+// extraDirty/opAt carry the preceding op's pump debts. until is the window
+// end, for the lookahead assertion.
+func (eng *shardEngine) runSegment(evs []shardEvent, cut time.Time, extraDirty []int32, opAt time.Time, until time.Time) {
+	S := len(eng.workers)
+	for _, w := range eng.workers {
+		w.inbox = w.inbox[:0]
+	}
+	for _, ev := range evs {
+		w := eng.workers[int(ev.tag)%S]
+		w.inbox = append(w.inbox, ev)
+	}
+	var extras [][]int32
+	if len(extraDirty) > 0 {
+		extras = make([][]int32, S)
+		for _, i := range extraDirty {
+			extras[int(i)%S] = append(extras[int(i)%S], i)
+		}
+	}
+	for s, w := range eng.workers {
+		cmd := shardCmd{events: w.inbox, cutAt: cut, opAt: opAt}
+		if extras != nil {
+			cmd.extraDirty = extras[s]
+		}
+		w.cmds <- cmd
+	}
+	eng.gather = eng.gather[:0]
+	for _, w := range eng.workers {
+		eng.gather = append(eng.gather, <-w.done...)
+	}
+	sort.Slice(eng.gather, func(i, j int) bool { return eng.gather[i].key.less(eng.gather[j].key) })
+	for _, bs := range eng.gather {
+		if !bs.at.After(until) {
+			panic(fmt.Sprintf("harness: lookahead violation: schedule at %v inside window ending %v",
+				bs.at, until))
+		}
+		bs.tm.bind(eng.r.vc.ScheduleTagged(bs.at, bs.tag, bs.fn))
+	}
+}
+
+// stop shuts the workers down (idempotent); their accumulated delivery
+// records stay readable afterwards (mergeDeliveries).
+func (eng *shardEngine) stop() {
+	eng.stopOnce.Do(func() {
+		for _, w := range eng.workers {
+			close(w.cmds)
+		}
+		eng.wg.Wait()
+	})
+}
+
+// mergeDeliveries replays every recorded delivery in serial order into the
+// run's trace and accounting — the step that makes the sharded trace
+// byte-identical to the serial one.
+func (eng *shardEngine) mergeDeliveries() {
+	recs := eng.opRecs
+	for _, w := range eng.workers {
+		recs = append(recs, w.recs...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key.less(recs[j].key) })
+	r := eng.r
+	for _, rec := range recs {
+		h := r.handles[rec.node]
+		for _, id := range rec.ids {
+			fmt.Fprintf(&r.trace, "%d %s %s#%d\n", rec.key.whenNs, h.key, id.Origin, id.Seq)
+			r.delivered[h.key] = append(r.delivered[h.key], id)
+			r.report.Delivered++
+			if set, ok := r.gotEvent[id]; ok {
+				set[h.key] = true
+			}
+			if at, ok := r.pubAt[id]; ok {
+				r.latNanos = append(r.latNanos, rec.key.whenNs-at)
+			}
+		}
+	}
+}
+
+// runSharded is the coordinator loop: windows of fixed due-event sets,
+// partitioned to the shards, with ops as barriers inside the window.
+func (r *run) runSharded(end time.Time) {
+	eng := r.eng
+	vc := r.vc
+	var evs []shardEvent
+	for {
+		T, ok := vc.NextAt()
+		if !ok || T.After(end) {
+			break
+		}
+		until := T.Add(eng.lookahead - time.Nanosecond)
+		if until.After(end) {
+			until = end
+		}
+		evs = evs[:0]
+		for {
+			when, tag, fn, ok := vc.PopDue(until)
+			if !ok {
+				break
+			}
+			evs = append(evs, shardEvent{when: when, tag: tag, pop: eng.popIdx, fn: fn})
+			eng.popIdx++
+		}
+		r.report.ClockEvents += len(evs)
+		segStart := 0
+		var pendDirty []int32
+		var pendOpAt time.Time
+		for {
+			j := segStart
+			for j < len(evs) && evs[j].tag >= 0 {
+				j++
+			}
+			var cut time.Time
+			if j < len(evs) {
+				cut = evs[j].when
+			}
+			eng.runSegment(evs[segStart:j], cut, pendDirty, pendOpAt, until)
+			pendDirty, pendOpAt = nil, time.Time{}
+			if j >= len(evs) {
+				break
+			}
+			op := evs[j]
+			vc.SetNow(op.when)
+			op.fn()
+			pendDirty = eng.takeExtraDirty()
+			pendOpAt = op.when
+			segStart = j + 1
+		}
+		vc.SetNow(until)
+	}
+	vc.SetNow(end)
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestChurn16kShardedRace drives the full churn16k campaign across eight
+// worker goroutines under the race detector: every coordinator/worker
+// barrier handoff, fabric route, cross-shard delivery and clock replay runs
+// instrumented. It only buys anything when the detector is on — the
+// uninstrumented build skips it and leaves behavioral coverage to the
+// equivalence tests — and it pins the campaign's trace hash, so the race run
+// is simultaneously a determinism check at 16k scale.
+func TestChurn16kShardedRace(t *testing.T) {
+	if !raceEnabled {
+		t.Skip("race detector off: TestShardedTraceEquivalence covers behavior")
+	}
+	if testing.Short() {
+		t.Skip("full 16k campaign under the race detector is minutes of wall clock")
+	}
+	sc, err := Lookup("churn16k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Shards = 8
+	res, err := sc.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "78f387805cbb45015fb8c0559f2f0cfa056781bb03b3886667f0123a89016bf7"
+	if got := res.Report.TraceSHA256; got != want {
+		t.Errorf("churn16k seed 1 shards 8: trace sha %s, want %s", got, want)
+	}
+}
+
+// TestShardedTraceEquivalence is the sharded engine's contract test: for a
+// given (scenario, seed), the merged delivery trace is byte-identical at any
+// shard count. smoke16 and lossy256 carry link delays, so they genuinely
+// exercise the windowed parallel path (and their hashes are additionally
+// pinned in goldenTraces — the sharded run must reproduce the serial golden,
+// not merely agree with itself). soak256 and noisy64 are delay-free: their
+// lookahead is zero, the engine must degrade to the serial loop, and the
+// report must say so (Shards == 1).
+func TestShardedTraceEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		sharded bool // true when the scenario has positive lookahead
+	}{
+		{"smoke16", true},
+		{"lossy256", true},
+		{"soak256", false},
+		{"noisy64", false},
+	}
+	for _, tc := range cases {
+		base, err := Lookup(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := base.lookahead(); (got > 0) != tc.sharded {
+			t.Fatalf("%s: lookahead %v, expected sharded=%v — scenario drifted under this test",
+				tc.name, got, tc.sharded)
+		}
+		for _, seed := range []int64{1, 42} {
+			if testing.Short() && (seed != 1 || base.Nodes > 64) {
+				continue
+			}
+			want := ""
+			if seeds, ok := goldenTraces[tc.name]; ok {
+				want = seeds[seed]
+			}
+			for _, shards := range []int{1, 2, 8} {
+				sc, err := Lookup(tc.name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.Shards = shards
+				res, err := sc.Run(seed)
+				if err != nil {
+					t.Fatalf("%s seed %d shards %d: %v", tc.name, seed, shards, err)
+				}
+				wantShards := shards
+				if !tc.sharded {
+					wantShards = 1
+				}
+				if res.Report.Shards != wantShards {
+					t.Errorf("%s seed %d: asked for %d shards, report says %d",
+						tc.name, seed, shards, res.Report.Shards)
+				}
+				if want == "" {
+					want = res.Report.TraceSHA256 // no golden: shards=1 run is the reference
+					continue
+				}
+				if got := res.Report.TraceSHA256; got != want {
+					t.Errorf("%s seed %d shards %d: trace sha %s, want %s — sharding changed the delivery trace",
+						tc.name, seed, shards, got, want)
+				}
+			}
+		}
+	}
+}

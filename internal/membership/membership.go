@@ -158,6 +158,16 @@ type Service struct {
 	alive     int    // count of alive records, maintained on every transition
 	hash      uint64 // order-independent roster hash, maintained likewise
 
+	// base, when non-nil, is the immutable shared roster this service was
+	// bootstrapped from (see NewWithRoster); records then holds only the
+	// overlay of lines that diverged. poolGone lists the base positions
+	// excluded from the alive-peer pool — self plus every currently dead
+	// line — sorted ascending. Invariant: poolGone = {i : base line i is
+	// effectively not alive} ∪ {self}, so the pool seen through
+	// poolAtLocked is exactly what peerCache would hold classically.
+	base     *Roster
+	poolGone []int32
+
 	// peerCache and neighborCache are the sorted alive-peer and
 	// immediate-neighbor lists, maintained incrementally on every liveness
 	// transition: digest fan-out and heartbeats read them every membership
@@ -287,14 +297,29 @@ func (s *Service) setAliveLocked(a addr.Address, key string, nowAlive bool) {
 	if key == s.cfg.Self.Key() {
 		return
 	}
-	if nowAlive {
-		s.peerCache = insortAddr(s.peerCache, a)
-		if a.HasPrefix(s.selfPrefix) {
-			s.neighborCache = insortAddr(s.neighborCache, a)
+	if s.base != nil {
+		// Roster mode: the pool is the base minus the exclusion set, so a
+		// liveness transition moves the base position in or out of poolGone.
+		// Addresses outside the base cannot reach here — apply materializes
+		// before admitting one.
+		idx, ok := s.base.index[key]
+		if !ok {
+			panic("membership: non-roster address in roster-mode pool transition")
 		}
+		if nowAlive {
+			s.poolGone = removeIdx(s.poolGone, idx)
+		} else {
+			s.poolGone = insortIdx(s.poolGone, idx)
+		}
+	} else if nowAlive {
+		s.peerCache = insortAddr(s.peerCache, a)
 	} else {
 		s.peerCache = removeAddr(s.peerCache, a)
-		if a.HasPrefix(s.selfPrefix) {
+	}
+	if a.HasPrefix(s.selfPrefix) {
+		if nowAlive {
+			s.neighborCache = insortAddr(s.neighborCache, a)
+		} else {
 			s.neighborCache = removeAddr(s.neighborCache, a)
 		}
 	}
@@ -351,8 +376,12 @@ func (s *Service) ChangesSince(v uint64) (keys []string, ok bool) {
 // Returns whether state changed. Callers hold s.mu.
 func (s *Service) apply(r Record) bool {
 	key := r.Addr.Key()
-	cur, ok := s.records[key]
+	cur, ok := s.peekLocked(key)
 	if !ok {
+		// An address this service has never seen. In roster mode that means
+		// it is outside the shared base: stop sharing and run classic from
+		// here on (exceptional — only genuinely new joiners trigger it).
+		s.materializeLocked()
 		cp := r
 		s.records[key] = &cp
 		if r.Alive {
@@ -369,9 +398,10 @@ func (s *Service) apply(r Record) bool {
 	}
 	if r.Stamp == cur.Stamp && cur.Alive && !r.Alive {
 		// Tombstone precedence at equal stamps.
-		s.touchHashLocked(key, cur.Stamp, true, cur.Stamp, false)
-		cur.Alive = false
-		s.setAliveLocked(cur.Addr, key, false)
+		rec := s.mutableLocked(key)
+		s.touchHashLocked(key, rec.Stamp, true, rec.Stamp, false)
+		rec.Alive = false
+		s.setAliveLocked(rec.Addr, key, false)
 		return true
 	}
 	if r.Stamp == cur.Stamp {
@@ -380,19 +410,21 @@ func (s *Service) apply(r Record) bool {
 	// Self-defense: if someone declares us dead, resurrect with a higher
 	// stamp so the correction propagates (we are obviously alive).
 	if key == s.cfg.Self.Key() && !r.Alive {
-		s.touchHashLocked(key, cur.Stamp, cur.Alive, r.Stamp+1, true)
-		cur.Stamp = r.Stamp + 1
-		if !cur.Alive {
-			s.setAliveLocked(cur.Addr, key, true)
+		rec := s.mutableLocked(key)
+		s.touchHashLocked(key, rec.Stamp, rec.Alive, r.Stamp+1, true)
+		rec.Stamp = r.Stamp + 1
+		if !rec.Alive {
+			s.setAliveLocked(rec.Addr, key, true)
 		}
-		cur.Alive = true
+		rec.Alive = true
 		return true
 	}
-	if cur.Alive != r.Alive {
+	rec := s.mutableLocked(key)
+	if rec.Alive != r.Alive {
 		s.setAliveLocked(r.Addr, key, r.Alive)
 	}
-	s.touchHashLocked(key, cur.Stamp, cur.Alive, r.Stamp, r.Alive)
-	*cur = r
+	s.touchHashLocked(key, rec.Stamp, rec.Alive, r.Stamp, r.Alive)
+	*rec = r
 	return true
 }
 
@@ -426,17 +458,17 @@ func (s *Service) MakeDigest() Digest {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.digestVersion != s.version {
-		s.digestCache = make([]DigestEntry, 0, len(s.records))
-		for key, r := range s.records {
+		s.digestCache = make([]DigestEntry, 0, s.recordCountLocked())
+		s.visitLocked(func(key string, r *Record) {
 			s.digestCache = append(s.digestCache,
 				DigestEntry{Key: key, Stamp: r.Stamp, Alive: r.Alive})
-		}
+		})
 		s.digestVersion = s.version
 	}
 	return Digest{
 		From:    s.cfg.Self,
 		Hash:    s.hash,
-		Count:   len(s.records),
+		Count:   s.recordCountLocked(),
 		Entries: s.digestCache,
 	}
 }
@@ -448,7 +480,7 @@ func (s *Service) MakeDigest() Digest {
 func (s *Service) MakeSummaryDigest() Digest {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return Digest{From: s.cfg.Self, Hash: s.hash, Count: len(s.records)}
+	return Digest{From: s.cfg.Self, Hash: s.hash, Count: s.recordCountLocked()}
 }
 
 // HandleDigest implements the pull: it returns an Update carrying every
@@ -474,7 +506,7 @@ func (s *Service) HandleDigest(d Digest) (upd *Update, gossiperFresher bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.markHeardLocked(d.From)
-	if d.Hash == s.hash && d.Count == len(s.records) {
+	if d.Hash == s.hash && d.Count == s.recordCountLocked() {
 		return nil, false // identical rosters, probe or full
 	}
 	if len(d.Entries) == 0 {
@@ -486,13 +518,13 @@ func (s *Service) HandleDigest(d Digest) (upd *Update, gossiperFresher bool) {
 	var fresh []Record
 	shared := 0
 	for _, e := range d.Entries {
-		r, ok := s.records[e.Key]
+		r, ok := s.peekLocked(e.Key)
 		switch {
 		case !ok:
 			gossiperFresher = true // a line we lack entirely
 		case e.Stamp < r.Stamp:
 			shared++
-			fresh = append(fresh, *r)
+			fresh = append(fresh, r)
 		case e.Stamp > r.Stamp:
 			shared++
 			gossiperFresher = true
@@ -500,23 +532,23 @@ func (s *Service) HandleDigest(d Digest) (upd *Update, gossiperFresher bool) {
 			shared++
 			// Equal stamps: tombstone precedence decides who is fresher.
 			if e.Alive && !r.Alive {
-				fresh = append(fresh, *r)
+				fresh = append(fresh, r)
 			} else if !e.Alive && r.Alive {
 				gossiperFresher = true
 			}
 		}
 	}
-	if shared < len(s.records) {
+	if shared < s.recordCountLocked() {
 		// The digest misses lines we hold; identify them.
 		known := make(map[string]struct{}, len(d.Entries))
 		for _, e := range d.Entries {
 			known[e.Key] = struct{}{}
 		}
-		for key, r := range s.records {
+		s.visitLocked(func(key string, r *Record) {
 			if _, ok := known[key]; !ok {
 				fresh = append(fresh, *r)
 			}
-		}
+		})
 	}
 	if len(fresh) == 0 {
 		return nil, gossiperFresher
@@ -529,7 +561,7 @@ func (s *Service) HandleDigest(d Digest) (upd *Update, gossiperFresher bool) {
 func (s *Service) GossipTargets(rng *rand.Rand, k int) []addr.Address {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return pickDistinct(rng, s.peerCache, k, nil)
+	return s.pickDistinctLocked(rng, k, nil)
 }
 
 // DigestTargets picks up to k distinct digest destinations, the first drawn
@@ -542,7 +574,7 @@ func (s *Service) GossipTargets(rng *rand.Rand, k int) []addr.Address {
 func (s *Service) DigestTargets(rng *rand.Rand, k int) []addr.Address {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if k <= 0 || len(s.peerCache) == 0 {
+	if k <= 0 || s.poolLenLocked() == 0 {
 		return nil
 	}
 	var out []addr.Address
@@ -556,13 +588,17 @@ func (s *Service) DigestTargets(rng *rand.Rand, k int) []addr.Address {
 		out = append(out, nb)
 		used[nb.Key()] = true
 	}
-	return append(out, pickDistinct(rng, s.peerCache, k-len(out), used)...)
+	return append(out, s.pickDistinctLocked(rng, k-len(out), used)...)
 }
 
-// pickDistinct draws up to k distinct addresses from the sorted pool by
-// deterministic rejection sampling, skipping anything in used.
-func pickDistinct(rng *rand.Rand, pool []addr.Address, k int, used map[string]bool) []addr.Address {
-	avail := len(pool) - len(used)
+// pickDistinctLocked draws up to k distinct addresses from the sorted
+// alive-peer pool by deterministic rejection sampling, skipping anything in
+// used. The pool is the classic peerCache or, in roster mode, the identical
+// logical sequence read through poolAtLocked — rng consumption and drawn
+// addresses match between the modes exactly, which the golden traces pin.
+func (s *Service) pickDistinctLocked(rng *rand.Rand, k int, used map[string]bool) []addr.Address {
+	n := s.poolLenLocked()
+	avail := n - len(used)
 	if k > avail {
 		k = avail
 	}
@@ -574,7 +610,7 @@ func pickDistinct(rng *rand.Rand, pool []addr.Address, k int, used map[string]bo
 	}
 	out := make([]addr.Address, 0, k)
 	for len(out) < k {
-		p := pool[rng.Intn(len(pool))]
+		p := s.poolAtLocked(rng.Intn(n))
 		if used[p.Key()] {
 			continue
 		}
@@ -605,24 +641,24 @@ func (s *Service) HandleJoinRequest(jr JoinRequest) (reply Update, forward addr.
 		s.logChangeLocked(s.version, jr.Joiner.Addr.Key())
 	}
 	s.markHeardLocked(jr.Joiner.Addr)
-	records := make([]Record, 0, len(s.records))
-	for _, r := range s.records {
+	records := make([]Record, 0, s.recordCountLocked())
+	s.visitLocked(func(_ string, r *Record) {
 		records = append(records, *r)
-	}
-	// Choose the forward hop over the sorted alive-peer cache: ties at equal
+	})
+	// Choose the forward hop over the sorted alive-peer pool: ties at equal
 	// prefix depth must resolve identically on every process and every run
 	// (map iteration order would make seeded replays diverge).
 	selfDepth := s.cfg.Self.CommonPrefixDepth(jr.Joiner.Addr)
 	var best addr.Address
 	bestDepth := selfDepth
-	for _, peer := range s.peerCache {
+	s.poolVisitLocked(func(peer addr.Address) {
 		if peer.Equal(jr.Joiner.Addr) {
-			continue
+			return
 		}
 		if d := peer.CommonPrefixDepth(jr.Joiner.Addr); d > bestDepth {
 			bestDepth, best = d, peer
 		}
-	}
+	})
 	s.mu.Unlock()
 
 	sort.Slice(records, func(i, j int) bool { return records[i].Addr.Less(records[j].Addr) })
@@ -716,7 +752,6 @@ func (s *Service) SweepFailures() []addr.Address {
 	neighbors := append([]addr.Address(nil), s.neighborCache...)
 	for _, a := range neighbors {
 		key := a.Key()
-		r := s.records[key]
 		heard, ok := s.lastHeard[key]
 		if !ok {
 			s.lastHeard[key] = now
@@ -728,6 +763,7 @@ func (s *Service) SweepFailures() []addr.Address {
 				continue // confirmation phase (Section 6): not yet expelled
 			}
 			delete(s.suspicion, key)
+			r := s.mutableLocked(key)
 			s.touchHashLocked(key, r.Stamp, r.Alive, r.Stamp+1, false)
 			r.Stamp++
 			r.Alive = false
@@ -746,12 +782,12 @@ func (s *Service) SweepFailures() []addr.Address {
 func (s *Service) Snapshot() []tree.Member {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]tree.Member, 0, len(s.records))
-	for _, r := range s.records {
+	out := make([]tree.Member, 0, s.alive)
+	s.visitLocked(func(_ string, r *Record) {
 		if r.Alive {
 			out = append(out, tree.Member{Addr: r.Addr, Sub: r.Sub})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
 	return out
 }
@@ -763,9 +799,7 @@ func (s *Service) Snapshot() []tree.Member {
 func (s *Service) VisitRecords(fn func(Record)) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, r := range s.records {
-		fn(*r)
-	}
+	s.visitLocked(func(_ string, r *Record) { fn(*r) })
 }
 
 // Lookup returns the record for an address.
@@ -777,9 +811,5 @@ func (s *Service) Lookup(a addr.Address) (Record, bool) {
 func (s *Service) LookupKey(key string) (Record, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	r, ok := s.records[key]
-	if !ok {
-		return Record{}, false
-	}
-	return *r, true
+	return s.peekLocked(key)
 }

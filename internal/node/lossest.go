@@ -102,7 +102,15 @@ func (e *lossEstimator) observeBeacon(from string, sent uint32) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := e.peerLocked(from)
-	if !st.synced || sent < st.beaconBase {
+	// Serial-number arithmetic (RFC 1982 style): the counters are uint32 and
+	// a sustained stream wraps them, so "ran backwards" cannot be tested with
+	// an ordinary comparison — a beacon just past 2^32 would read as smaller
+	// than a base just before it and reset a perfectly healthy window. The
+	// modular delta disambiguates: a forward step lands in [0, 2^31), a
+	// genuine restart (or a beacon reordered across a reset) lands in the
+	// upper half.
+	sentDelta := sent - st.beaconBase
+	if !st.synced || sentDelta >= 1<<31 {
 		// First contact, or the peer's counter ran backwards — a restart
 		// (rejoin) or a reordered beacon. Either way the open window spans
 		// an identity we can't account for: anchor fresh and drop the
@@ -114,7 +122,6 @@ func (e *lossEstimator) observeBeacon(from string, sent uint32) {
 		st.samples = 0
 		return
 	}
-	sentDelta := sent - st.beaconBase
 	if sentDelta < lossEstMinWindow {
 		return // window too small to be signal; keep accumulating
 	}

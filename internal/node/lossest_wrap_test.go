@@ -1,0 +1,70 @@
+package node
+
+import (
+	"math"
+	"testing"
+)
+
+// TestObserveBeaconCounterWraparound drives a measurement window across the
+// uint32 boundary. The cumulative counters are modular; before the
+// serial-number fix, a beacon just past 2^32 compared "smaller" than a base
+// just below it and reset the estimator mid-stream, so sustained 64k-scale
+// campaigns lost their loss signal every 4 billion parts.
+func TestObserveBeaconCounterWraparound(t *testing.T) {
+	e := newLossEstimator()
+	const peer = "p"
+
+	// Anchor a window just below the wrap point.
+	base := uint32(math.MaxUint32 - 5)
+	e.peerLocked(peer).recvFrom = 0
+	e.observeBeacon(peer, base) // first beacon: sync only
+	if st := e.peers[peer]; !st.synced || st.beaconBase != base {
+		t.Fatalf("first beacon did not anchor: %+v", st)
+	}
+
+	// The peer sends 16 more parts, wrapping its counter; we receive 12.
+	e.noteRecv(peer, 12)
+	wrapped := base + 16 // modular: wraps to 10
+	if wrapped > base {
+		t.Fatalf("test setup: counter did not wrap (base %d, next %d)", base, wrapped)
+	}
+	e.observeBeacon(peer, wrapped)
+
+	est, ok := e.Estimate(peer)
+	if !ok {
+		t.Fatalf("window crossing 2^32 was treated as a peer restart — no estimate folded")
+	}
+	want := 1 - 12.0/16.0
+	if math.Abs(est-want) > 1e-9 {
+		t.Fatalf("estimate %v, want %v (modular 16-part window, 12 received)", est, want)
+	}
+
+	// The window must have re-anchored at the wrapped value.
+	if st := e.peers[peer]; st.beaconBase != wrapped {
+		t.Fatalf("beaconBase = %d, want %d", st.beaconBase, wrapped)
+	}
+
+	// A genuinely backwards beacon (restart) must still reset: half the ring
+	// away reads as negative under serial-number arithmetic.
+	e.noteRecv(peer, 100)
+	e.observeBeacon(peer, wrapped-1000)
+	if _, ok := e.Estimate(peer); ok {
+		t.Fatalf("backwards beacon (peer restart) did not reset the estimator")
+	}
+
+	// Receive-counter wraparound on our side of the window must also fold
+	// modularly: re-anchor with recvFrom near the top, then push it past 0.
+	e2 := newLossEstimator()
+	st := e2.peerLocked(peer)
+	st.recvFrom = math.MaxUint32 - 3
+	e2.observeBeacon(peer, 0) // anchor: recvBase = MaxUint32-3, beaconBase = 0
+	e2.noteRecv(peer, 10)     // recvFrom wraps to 6
+	e2.observeBeacon(peer, 10)
+	est, ok = e2.Estimate(peer)
+	if !ok {
+		t.Fatalf("receive-side wrap treated as restart")
+	}
+	if math.Abs(est-0.0) > 1e-9 {
+		t.Fatalf("estimate %v, want 0 (10 sent, 10 received across recv wrap)", est)
+	}
+}

@@ -153,6 +153,19 @@ type Config struct {
 	// the whole runtime deterministic; see internal/harness, which drives
 	// fleets of nodes in step mode on one virtual clock.
 	Clock clock.Clock
+	// MembershipRoster, when non-nil, bootstraps the membership service
+	// from a shared immutable roster (membership.NewWithRoster) instead of
+	// a self-seeded table — the fleet-bootstrap path where n co-hosted
+	// services would otherwise each hold an O(n) copy of the same records.
+	// The roster must contain the node's own line; Subscription should
+	// match it. Observable behavior is identical to applying the roster
+	// line by line (the golden traces pin this).
+	MembershipRoster *membership.Roster
+	// DeferViews skips building tree views at construction. The node is
+	// NOT usable until WarmViews or AdoptViewsFrom runs; harnesses set it
+	// to bootstrap one donor fold and adopt it fleet-wide instead of
+	// paying n identical O(n·d) folds.
+	DeferViews bool
 }
 
 func (c Config) withDefaults() Config {
@@ -210,11 +223,17 @@ type Node struct {
 	// protocol stage is the state's single writer, so the lock is
 	// uncontended there; it remains the arbiter for step-mode drivers,
 	// bootstrap tools (WarmViews, AdoptViewsFrom) and serial-path Publish.
-	mu               sync.Mutex
-	rng              *rand.Rand
-	proc             *core.Process
-	tree             *tree.Tree
+	mu   sync.Mutex
+	rng  *rand.Rand
+	proc *core.Process
+	tree *tree.Tree
+	// applied is the node's own fold bookkeeping; appliedBase, when non-nil,
+	// is a frozen table shared with sibling nodes adopted from one donor
+	// (AdoptViewsFrom) — read-only by contract, shadowed by applied. The
+	// split is what keeps co-hosted fleets affordable: n nodes sharing one
+	// bootstrap fold hold one table plus n overlays instead of n copies.
 	applied          map[string]appliedRecord
+	appliedBase      map[string]appliedRecord
 	treeSize         int
 	treeVersion      uint64
 	seen             map[event.ID]struct{}
@@ -277,14 +296,21 @@ type Node struct {
 // backend, or whatever a deployment plugs in. The node is inert until Start.
 func New(tr transport.Transport, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
-	mem, err := membership.New(membership.Config{
+	memCfg := membership.Config{
 		Self:            cfg.Addr,
 		Space:           cfg.Space,
 		R:               cfg.R,
 		SuspectAfter:    cfg.SuspectAfter,
 		SuspicionSweeps: cfg.SuspicionSweeps,
 		Now:             cfg.Clock.Now,
-	}, cfg.Subscription)
+	}
+	var mem *membership.Service
+	var err error
+	if cfg.MembershipRoster != nil {
+		mem, err = membership.NewWithRoster(memCfg, cfg.MembershipRoster)
+	} else {
+		mem, err = membership.New(memCfg, cfg.Subscription)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -316,9 +342,11 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		n.fasm = fec.NewAssembler()
 		n.fecKeyAddr = make(map[string]addr.Address)
 	}
-	if err := n.rebuildLocked(); err != nil {
-		ep.Close()
-		return nil, err
+	if !cfg.DeferViews {
+		if err := n.rebuildLocked(); err != nil {
+			ep.Close()
+			return nil, err
+		}
 	}
 	return n, nil
 }
@@ -1043,6 +1071,19 @@ type appliedRecord struct {
 	sub   interest.Subscription
 }
 
+// appliedLookupLocked reads the fold bookkeeping through the own-then-base
+// overlay (see the applied/appliedBase fields).
+func (n *Node) appliedLookupLocked(key string) (appliedRecord, bool) {
+	if v, ok := n.applied[key]; ok {
+		return v, true
+	}
+	if n.appliedBase != nil {
+		v, ok := n.appliedBase[key]
+		return v, ok
+	}
+	return appliedRecord{}, false
+}
+
 // rebuildLocked folds membership changes into the node's persistent tree
 // incrementally — tree.ApplyDelta recomputes only the affected prefixes —
 // and rebuilds the protocol process over the updated views. A full
@@ -1061,11 +1102,12 @@ func (n *Node) rebuildLocked() error {
 		}
 		n.tree = t
 		n.applied = make(map[string]appliedRecord)
+		n.appliedBase = nil // a fresh fold must revisit every record
 	}
 	var delta tree.Delta
 	fold := func(r membership.Record) {
 		key := r.Addr.Key()
-		prev, ok := n.applied[key]
+		prev, ok := n.appliedLookupLocked(key)
 		if ok && prev.stamp == r.Stamp && prev.alive == r.Alive {
 			return
 		}
@@ -1108,6 +1150,7 @@ func (n *Node) rebuildLocked() error {
 			// application as fatal).
 			n.tree = nil
 			n.applied = nil
+			n.appliedBase = nil
 			return fmt.Errorf("node: updating tree: %w", err)
 		}
 	}

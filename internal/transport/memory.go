@@ -138,25 +138,46 @@ type Config struct {
 type Network struct {
 	clk clock.Clock
 
-	// mu is a reader/writer lock so the fault-free hot path — no loss, no
-	// delay, no link model, no tap, no partitions — routes under a shared
-	// read lock: concurrent engine fleets would otherwise serialize every
-	// send on one global mutex, capping multicore campaigns at single-core
-	// throughput. Anything that mutates fabric state (fault draws advance
-	// per-link RNG streams, timers register, knobs change) takes the write
-	// lock.
+	// mu is a reader/writer lock: every route — fault-free or faulty — runs
+	// under the shared read lock, so concurrent senders (the sharded harness
+	// runs one goroutine per shard) never serialize on one global mutex.
+	// Only knob mutations (Attach/Detach, SetLoss, Block, Heal, Close) take
+	// the write lock; they happen while the fleet is quiescent.
 	mu        sync.RWMutex
 	cfg       Config
-	seedMix   uint64                 // Seed as stream material; seed 0 gets its own constant
-	links     map[string]*linkStream // per directed link fault streams
+	seedMix   uint64 // Seed as stream material; seed 0 gets its own constant
 	endpoints map[string]*memEndpoint
 	blocked   map[string]bool // "from|to" directed block rules
-	// lastDelayed tracks, per directed link, the latest scheduled delivery
-	// instant — the per-link FIFO floor for subsequent delayed deliveries.
-	lastDelayed map[string]time.Time
-	timers      map[clock.Timer]struct{}
-	dropped     atomic.Int64
-	closed      bool
+
+	// links holds each directed link's fault stream and FIFO floor. The map
+	// itself is guarded by linksMu (links are created lazily from concurrent
+	// routes), but a linkState's FIELDS are not: a directed link's draws
+	// happen only on sends from its source address, and one process's sends
+	// are totally ordered — by the single run loop in a serial campaign, by
+	// the owner shard plus barrier handoffs in a sharded one. Streams and
+	// floors survive endpoint detach/reattach, so a rejoined process
+	// continues its links' draw sequences exactly where the crashed
+	// generation left them.
+	linksMu sync.Mutex
+	links   map[string]*linkState
+
+	// timers tracks outstanding delayed deliveries for cancellation at
+	// Close. Its own mutex, not mu: delivery callbacks fire on shard
+	// goroutines while other senders hold the read lock.
+	timersMu sync.Mutex
+	timers   map[clock.Timer]struct{}
+
+	dropped atomic.Int64
+	closed  bool
+}
+
+// OwnedScheduler is an optional Clock capability: schedule a callback that
+// logically belongs to the process with the given address key. The sharded
+// harness clock implements it so a delayed delivery becomes an event tagged
+// with (and executed by) the destination's shard; plain clocks fall back to
+// AfterFunc.
+type OwnedScheduler interface {
+	AfterFuncOwned(ownerKey string, d time.Duration, f func()) clock.Timer
 }
 
 // defaultSeedStream is the stream-selection constant for Config.Seed == 0.
@@ -174,6 +195,15 @@ const defaultSeedStream = 0x9e3779b97f4a7c15
 type linkStream struct {
 	state uint64
 	bad   bool
+}
+
+// linkState is one directed link's mutable fabric state: its fault stream
+// and the per-link FIFO floor (the latest scheduled delivery instant — a
+// later send on the link never lands before an earlier delayed one). Fields
+// are owner-ordered, not locked; see Network.links.
+type linkState struct {
+	linkStream
+	lastDelayed time.Time
 }
 
 func (s *linkStream) next() uint64 {
@@ -223,14 +253,13 @@ func NewNetwork(cfg Config) (*Network, error) {
 		clk = clock.Real{}
 	}
 	return &Network{
-		clk:         clk,
-		cfg:         cfg,
-		seedMix:     seedMix,
-		links:       make(map[string]*linkStream),
-		endpoints:   make(map[string]*memEndpoint),
-		blocked:     make(map[string]bool),
-		lastDelayed: make(map[string]time.Time),
-		timers:      make(map[clock.Timer]struct{}),
+		clk:       clk,
+		cfg:       cfg,
+		seedMix:   seedMix,
+		links:     make(map[string]*linkState),
+		endpoints: make(map[string]*memEndpoint),
+		blocked:   make(map[string]bool),
+		timers:    make(map[clock.Timer]struct{}),
 	}, nil
 }
 
@@ -245,21 +274,24 @@ func MustNetwork(cfg Config) *Network {
 	return n
 }
 
-// linkRNGLocked returns the directed link's fault stream, creating it
-// deterministically from the fabric seed and the link key on first use.
-func (n *Network) linkRNGLocked(linkKey string) *linkStream {
-	if s, ok := n.links[linkKey]; ok {
-		return s
+// linkState returns the directed link's state, creating it deterministically
+// from the fabric seed and the link key on first use. Only the map access is
+// locked; the returned state's fields are owner-ordered (see Network.links).
+func (n *Network) linkState(linkKey string) *linkState {
+	n.linksMu.Lock()
+	st, ok := n.links[linkKey]
+	if !ok {
+		// FNV-1a over the link key, mixed with the fabric seed, so links get
+		// independent but reproducible starting states.
+		h := uint64(1469598103934665603)
+		for i := 0; i < len(linkKey); i++ {
+			h = (h ^ uint64(linkKey[i])) * 1099511628211
+		}
+		st = &linkState{linkStream: linkStream{state: n.seedMix ^ h}}
+		n.links[linkKey] = st
 	}
-	// FNV-1a over the link key, mixed with the fabric seed, so links get
-	// independent but reproducible starting states.
-	h := uint64(1469598103934665603)
-	for i := 0; i < len(linkKey); i++ {
-		h = (h ^ uint64(linkKey[i])) * 1099511628211
-	}
-	s := &linkStream{state: n.seedMix ^ h}
-	n.links[linkKey] = s
-	return s
+	n.linksMu.Unlock()
+	return st
 }
 
 // Attach registers an address and returns its endpoint.
@@ -306,11 +338,13 @@ func (n *Network) Close() error {
 		return nil
 	}
 	n.closed = true
-	timers := n.timers
-	n.timers = make(map[clock.Timer]struct{})
 	endpoints := n.endpoints
 	n.endpoints = make(map[string]*memEndpoint)
 	n.mu.Unlock()
+	n.timersMu.Lock()
+	timers := n.timers
+	n.timers = make(map[clock.Timer]struct{})
+	n.timersMu.Unlock()
 
 	for t := range timers {
 		t.Stop()
@@ -373,7 +407,8 @@ func (n *Network) Size() int {
 // no partition rules) routes under the read lock: no fault draws means no
 // per-link RNG state advances, so concurrent senders stay independent and
 // the path scales with cores.
-func (n *Network) route(from, to addr.Address, payload any) error {
+func (n *Network) route(e *memEndpoint, to addr.Address, payload any) error {
+	from := e.addr
 	n.mu.RLock()
 	if n.closed {
 		n.mu.RUnlock()
@@ -399,7 +434,7 @@ func (n *Network) route(from, to addr.Address, payload any) error {
 		return nil
 	}
 	n.mu.RUnlock()
-	return n.routeFaulty(from, to, payload)
+	return n.routeFaulty(e, from, to, payload)
 }
 
 // payloadParts counts the sub-messages of a payload for drop accounting.
@@ -458,44 +493,63 @@ func (n *Network) delayLocked(rng *linkStream) time.Duration {
 	return d
 }
 
-// scheduleLocked registers one delayed delivery of envs (in order) on the
-// link, clamped to the per-link FIFO floor: it never lands before an earlier
-// delayed delivery on the same directed link. The timer is registered while
-// still holding mu: the callback also takes mu first, so it cannot observe
-// the map before the timer is tracked, and Close cancels anything still
+// schedule registers one delayed delivery of envs (in order) on the link,
+// clamped to the per-link FIFO floor: it never lands before an earlier
+// delayed delivery on the same directed link. The timer is registered under
+// timersMu and the callback takes timersMu first, so it cannot observe the
+// map before the timer is tracked, and Close cancels anything still
 // registered. On a virtual clock the callback only runs when the harness
 // advances time — in strict (time, scheduling-order) order, which together
-// with the clamp is what makes the FIFO guarantee deterministic.
-func (n *Network) scheduleLocked(dst *memEndpoint, linkKey string, delay time.Duration, envs []Envelope) {
-	now := n.clk.Now()
+// with the clamp is what makes the FIFO guarantee deterministic. The sender
+// endpoint's clock, when set, both reads now and schedules — the sharded
+// harness points it at the sender's shard clock, whose OwnedScheduler
+// implementation turns the delivery into an event owned by the destination.
+func (n *Network) schedule(e *memEndpoint, st *linkState, dst *memEndpoint, delay time.Duration, envs []Envelope) {
+	clk := e.clk
+	if clk == nil {
+		clk = n.clk
+	}
+	now := clk.Now()
 	at := now.Add(delay)
-	if last, ok := n.lastDelayed[linkKey]; ok && last.After(at) {
-		at = last
+	if st.lastDelayed.After(at) {
+		at = st.lastDelayed
 		delay = at.Sub(now)
 	}
-	n.lastDelayed[linkKey] = at
+	st.lastDelayed = at
 	var timer clock.Timer
-	timer = n.clk.AfterFunc(delay, func() {
-		n.mu.Lock()
+	fire := func() {
+		n.timersMu.Lock()
 		_, live := n.timers[timer]
 		delete(n.timers, timer)
-		n.mu.Unlock()
+		n.timersMu.Unlock()
 		if live {
 			for _, env := range envs {
 				n.deliver(dst, env)
 			}
 		}
-	})
+	}
+	n.timersMu.Lock()
+	if os, ok := clk.(OwnedScheduler); ok {
+		timer = os.AfterFuncOwned(dst.addr.Key(), delay, fire)
+	} else {
+		timer = clk.AfterFunc(delay, fire)
+	}
 	n.timers[timer] = struct{}{}
+	n.timersMu.Unlock()
 }
 
-// routeFaulty is the fault-injecting path, serialized under the write lock
-// because fault draws advance the link's RNG stream (determinism requires
-// each link's draws to happen in its own traffic order).
-func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
-	n.mu.Lock()
+// routeFaulty is the fault-injecting path. It runs under the read lock:
+// fault draws advance the link's RNG stream, but each directed link's draws
+// happen only on sends from its source process, and those are totally
+// ordered by that process's owner (run loop or shard) — determinism needs
+// each link's draws in its own traffic order, which ownership provides
+// without a global write lock. Tap, when set, is called concurrently by
+// concurrent senders and must synchronize itself (every in-tree Tap runs
+// under a serial fabric).
+func (n *Network) routeFaulty(e *memEndpoint, from, to addr.Address, payload any) error {
+	n.mu.RLock()
 	if n.closed {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return ErrClosed
 	}
 	if n.cfg.Tap != nil {
@@ -507,16 +561,17 @@ func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
 	dst, ok := n.endpoints[to.Key()]
 	if !ok {
 		n.dropped.Add(int64(parts))
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 	}
 	linkKey := from.Key() + "|" + to.Key()
 	if n.blocked[linkKey] {
 		n.dropped.Add(int64(parts))
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return nil // silent partition
 	}
-	rng := n.linkRNGLocked(linkKey)
+	st := n.linkState(linkKey)
+	rng := &st.linkStream
 	// Repair symbols draw from a separate per-link stream: they are extra
 	// traffic a coded run adds on top of the same gossips an uncoded run
 	// sends, and giving them their own stream keeps the source messages'
@@ -529,7 +584,7 @@ func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
 	var fecRNG *linkStream
 	fecStream := func() *linkStream {
 		if fecRNG == nil {
-			fecRNG = n.linkRNGLocked(linkKey + "|fec")
+			fecRNG = &n.linkState(linkKey + "|fec").linkStream
 		}
 		return fecRNG
 	}
@@ -555,7 +610,7 @@ func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
 			survivors = append(survivors, Envelope{From: from, To: to, Payload: sub})
 		})
 		if len(survivors) == 0 {
-			n.mu.Unlock()
+			n.mu.RUnlock()
 			return nil
 		}
 		delayStream := rng
@@ -564,14 +619,14 @@ func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
 		}
 		delay := n.delayLocked(delayStream)
 		if delay == 0 {
-			n.mu.Unlock()
+			n.mu.RUnlock()
 			for _, env := range survivors {
 				n.deliver(dst, env)
 			}
 			return nil
 		}
-		n.scheduleLocked(dst, linkKey, delay, survivors)
-		n.mu.Unlock()
+		n.schedule(e, st, dst, delay, survivors)
+		n.mu.RUnlock()
 		return nil
 	}
 	// Bare payload: the common zero-delay case stays allocation-free.
@@ -581,18 +636,18 @@ func (n *Network) routeFaulty(from, to addr.Address, payload any) error {
 	}
 	if n.lostLocked(s) {
 		n.dropped.Add(1) // silent loss
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return nil
 	}
 	env := Envelope{From: from, To: to, Payload: payload}
 	delay := n.delayLocked(s)
 	if delay == 0 {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		n.deliver(dst, env)
 		return nil
 	}
-	n.scheduleLocked(dst, linkKey, delay, []Envelope{env})
-	n.mu.Unlock()
+	n.schedule(e, st, dst, delay, []Envelope{env})
+	n.mu.RUnlock()
 	return nil
 }
 
@@ -614,10 +669,26 @@ func (n *Network) deliver(dst *memEndpoint, env Envelope) {
 type memEndpoint struct {
 	addr addr.Address
 	net  *Network
+	// clk, when set via SetEndpointClock, schedules this endpoint's OUTGOING
+	// delayed deliveries in place of the fabric clock. Written under the
+	// network write lock, read under the read lock.
+	clk clock.Clock
 
 	mu     sync.Mutex
 	closed bool
 	in     chan Envelope
+}
+
+// SetEndpointClock overrides the clock used to read now and schedule delayed
+// deliveries for messages SENT by the given address (default: the fabric
+// clock). The sharded harness points each endpoint at its owner shard's
+// clock. Unknown addresses are ignored.
+func (n *Network) SetEndpointClock(a addr.Address, clk clock.Clock) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[a.Key()]; ok {
+		ep.clk = clk
+	}
 }
 
 // Addr returns the endpoint's address.
@@ -632,7 +703,7 @@ func (e *memEndpoint) Send(to addr.Address, payload any) error {
 	if closed {
 		return ErrClosed
 	}
-	return e.net.route(e.addr, to, payload)
+	return e.net.route(e, to, payload)
 }
 
 // Recv exposes the inbox. The channel closes when the endpoint is detached.

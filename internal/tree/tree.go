@@ -98,6 +98,13 @@ type Config struct {
 	SummaryBound int
 }
 
+// ownerTok marks trie nodes writable by exactly one tree: a node whose
+// owner field holds the tree's current token may be mutated in place;
+// anything else is potentially shared with clones and must be copied first
+// (copy-on-write). Clone swaps the donor's token, disowning every node it
+// held in O(1) — the donor re-copies lazily on its next mutation.
+type ownerTok struct{ _ byte }
+
 // node is one prefix of the trie: a subgroup and, once computed, its
 // delegates, process count (‖prefix‖, Eq. 4), regrouped interest summary,
 // the summary's compiled form, and a generation counter.
@@ -105,6 +112,7 @@ type node struct {
 	prefix    addr.Prefix
 	children  map[int]*node // keyed by next digit
 	member    *Member       // set only at full depth (leaf)
+	owner     *ownerTok     // which tree may mutate this node in place
 	delegates []addr.Address
 	count     int
 	summary   *interest.Summary
@@ -136,7 +144,18 @@ type Tree struct {
 	cfg      Config
 	election ElectionStrategy
 	root     *node
-	members  map[string]*Member
+	// tok is the tree's current ownership token (see ownerTok).
+	tok *ownerTok
+	// The member table is copy-on-write across clones: membersBase is the
+	// frozen table shared with (and by) clones — its *Member values are
+	// immutable — while members holds this tree's own entries (shadowing
+	// base keys) and membersDead the base keys removed here. A harness
+	// co-hosting 64k processes over one bootstrap roster holds the table
+	// once, not 64k times.
+	membersBase map[string]*Member
+	members     map[string]*Member
+	membersDead map[string]struct{}
+	nMembers    int
 	// compiler interns compiled summaries by fingerprint. Clones share it,
 	// so a harness fleet folding the same roster compiles each distinct
 	// interest language once per process population, not once per node.
@@ -201,14 +220,107 @@ func New(cfg Config) (*Tree, error) {
 	if el == nil {
 		el = SmallestAddress{}
 	}
+	tok := new(ownerTok)
 	return &Tree{
-		cfg:      cfg,
-		election: el,
-		root:     &node{prefix: addr.Root(), children: make(map[int]*node)},
-		members:  make(map[string]*Member),
-		compiler: interest.NewCompiler(),
-		folds:    newFoldCache(),
+		cfg:         cfg,
+		election:    el,
+		tok:         tok,
+		root:        &node{prefix: addr.Root(), children: make(map[int]*node), owner: tok},
+		members:     make(map[string]*Member),
+		membersDead: make(map[string]struct{}),
+		compiler:    interest.NewCompiler(),
+		folds:       newFoldCache(),
 	}, nil
+}
+
+// lookupMember resolves a member through the copy-on-write table: own
+// entries shadow the shared base, removals mask it. Returned pointers into
+// the base are immutable; mutate through updateMemberRaw only.
+func (t *Tree) lookupMember(key string) *Member {
+	if m, ok := t.members[key]; ok {
+		return m
+	}
+	if t.membersBase != nil {
+		if _, dead := t.membersDead[key]; !dead {
+			if m, ok := t.membersBase[key]; ok {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// visitMembers calls fn for every current member in unspecified order.
+func (t *Tree) visitMembers(fn func(*Member)) {
+	for _, m := range t.members {
+		fn(m)
+	}
+	for k, m := range t.membersBase {
+		if _, dead := t.membersDead[k]; dead {
+			continue
+		}
+		if _, shadowed := t.members[k]; shadowed {
+			continue
+		}
+		fn(m)
+	}
+}
+
+// copyNode shallow-copies a shared trie node for mutation by the owning
+// tree: aggregates and the member pointer are shared (immutable until
+// replaced wholesale), the children map is copied so edits stay private.
+func copyNode(n *node, tok *ownerTok) *node {
+	c := &node{
+		prefix:    n.prefix,
+		children:  make(map[int]*node, len(n.children)),
+		member:    n.member,
+		delegates: n.delegates,
+		count:     n.count,
+		summary:   n.summary,
+		compiled:  n.compiled,
+		gen:       n.gen,
+		orderedFP: n.orderedFP,
+		owner:     tok,
+	}
+	for d, ch := range n.children {
+		c.children[d] = ch
+	}
+	return c
+}
+
+// ownRoot returns the root, copied first if it is shared with clones.
+func (t *Tree) ownRoot() *node {
+	if t.root.owner != t.tok {
+		t.root = copyNode(t.root, t.tok)
+	}
+	return t.root
+}
+
+// ownChild returns parent's child for the digit, copied into this tree's
+// ownership if shared. parent must already be owned. Nil when absent.
+func (t *Tree) ownChild(parent *node, digit int) *node {
+	child, ok := parent.children[digit]
+	if !ok {
+		return nil
+	}
+	if child.owner != t.tok {
+		child = copyNode(child, t.tok)
+		parent.children[digit] = child
+	}
+	return child
+}
+
+// ownLookup descends to the prefix's node, copy-on-writing the whole path
+// so the caller may mutate it. Nil when the prefix is unpopulated.
+func (t *Tree) ownLookup(p addr.Prefix) *node {
+	n := t.ownRoot()
+	for i := 1; i <= p.Len(); i++ {
+		n = t.ownChild(n, p.Digit(i))
+		if n == nil {
+			return nil
+		}
+	}
+	return n
 }
 
 // Build constructs a tree over an initial member set in one pass: members
@@ -235,17 +347,19 @@ func (t *Tree) insertRaw(m Member) error {
 		return fmt.Errorf("%w: %v", ErrSpaceMismatch, err)
 	}
 	key := m.Addr.Key()
-	if _, ok := t.members[key]; ok {
+	if t.lookupMember(key) != nil {
 		return fmt.Errorf("%w: %s", ErrDuplicateMember, m.Addr)
 	}
 	stored := m
 	t.members[key] = &stored
-	n := t.root
+	delete(t.membersDead, key)
+	t.nMembers++
+	n := t.ownRoot()
 	for i := 1; i <= t.Depth(); i++ {
 		digit := m.Addr.Digit(i)
-		child, ok := n.children[digit]
-		if !ok {
-			child = &node{prefix: n.prefix.Child(digit), children: make(map[int]*node)}
+		child := t.ownChild(n, digit)
+		if child == nil {
+			child = &node{prefix: n.prefix.Child(digit), children: make(map[int]*node), owner: t.tok}
 			n.children[digit] = child
 		}
 		n = child
@@ -254,10 +368,11 @@ func (t *Tree) insertRaw(m Member) error {
 	return nil
 }
 
-// recomputeAll refreshes aggregates postorder.
+// recomputeAll refreshes aggregates postorder; n must be owned (the sweep
+// copy-on-writes every shared descendant it touches).
 func (t *Tree) recomputeAll(n *node) {
-	for _, child := range n.children {
-		t.recomputeAll(child)
+	for digit := range n.children {
+		t.recomputeAll(t.ownChild(n, digit))
 	}
 	t.recompute(n)
 }
@@ -272,12 +387,12 @@ func (t *Tree) R() int { return t.cfg.R }
 func (t *Tree) Space() addr.Space { return t.cfg.Space }
 
 // Len returns the current number of members.
-func (t *Tree) Len() int { return len(t.members) }
+func (t *Tree) Len() int { return t.nMembers }
 
 // Member returns the member with the given address.
 func (t *Tree) Member(a addr.Address) (Member, bool) {
-	m, ok := t.members[a.Key()]
-	if !ok {
+	m := t.lookupMember(a.Key())
+	if m == nil {
 		return Member{}, false
 	}
 	return *m, true
@@ -285,83 +400,71 @@ func (t *Tree) Member(a addr.Address) (Member, bool) {
 
 // Members returns all members sorted by address.
 func (t *Tree) Members() []Member {
-	out := make([]Member, 0, len(t.members))
-	for _, m := range t.members {
-		out = append(out, *m)
-	}
+	out := make([]Member, 0, t.nMembers)
+	t.visitMembers(func(m *Member) { out = append(out, *m) })
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
 	return out
 }
 
-// Clone returns an independent copy of the tree. Member records are deep-
-// copied (incremental updates mutate them in place); summaries and delegate
-// slices are shared, which is safe because recomputation replaces them
-// wholesale instead of mutating them. Cloning costs a trie walk with no
-// aggregate recomputation — the point: many co-located processes folding an
-// identical roster (a harness bootstrap) can fold once and clone.
+// Clone returns an independent copy of the tree in O(1): trie nodes and the
+// member table are shared copy-on-write. The donor's ownership token is
+// swapped so every node it held becomes read-only to both trees; whichever
+// tree mutates a shared node next copies just the touched root path
+// (shallow, children maps excluded from aggregates). Summaries, delegate
+// slices and *Member values are immutable-by-convention exactly as before —
+// recomputation replaces them wholesale. The point at fleet scale: 64k
+// co-hosted processes adopting one bootstrap fold hold ONE trie, and each
+// diverges only by the paths its own membership changes touch.
 func (t *Tree) Clone() *Tree {
-	nt := &Tree{
-		cfg:      t.cfg,
-		election: t.election,
-		members:  make(map[string]*Member, len(t.members)),
-		compiler: t.compiler,
-		folds:    t.folds,
+	// Freeze the member table into a fresh shared base if this tree mutated
+	// it since the last freeze.
+	if len(t.members) > 0 || len(t.membersDead) > 0 {
+		base := make(map[string]*Member, t.nMembers)
+		for k, m := range t.membersBase {
+			if _, dead := t.membersDead[k]; dead {
+				continue
+			}
+			if _, shadowed := t.members[k]; shadowed {
+				continue
+			}
+			base[k] = m
+		}
+		for k, m := range t.members {
+			base[k] = m
+		}
+		t.membersBase = base
+		t.members = make(map[string]*Member)
+		t.membersDead = make(map[string]struct{})
 	}
-	for k, m := range t.members {
-		cp := *m
-		nt.members[k] = &cp
+	// Disown every node the donor held: both trees now copy-on-write.
+	t.tok = new(ownerTok)
+	return &Tree{
+		cfg:         t.cfg,
+		election:    t.election,
+		tok:         new(ownerTok),
+		root:        t.root,
+		membersBase: t.membersBase,
+		members:     make(map[string]*Member),
+		membersDead: make(map[string]struct{}),
+		nMembers:    t.nMembers,
+		compiler:    t.compiler,
+		folds:       t.folds,
 	}
-	nt.root = cloneNode(t.root, nt.members)
-	return nt
-}
-
-func cloneNode(n *node, members map[string]*Member) *node {
-	c := &node{
-		prefix:    n.prefix,
-		children:  make(map[int]*node, len(n.children)),
-		delegates: n.delegates,
-		count:     n.count,
-		summary:   n.summary,
-		compiled:  n.compiled,
-		gen:       n.gen,
-		orderedFP: n.orderedFP,
-	}
-	if n.member != nil {
-		c.member = members[n.member.Addr.Key()]
-	}
-	for d, ch := range n.children {
-		c.children[d] = cloneNode(ch, members)
-	}
-	return c
 }
 
 // Add inserts a member and recomputes delegates, counts and summaries along
 // its root path.
 func (t *Tree) Add(m Member) error {
-	if err := t.cfg.Space.Validate(m.Addr); err != nil {
-		return fmt.Errorf("%w: %v", ErrSpaceMismatch, err)
+	if err := t.insertRaw(m); err != nil {
+		return err
 	}
-	key := m.Addr.Key()
-	if _, ok := t.members[key]; ok {
-		return fmt.Errorf("%w: %s", ErrDuplicateMember, m.Addr)
-	}
-	stored := m
-	t.members[key] = &stored
-
-	// Descend/create the path, then attach the leaf.
+	// insertRaw owned/created the whole path; re-walk it for the recompute.
 	n := t.root
 	path := []*node{n}
 	for i := 1; i <= t.Depth(); i++ {
-		digit := m.Addr.Digit(i)
-		child, ok := n.children[digit]
-		if !ok {
-			child = &node{prefix: n.prefix.Child(digit), children: make(map[int]*node)}
-			n.children[digit] = child
-		}
-		n = child
+		n = n.children[m.Addr.Digit(i)]
 		path = append(path, n)
 	}
-	n.member = &stored
 	t.recomputePath(path)
 	return nil
 }
@@ -390,17 +493,9 @@ func (t *Tree) Remove(a addr.Address) error {
 // UpdateSubscription replaces a member's interests and refreshes summaries
 // on its root path.
 func (t *Tree) UpdateSubscription(a addr.Address, sub interest.Subscription) error {
-	m, ok := t.members[a.Key()]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownMember, a)
-	}
-	m.Sub = sub
-
-	n := t.root
-	path := []*node{n}
-	for i := 1; i <= t.Depth(); i++ {
-		n = n.children[a.Digit(i)]
-		path = append(path, n)
+	path, err := t.updateMemberRaw(a, sub)
+	if err != nil {
+		return err
 	}
 	t.recomputePath(path)
 	return nil
@@ -443,7 +538,7 @@ func (t *Tree) ApplyDelta(d Delta) error {
 			for _, p := range byLen[l] {
 				// A prefix pruned by a removal in the same batch looks up
 				// nil; there is nothing left to recompute there.
-				if n := t.lookup(p); n != nil {
+				if n := t.ownLookup(p); n != nil {
 					t.recompute(n)
 				}
 			}
@@ -457,12 +552,10 @@ func (t *Tree) ApplyDelta(d Delta) error {
 		markPath(m.Addr)
 	}
 	for _, m := range d.Update {
-		rec, ok := t.members[m.Addr.Key()]
-		if !ok {
+		if _, err := t.updateMemberRaw(m.Addr, m.Sub); err != nil {
 			recomputeDirty()
-			return fmt.Errorf("%w: %s", ErrUnknownMember, m.Addr)
+			return err
 		}
-		rec.Sub = m.Sub
 		markPath(m.Addr)
 	}
 	for _, a := range d.Remove {
@@ -488,12 +581,10 @@ func (t *Tree) applyDeltaBulk(d Delta) error {
 	}
 	if firstErr == nil {
 		for _, m := range d.Update {
-			rec, ok := t.members[m.Addr.Key()]
-			if !ok {
-				firstErr = fmt.Errorf("%w: %s", ErrUnknownMember, m.Addr)
+			if _, err := t.updateMemberRaw(m.Addr, m.Sub); err != nil {
+				firstErr = err
 				break
 			}
-			rec.Sub = m.Sub
 		}
 	}
 	if firstErr == nil {
@@ -504,7 +595,7 @@ func (t *Tree) applyDeltaBulk(d Delta) error {
 			}
 		}
 	}
-	t.recomputeAll(t.root)
+	t.recomputeAll(t.ownRoot())
 	return firstErr
 }
 
@@ -512,15 +603,23 @@ func (t *Tree) applyDeltaBulk(d Delta) error {
 // recomputing aggregates.
 func (t *Tree) removeRaw(a addr.Address) error {
 	key := a.Key()
-	if _, ok := t.members[key]; !ok {
+	if t.lookupMember(key) == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownMember, a)
 	}
-	delete(t.members, key)
-	n := t.root
+	if _, own := t.members[key]; own {
+		delete(t.members, key)
+	}
+	if t.membersBase != nil {
+		if _, inBase := t.membersBase[key]; inBase {
+			t.membersDead[key] = struct{}{}
+		}
+	}
+	t.nMembers--
+	n := t.ownRoot()
 	path := []*node{n}
 	for i := 1; i <= t.Depth(); i++ {
-		child, ok := n.children[a.Digit(i)]
-		if !ok {
+		child := t.ownChild(n, a.Digit(i))
+		if child == nil {
 			return fmt.Errorf("%w: trie desync at %s", ErrUnknownMember, a)
 		}
 		n = child
@@ -536,6 +635,31 @@ func (t *Tree) removeRaw(a addr.Address) error {
 		}
 	}
 	return nil
+}
+
+// updateMemberRaw replaces a member's subscription without recomputing
+// aggregates, copy-on-writing the member value and its leaf path, and
+// returns the owned root path to the leaf.
+func (t *Tree) updateMemberRaw(a addr.Address, sub interest.Subscription) ([]*node, error) {
+	key := a.Key()
+	cur := t.lookupMember(key)
+	if cur == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownMember, a)
+	}
+	cp := *cur
+	cp.Sub = sub
+	t.members[key] = &cp
+	n := t.ownRoot()
+	path := []*node{n}
+	for i := 1; i <= t.Depth(); i++ {
+		n = t.ownChild(n, a.Digit(i))
+		if n == nil {
+			return nil, fmt.Errorf("%w: trie desync at %s", ErrUnknownMember, a)
+		}
+		path = append(path, n)
+	}
+	n.member = &cp
+	return path, nil
 }
 
 // recomputePath refreshes count, summary and delegates from the deepest node
@@ -681,8 +805,7 @@ func (t *Tree) Generation(p addr.Prefix) uint64 {
 // at depth d (it appears in its leaf group).
 func (t *Tree) IsDelegate(a addr.Address, depth int) bool {
 	if depth == t.Depth() {
-		_, ok := t.members[a.Key()]
-		return ok
+		return t.lookupMember(a.Key()) != nil
 	}
 	// a represents its subtree rooted at prefix of length depth.
 	n := t.lookup(a.Prefix(depth + 1))
