@@ -61,6 +61,18 @@ func run(w io.Writer, args []string) error {
 		"ingress decode workers of the staged engine (0: serial single-goroutine loop)")
 	encodeWorkers := fs.Int("encode-workers", runtime.NumCPU(),
 		"egress encode/send workers of the staged engine (0: serial)")
+	batchSend := fs.Bool("batch-send", true,
+		"kernel-batched egress: flush egress queues with sendmmsg vectors (Linux; elsewhere the portable path runs regardless)")
+	batchRecv := fs.Bool("batch-recv", true,
+		"kernel-batched ingress: drain the socket with recvmmsg vectors (Linux)")
+	gso := fs.Bool("gso", false,
+		"UDP generic segmentation offload: coalesce equal-size same-peer frames into kernel-split super-datagrams (needs -batch-send)")
+	gro := fs.Bool("gro", false,
+		"UDP generic receive offload: let the kernel coalesce inbound bursts (needs -batch-recv)")
+	rcvbuf := fs.Int("rcvbuf", 0, "requested SO_RCVBUF in bytes (0: kernel default)")
+	sndbuf := fs.Int("sndbuf", 0, "requested SO_SNDBUF in bytes (0: kernel default)")
+	statsEvery := fs.Duration("stats", 0,
+		"print a transport/engine stats summary to stderr at this period, and once at exit (0: off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,8 +104,14 @@ func run(w io.Writer, args []string) error {
 	// ingress stage so it actually parallelizes instead of serializing on
 	// the socket read loop.
 	tr, err := pmcast.NewUDPTransport(pmcast.UDPConfig{
-		Resolver:    res,
-		DeferDecode: *decodeWorkers > 0,
+		Resolver:         res,
+		DeferDecode:      *decodeWorkers > 0,
+		NoBatchSend:      !*batchSend,
+		NoBatchRecv:      !*batchRecv,
+		GSO:              *gso,
+		GRO:              *gro,
+		ReadBufferBytes:  *rcvbuf,
+		WriteBufferBytes: *sndbuf,
 	})
 	if err != nil {
 		return err
@@ -150,6 +168,13 @@ func run(w io.Writer, args []string) error {
 	if *linger > 0 {
 		timeout = time.After(*linger)
 	}
+	var statsTick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		statsTick = ticker.C
+		defer printStats(n, tr) // a final summary on any exit path
+	}
 	for {
 		select {
 		case ev, ok := <-n.Deliveries():
@@ -162,6 +187,8 @@ func run(w io.Writer, args []string) error {
 			}
 			fmt.Fprintf(w, "delivered %s.%d: %s\n",
 				ev.ID().Origin, ev.ID().Seq, strings.Join(parts, " "))
+		case <-statsTick:
+			printStats(n, tr)
 		case <-interrupt:
 			fmt.Fprintf(w, "leaving (%d members known)\n", n.KnownMembers())
 			n.Leave()
@@ -170,6 +197,32 @@ func run(w io.Writer, args []string) error {
 			return nil
 		}
 	}
+}
+
+// printStats writes one transport/engine summary line pair to stderr. The
+// malformed/dropped counters are the silent-loss signals a loopback soak
+// watches for; the datagrams-per-syscall ratios are the kernel-batching
+// amortization.
+func printStats(n *pmcast.Node, tr *pmcast.UDPTransport) {
+	st := tr.Stats()
+	ratio := func(datagrams, syscalls int64) float64 {
+		if syscalls == 0 {
+			return 0
+		}
+		return float64(datagrams) / float64(syscalls)
+	}
+	fmt.Fprintf(os.Stderr,
+		"stats: send %d dgrams / %d syscalls (%.1f/call, gso %d) | recv %d dgrams / %d syscalls (%.1f/call, gro %d) | malformed %d dropped %d | sockbuf r%d w%d\n",
+		st.SentDatagrams, st.SendSyscalls, ratio(st.SentDatagrams, st.SendSyscalls), st.GSOSegments,
+		st.RecvDatagrams, st.RecvSyscalls, ratio(st.RecvDatagrams, st.RecvSyscalls), st.GROSegments,
+		st.Malformed, st.Dropped, st.ReadBufferBytes, st.WriteBufferBytes)
+	envelopes, bytes := n.WireStats()
+	flushes, flushed := n.EgressFlushStats()
+	egressDropped, decodeFailed := n.EngineStats()
+	fmt.Fprintf(os.Stderr,
+		"stats: engine %d envelopes (%d bytes) | %d flushes carrying %d (%.1f/flush) | egress-drop %d decode-fail %d | members %d\n",
+		envelopes, bytes, flushes, flushed, ratio(flushed, flushes),
+		egressDropped, decodeFailed, n.KnownMembers())
 }
 
 func parseSpace(spec string) (pmcast.Space, error) {

@@ -127,7 +127,15 @@ func runChild(addrStr, peerSpec string, publisher bool) error {
 	if err != nil {
 		return err
 	}
-	tr, err := pmcast.NewUDPTransport(pmcast.UDPConfig{Resolver: res})
+	// The full production datapath: kernel-batched I/O (sendmmsg/recvmmsg
+	// where the platform has it, with explicit socket buffers) feeding the
+	// staged engine — deferred decode pairs with the ingress workers.
+	tr, err := pmcast.NewUDPTransport(pmcast.UDPConfig{
+		Resolver:         res,
+		DeferDecode:      true,
+		ReadBufferBytes:  1 << 20,
+		WriteBufferBytes: 1 << 20,
+	})
 	if err != nil {
 		return err
 	}
@@ -149,6 +157,7 @@ func runChild(addrStr, peerSpec string, publisher bool) error {
 		pmcast.WithGossipInterval(8*time.Millisecond),
 		pmcast.WithMembershipInterval(12*time.Millisecond),
 		pmcast.WithSuspectAfter(time.Minute),
+		pmcast.WithParallelism(2, 2),
 	)
 	if err != nil {
 		return err
@@ -194,6 +203,10 @@ func runChild(addrStr, peerSpec string, publisher bool) error {
 	case ev := <-n.Deliveries():
 		return fmt.Errorf("unexpected extra delivery %v", ev)
 	case <-time.After(300 * time.Millisecond):
+	}
+	if st := tr.Stats(); st.BatchSend {
+		fmt.Printf("kernel batching: %d datagrams in %d send syscalls, %d in %d recv syscalls\n",
+			st.SentDatagrams, st.SendSyscalls, st.RecvDatagrams, st.RecvSyscalls)
 	}
 	return nil
 }

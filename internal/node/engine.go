@@ -124,21 +124,55 @@ func (n *Node) run() {
 	}
 }
 
+// Stage batch widths. egressFlushMax bounds how many queued send jobs one
+// egress worker hands the endpoint per SendMany flush — on the UDP backend
+// that is up to four sendmmsg vectors of 64 — and ingressRecvBatch is how
+// many envelopes one ingress worker pulls per RecvMany wakeup (matching the
+// transport's kernel-side recvmmsg vector plus slack).
+const (
+	egressFlushMax   = 256
+	ingressRecvBatch = 64
+)
+
 // ingressLoop is one ingress-stage worker: it drains the endpoint —
 // concurrently with its siblings — decodes deferred frames with its own
 // interning decoder, and hands typed messages to the protocol stage. A full
 // protocol queue blocks the worker (backpressure into the transport inbox),
-// never the protocol stage itself.
+// never the protocol stage itself. Endpoints with a batch seam
+// (transport.BatchReceiver) are drained a burst at a time — one worker
+// wakeup per kernel receive batch instead of one per datagram.
 func (n *Node) ingressLoop() {
 	defer n.wg.Done()
 	dec := wire.NewDecoder()
-	for env := range n.ep.Recv() {
+	forward := func(env transport.Envelope) bool {
 		if !n.decodeRaw(dec, &env) {
-			continue
+			return true
 		}
 		select {
 		case n.protoCh <- protoMsg{env: env}:
+			return true
 		case <-n.stop:
+			return false
+		}
+	}
+	if br, ok := n.ep.(transport.BatchReceiver); ok {
+		batch := make([]transport.Envelope, ingressRecvBatch)
+		for {
+			m, alive := br.RecvMany(batch)
+			for i := 0; i < m; i++ {
+				env := batch[i]
+				batch[i] = transport.Envelope{}
+				if !forward(env) {
+					return
+				}
+			}
+			if !alive {
+				return
+			}
+		}
+	}
+	for env := range n.ep.Recv() {
+		if !forward(env) {
 			return
 		}
 	}
@@ -146,11 +180,37 @@ func (n *Node) ingressLoop() {
 
 // egressLoop is one egress-stage worker: it consumes send jobs until the
 // protocol stage closes the queue, encoding (inside the transport send) and
-// counting wire cost as it goes.
+// counting wire cost as it goes. When the endpoint offers a batch seam
+// (transport.BatchSender), the worker greedily drains whatever the queue
+// already holds and hands the whole run over in one SendMany — the flush
+// the UDP backend turns into sendmmsg vectors. Per-message semantics are
+// identical to sending one at a time (the seam guarantees it), so the
+// serial configuration and non-batching fabrics are untouched.
 func (n *Node) egressLoop() {
 	defer n.wg.Done()
+	bs, ok := n.ep.(transport.BatchSender)
+	if !ok {
+		for job := range n.egressCh {
+			_ = n.send(job.to, job.payload)
+		}
+		return
+	}
+	batch := make([]transport.Outgoing, 0, egressFlushMax)
 	for job := range n.egressCh {
-		_ = n.send(job.to, job.payload)
+		batch = append(batch[:0], transport.Outgoing{To: job.to, Payload: job.payload})
+	drain:
+		for len(batch) < egressFlushMax {
+			select {
+			case j, open := <-n.egressCh:
+				if !open {
+					break drain // flush below, then the outer range exits
+				}
+				batch = append(batch, transport.Outgoing{To: j.to, Payload: j.payload})
+			default:
+				break drain
+			}
+		}
+		n.sendMany(bs, batch)
 	}
 }
 
@@ -180,4 +240,14 @@ func (n *Node) emit(to addr.Address, payload any) {
 // a deferred-decode fabric.
 func (n *Node) EngineStats() (egressDropped, malformed int64) {
 	return n.egressDrops.Load(), n.malformed.Load()
+}
+
+// EgressFlushStats reports the egress stage's queue-flush batching: how
+// many SendMany flushes the workers issued and how many envelopes those
+// flushes carried. envelopes/flushes is the engine-side amortization handed
+// to the transport (the kernel-side amortization — datagrams per syscall —
+// is the transport's to report; see udp.Transport.Stats). Both zero in
+// serial configurations and on fabrics without a batch seam.
+func (n *Node) EgressFlushStats() (flushes, envelopes int64) {
+	return n.egressFlushes.Load(), n.egressFlushed.Load()
 }

@@ -269,12 +269,14 @@ type Node struct {
 	// Engine plumbing (engine.go). protoCh and egressCh exist only when
 	// Start brings up a parallel configuration; egressOn routes emit through
 	// the egress stage and is set before the engine goroutines launch.
-	protoCh     chan protoMsg
-	egressCh    chan egressJob
-	egressOn    bool
-	wg          sync.WaitGroup
-	egressDrops atomic.Int64
-	malformed   atomic.Int64
+	protoCh       chan protoMsg
+	egressCh      chan egressJob
+	egressOn      bool
+	wg            sync.WaitGroup
+	egressDrops   atomic.Int64
+	malformed     atomic.Int64
+	egressFlushes atomic.Int64 // SendMany flushes issued by egress workers
+	egressFlushed atomic.Int64 // envelopes those flushes carried
 
 	joinMu      sync.Mutex
 	joinContact addr.Address
@@ -451,6 +453,23 @@ func (n *Node) send(to addr.Address, payload any) error {
 		n.wireBytes.Add(int64(wire.EncodedSize(payload)))
 	}
 	return n.ep.Send(to, payload)
+}
+
+// sendMany flushes one drained egress-queue batch through the endpoint's
+// batch seam with the same per-envelope accounting as send, plus the
+// flush-amortization counters behind EgressFlushStats.
+func (n *Node) sendMany(bs transport.BatchSender, msgs []transport.Outgoing) {
+	n.envelopes.Add(int64(len(msgs)))
+	if n.cfg.MeasureWire {
+		var total int64
+		for i := range msgs {
+			total += int64(wire.EncodedSize(msgs[i].Payload))
+		}
+		n.wireBytes.Add(total)
+	}
+	n.egressFlushes.Add(1)
+	n.egressFlushed.Add(int64(len(msgs)))
+	_ = bs.SendMany(msgs) // per-message loss is silent, exactly like send
 }
 
 // WireStats reports the sender-side network cost so far: envelopes emitted

@@ -94,6 +94,40 @@ type Endpoint interface {
 	Close() error
 }
 
+// Outgoing is one queued protocol message awaiting transmission — the unit
+// the staged engine's egress workers accumulate and flush.
+type Outgoing struct {
+	To      addr.Address
+	Payload any
+}
+
+// BatchSender is an optional Endpoint extension: backends that can amortize
+// kernel work across messages implement it, and the engine's egress workers
+// hand over their whole drained send queue instead of one datagram at a
+// time. The UDP backend flushes the queue with a single sendmmsg vector per
+// 64 messages (coalescing same-destination frames with GSO where enabled);
+// see internal/transport/udp.
+//
+// Delivery semantics match Send called once per message, in order:
+// per-message loss stays silent, and SendMany keeps going past individual
+// resolve/encode failures — it returns the first error only after
+// attempting every message, so one unknown destination cannot stall a
+// round's remaining envelopes.
+type BatchSender interface {
+	SendMany(msgs []Outgoing) error
+}
+
+// BatchReceiver is an optional Endpoint extension for burst-draining the
+// inbox: RecvMany blocks for the first envelope, then fills out with
+// whatever else is already pending — without blocking again — so a consumer
+// wakes once per traffic burst rather than once per message. It returns the
+// number of envelopes written and false once the endpoint is closed and
+// drained (n may still be positive on that final call). Safe for concurrent
+// use by multiple consumers, like Recv.
+type BatchReceiver interface {
+	RecvMany(out []Envelope) (int, bool)
+}
+
 // Fabric is the fault-injection surface of simulated transports. The
 // in-memory Network implements it; tests drive loss, partitions and drop
 // accounting through this interface without depending on the concrete type.

@@ -1,0 +1,34 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udp
+
+import (
+	"errors"
+	"net"
+)
+
+// The kernel-batched datapath (sendmmsg/recvmmsg with optional UDP
+// GSO/GRO, see batch_linux.go) exists only on Linux amd64/arm64. Here
+// newBatchIO reports "unavailable" and the endpoint keeps the portable
+// one-syscall-per-datagram path; SendMany and RecvMany still work — the
+// former loops Send, the latter drains the inbox channel — so callers
+// never branch on platform, only the syscall amortization differs.
+type batchIO struct{}
+
+var errUnsupported = errors.New("udp: kernel-batched I/O unavailable on this platform")
+
+func newBatchIO(conn *net.UDPConn, cfg Config, maxDatagram int) *batchIO { return nil }
+
+func (b *batchIO) sendEnabled() bool { return false }
+func (b *batchIO) recvEnabled() bool { return false }
+
+func (b *batchIO) flush(frames []outFrame) (int64, int64, int64, error) {
+	return 0, 0, 0, errUnsupported
+}
+
+func (b *batchIO) recv() (int, error) { return 0, errUnsupported }
+
+func (b *batchIO) datagram(i int) ([]byte, int) { return nil, 0 }
+
+// socketBuffers has no portable readback; Stats reports zero sizes.
+func socketBuffers(conn *net.UDPConn) (rcv, snd int) { return 0, 0 }

@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package udp
+
+// linux/amd64 syscall numbers (arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

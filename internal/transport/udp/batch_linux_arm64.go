@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udp
+
+// linux/arm64 syscall numbers (include/uapi/asm-generic/unistd.h).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

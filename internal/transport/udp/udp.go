@@ -12,10 +12,20 @@
 // by one wire frame. UDP preserves message boundaries, so no further
 // delimiting is needed; datagrams that fail to parse are counted and
 // dropped, exactly like line noise on a real fabric.
+//
+// The datapath is kernel-batched on Linux (see batch_linux.go): egress
+// queues handed over via SendMany flush as one sendmmsg vector per 64
+// messages — with optional UDP GSO coalescing equal-size same-destination
+// frames into super-datagrams — and the read loop fills a pooled vector of
+// buffers with one recvmmsg per wakeup (optional GRO). Everywhere else, and
+// under the Config opt-outs, the endpoint keeps the portable
+// one-syscall-per-datagram path; behavior is identical either way, only the
+// syscall count changes (Stats reports both sides' amortization).
 package udp
 
 import (
 	"fmt"
+	"maps"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -41,11 +51,22 @@ type Registrar interface {
 	Register(a addr.Address, ua *net.UDPAddr)
 }
 
+// Versioned is an optional Resolver extension: Gen returns a counter that
+// moves whenever any mapping changes. Endpoints only cache resolved socket
+// addresses for resolvers that implement it — the generation check is one
+// atomic load per send, and a bumped generation flushes the cache, so a
+// re-Registered peer is never resolved stale. A resolver without Gen is
+// consulted on every send, exactly as before the cache existed.
+type Versioned interface {
+	Gen() uint64
+}
+
 // StaticResolver is a concurrency-safe static table from address keys to
-// socket addresses. It implements both Resolver and Registrar.
+// socket addresses. It implements Resolver, Registrar and Versioned.
 type StaticResolver struct {
 	mu    sync.RWMutex
 	table map[string]*net.UDPAddr
+	gen   atomic.Uint64
 }
 
 // NewStaticResolver builds a resolver from dotted pmcast addresses to
@@ -83,7 +104,15 @@ func (r *StaticResolver) Register(a addr.Address, ua *net.UDPAddr) {
 	r.mu.Lock()
 	r.table[a.Key()] = ua
 	r.mu.Unlock()
+	// Bump after the table write: an endpoint cache that observes the new
+	// generation is guaranteed to resolve the new mapping, and one that
+	// cached the new mapping under the old generation merely flushes a
+	// fresh entry (see resolveCache).
+	r.gen.Add(1)
 }
+
+// Gen implements Versioned.
+func (r *StaticResolver) Gen() uint64 { return r.gen.Load() }
 
 // Config tunes the UDP transport.
 type Config struct {
@@ -104,6 +133,75 @@ type Config struct {
 	// malformed prefixes counted) here; payload decode failures are counted
 	// by whoever decodes.
 	DeferDecode bool
+	// NoBatchSend opts out of kernel-batched egress. By default, where the
+	// platform supports it (Linux amd64/arm64), SendMany flushes its whole
+	// queue with sendmmsg — one syscall per 64 datagrams — instead of one
+	// write syscall each. Single-message Send always uses the portable
+	// path; frames and their per-link order are identical either way.
+	NoBatchSend bool
+	// NoBatchRecv opts out of kernel-batched ingress. By default, where
+	// supported, the read loop fills a vector of RecvBatch pooled buffers
+	// with one recvmmsg per wakeup instead of one read syscall per
+	// datagram.
+	NoBatchRecv bool
+	// RecvBatch is the recvmmsg vector width (default 32): how many
+	// datagrams one ingress syscall can drain. Each slot holds a
+	// MaxDatagram-sized buffer reused across syscalls.
+	RecvBatch int
+	// GSO opts in to UDP generic segmentation offload on the batched
+	// egress path: runs of equal-size frames to the same destination are
+	// handed to the kernel as one super-datagram plus a UDP_SEGMENT size,
+	// and the kernel splits it back into one UDP datagram per frame.
+	// Probed at attach; silently off where the kernel lacks support.
+	GSO bool
+	// GRO opts in to UDP generic receive offload on the batched ingress
+	// path: the kernel may coalesce bursts of equal-size datagrams into
+	// one buffer plus a segment size, and the read loop splits them back
+	// into individual frames. Probed at attach; silently off where
+	// unsupported.
+	GRO bool
+	// ReadBufferBytes requests SO_RCVBUF for each endpoint socket (0
+	// keeps the kernel default). At kernel-batched rates the default
+	// routinely overflows between read wakeups; the achieved size — the
+	// kernel may clamp the request — is surfaced in Stats.
+	ReadBufferBytes int
+	// WriteBufferBytes requests SO_SNDBUF likewise.
+	WriteBufferBytes int
+}
+
+// Stats is a snapshot of the transport's datapath counters, aggregated
+// across its endpoints. SendSyscalls/RecvSyscalls count kernel crossings;
+// SentDatagrams/RecvDatagrams count wire datagrams, so datagrams/syscall is
+// the kernel-batching amortization (exactly 1.0 on the portable path).
+type Stats struct {
+	// Malformed counts datagrams discarded because they failed to parse;
+	// Dropped counts decoded messages discarded because an inbox was full.
+	// Both are silent-loss signals a loopback soak must watch.
+	Malformed int64
+	Dropped   int64
+
+	SendSyscalls  int64
+	SentDatagrams int64
+	// GSOSegments counts datagrams that left as segments of a GSO
+	// super-datagram (a subset of SentDatagrams).
+	GSOSegments int64
+
+	RecvSyscalls  int64
+	RecvDatagrams int64
+	// GROSegments counts datagrams that arrived coalesced into a GRO
+	// super-datagram (a subset of RecvDatagrams).
+	GROSegments int64
+
+	// BatchSend/BatchRecv report whether the kernel-batched paths are live
+	// on this platform and configuration.
+	BatchSend bool
+	BatchRecv bool
+
+	// ReadBufferBytes/WriteBufferBytes are the achieved socket buffer
+	// sizes (as the kernel reports them, typically double the requested
+	// value on Linux); zero when the platform offers no readback.
+	ReadBufferBytes  int64
+	WriteBufferBytes int64
 }
 
 // Transport binds UDP sockets for attached addresses. It implements
@@ -117,6 +215,18 @@ type Transport struct {
 
 	malformed atomic.Int64
 	dropped   atomic.Int64
+
+	sendSyscalls  atomic.Int64
+	sentDatagrams atomic.Int64
+	gsoSegments   atomic.Int64
+	recvSyscalls  atomic.Int64
+	recvDatagrams atomic.Int64
+	groSegments   atomic.Int64
+
+	batchSendOn atomic.Bool
+	batchRecvOn atomic.Bool
+	readBufSize atomic.Int64
+	sendBufSize atomic.Int64
 }
 
 var _ transport.Transport = (*Transport)(nil)
@@ -131,6 +241,9 @@ func New(cfg Config) (*Transport, error) {
 	}
 	if cfg.MaxDatagram <= 0 {
 		cfg.MaxDatagram = 64<<10 - 1
+	}
+	if cfg.RecvBatch <= 0 {
+		cfg.RecvBatch = 32
 	}
 	return &Transport{
 		cfg:       cfg,
@@ -161,13 +274,33 @@ func (t *Transport) Attach(a addr.Address) (transport.Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udp: binding %s for %s: %w", bind, a, err)
 	}
+	if t.cfg.ReadBufferBytes > 0 {
+		_ = conn.SetReadBuffer(t.cfg.ReadBufferBytes) // best effort; achieved size read back below
+	}
+	if t.cfg.WriteBufferBytes > 0 {
+		_ = conn.SetWriteBuffer(t.cfg.WriteBufferBytes)
+	}
+	if rcv, snd := socketBuffers(conn); rcv > 0 || snd > 0 {
+		t.readBufSize.Store(int64(rcv))
+		t.sendBufSize.Store(int64(snd))
+	}
 	ep := &endpoint{
 		addr:      a,
 		tr:        t,
 		conn:      conn,
 		prefixLen: len(addr.AppendAddress(nil, a)),
+		cache:     newResolveCache(t.cfg.Resolver),
 		in:        make(chan transport.Envelope, t.cfg.QueueLen),
 		done:      make(chan struct{}),
+	}
+	ep.bio = newBatchIO(conn, t.cfg, t.cfg.MaxDatagram)
+	if ep.bio != nil {
+		if ep.bio.sendEnabled() {
+			t.batchSendOn.Store(true)
+		}
+		if ep.bio.recvEnabled() {
+			t.batchRecvOn.Store(true)
+		}
 	}
 
 	t.mu.Lock()
@@ -219,6 +352,24 @@ func (t *Transport) Malformed() int64 { return t.malformed.Load() }
 // Dropped reports decoded messages discarded because an inbox was full.
 func (t *Transport) Dropped() int64 { return t.dropped.Load() }
 
+// Stats snapshots the transport's datapath counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Malformed:        t.malformed.Load(),
+		Dropped:          t.dropped.Load(),
+		SendSyscalls:     t.sendSyscalls.Load(),
+		SentDatagrams:    t.sentDatagrams.Load(),
+		GSOSegments:      t.gsoSegments.Load(),
+		RecvSyscalls:     t.recvSyscalls.Load(),
+		RecvDatagrams:    t.recvDatagrams.Load(),
+		GROSegments:      t.groSegments.Load(),
+		BatchSend:        t.batchSendOn.Load(),
+		BatchRecv:        t.batchRecvOn.Load(),
+		ReadBufferBytes:  t.readBufSize.Load(),
+		WriteBufferBytes: t.sendBufSize.Load(),
+	}
+}
+
 func (t *Transport) detach(ep *endpoint) {
 	t.mu.Lock()
 	if cur, ok := t.endpoints[ep.addr.Key()]; ok && cur == ep {
@@ -227,93 +378,232 @@ func (t *Transport) detach(ep *endpoint) {
 	t.mu.Unlock()
 }
 
+// resolveCache is the per-endpoint resolved-address cache behind the send
+// hot path. The backing resolver pays an RWMutex acquisition and a map
+// lookup per Resolve — measurable at kernel-batched rates — so endpoints
+// keep an immutable copy-on-write table read with one atomic load. The
+// cache only engages for Versioned resolvers: every resolve compares the
+// resolver's generation and discards the whole table when it moved, so a
+// re-Registered peer can never be sent to a stale socket for longer than
+// the Register itself takes.
+type resolveCache struct {
+	res Resolver
+	ver Versioned // nil: caching disabled, every resolve hits res
+	tab atomic.Pointer[cacheTable]
+}
+
+// cacheTable is one immutable cache snapshot, valid for exactly one
+// resolver generation.
+type cacheTable struct {
+	gen uint64
+	m   map[string]*net.UDPAddr
+}
+
+func newResolveCache(res Resolver) *resolveCache {
+	c := &resolveCache{res: res}
+	c.ver, _ = res.(Versioned)
+	return c
+}
+
+func (c *resolveCache) resolve(a addr.Address) (*net.UDPAddr, error) {
+	if c.ver == nil {
+		return c.res.Resolve(a)
+	}
+	gen := c.ver.Gen()
+	cur := c.tab.Load()
+	if cur != nil && cur.gen == gen {
+		if ua, ok := cur.m[a.Key()]; ok {
+			return ua, nil
+		}
+	}
+	ua, err := c.res.Resolve(a)
+	if err != nil {
+		return nil, err
+	}
+	// Publish a fresh snapshot derived from the one loaded above. The CAS
+	// makes the (gen check, derive, publish) sequence atomic against
+	// concurrent inserts and invalidations: losing the race just drops
+	// this insert, and the entry is re-resolved and re-cached next send —
+	// a stale entry can never be resurrected past a generation bump.
+	m := make(map[string]*net.UDPAddr, 8)
+	if cur != nil && cur.gen == gen {
+		m = make(map[string]*net.UDPAddr, len(cur.m)+1)
+		maps.Copy(m, cur.m)
+	}
+	m[a.Key()] = ua
+	c.tab.CompareAndSwap(cur, &cacheTable{gen: gen, m: m})
+	return ua, nil
+}
+
 // endpoint is one bound UDP socket speaking the wire framing.
 type endpoint struct {
 	addr      addr.Address
 	tr        *Transport
 	conn      *net.UDPConn
 	prefixLen int // encoded size of the sender-address datagram prefix
+	cache     *resolveCache
+	bio       *batchIO // kernel-batched I/O; nil on the portable path
 	in        chan transport.Envelope
 	done      chan struct{}
 
 	closeOnce sync.Once
 }
 
-var _ transport.Endpoint = (*endpoint)(nil)
+var (
+	_ transport.Endpoint      = (*endpoint)(nil)
+	_ transport.BatchSender   = (*endpoint)(nil)
+	_ transport.BatchReceiver = (*endpoint)(nil)
+)
 
 // Addr returns the endpoint's pmcast address.
 func (e *endpoint) Addr() addr.Address { return e.addr }
 
-// Send encodes one protocol message and ships it as a datagram, reusing
-// pooled encode buffers so the steady-state send path does not allocate.
-// Round envelopes (wire.Batch) that exceed the datagram bound are split at
-// the MTU boundary: the piggybacked membership payloads ride the first
-// datagram and the length-prefixed gossip sections fill greedily.
+// outFrame is one encoded datagram awaiting transmission: the destination
+// socket and the full wire bytes (sender prefix + frame) on a pooled buffer.
+type outFrame struct {
+	dst *net.UDPAddr
+	buf []byte
+	p   *[]byte // pooled backing storage, released after the flush
+}
+
+var framePool = sync.Pool{New: func() any {
+	s := make([]outFrame, 0, 64)
+	return &s
+}}
+
+// appendFrames encodes one protocol message into datagram frames, reusing
+// pooled encode buffers. Round envelopes (wire.Batch) that exceed the
+// datagram bound are split at the MTU boundary: the piggybacked membership
+// payloads ride the first datagram and the length-prefixed gossip sections
+// fill greedily.
+func (e *endpoint) appendFrames(frames []outFrame, to addr.Address, payload any) ([]outFrame, error) {
+	dst, err := e.cache.resolve(to)
+	if err != nil {
+		return frames, err
+	}
+	if b, ok := payload.(wire.Batch); ok {
+		// The sender-address prefix shares the datagram with the frame.
+		chunks, err := wire.SplitBatch(b, e.tr.cfg.MaxDatagram-e.prefixLen)
+		if err != nil {
+			return frames, fmt.Errorf("udp: batch for %s: %w", to, err)
+		}
+		for _, chunk := range chunks {
+			p := wire.GetBuffer()
+			buf := addr.AppendAddress(*p, e.addr)
+			buf, err := wire.AppendBatch(buf, chunk)
+			if err != nil {
+				wire.PutBuffer(p)
+				return frames, fmt.Errorf("udp: encoding batch for %s: %w", to, err)
+			}
+			*p = buf[:0] // keep the grown capacity pooled
+			if len(buf) > e.tr.cfg.MaxDatagram {
+				// SplitBatch guarantees this never fires; the guard keeps a
+				// codec-accounting bug from emitting a datagram the receiver's
+				// MaxDatagram-sized read buffer would silently truncate.
+				wire.PutBuffer(p)
+				return frames, fmt.Errorf("udp: batch chunk for %s is %d bytes, above the %d-byte datagram bound",
+					to, len(buf), e.tr.cfg.MaxDatagram)
+			}
+			frames = append(frames, outFrame{dst: dst, buf: buf, p: p})
+		}
+		return frames, nil
+	}
+	p := wire.GetBuffer()
+	buf := addr.AppendAddress(*p, e.addr)
+	buf, err = wire.AppendMessage(buf, payload)
+	if err != nil {
+		wire.PutBuffer(p)
+		return frames, fmt.Errorf("udp: encoding for %s: %w", to, err)
+	}
+	*p = buf[:0]
+	if len(buf) > e.tr.cfg.MaxDatagram {
+		wire.PutBuffer(p)
+		return frames, fmt.Errorf("udp: message for %s is %d bytes, above the %d-byte datagram bound",
+			to, len(buf), e.tr.cfg.MaxDatagram)
+	}
+	return append(frames, outFrame{dst: dst, buf: buf, p: p}), nil
+}
+
+// releaseFrames returns the frames' pooled encode buffers.
+func releaseFrames(frames []outFrame) {
+	for i := range frames {
+		wire.PutBuffer(frames[i].p)
+		frames[i] = outFrame{}
+	}
+}
+
+// Send encodes one protocol message and ships it as a datagram (or several,
+// when a round envelope splits at the MTU boundary) on the portable
+// one-syscall-per-datagram path. Kernel batching engages through SendMany —
+// a single message gains nothing from a vector of one.
 func (e *endpoint) Send(to addr.Address, payload any) error {
 	select {
 	case <-e.done:
 		return transport.ErrClosed
 	default:
 	}
-	dst, err := e.tr.cfg.Resolver.Resolve(to)
-	if err != nil {
-		return err
+	fp := framePool.Get().(*[]outFrame)
+	frames, err := e.appendFrames((*fp)[:0], to, payload)
+	if err == nil {
+		for i := range frames {
+			if err = e.write(to, frames[i].dst, frames[i].buf); err != nil {
+				break
+			}
+		}
 	}
-	if b, ok := payload.(wire.Batch); ok {
-		return e.sendBatch(to, dst, b)
-	}
-	return e.writeFrame(to, dst, payload)
+	releaseFrames(frames)
+	*fp = frames[:0]
+	framePool.Put(fp)
+	return err
 }
 
-// writeFrame encodes one message and ships it as a single datagram.
-func (e *endpoint) writeFrame(to addr.Address, dst *net.UDPAddr, payload any) error {
-	p := wire.GetBuffer()
-	defer func() { wire.PutBuffer(p) }()
-	buf := addr.AppendAddress(*p, e.addr)
-	buf, err := wire.AppendMessage(buf, payload)
-	if err != nil {
-		return fmt.Errorf("udp: encoding for %s: %w", to, err)
+// SendMany implements transport.BatchSender: the whole queue is encoded,
+// then flushed with as few kernel crossings as the platform allows — one
+// sendmmsg per 64 datagrams on Linux, a plain write loop elsewhere.
+// Per-message failures (unknown destination, oversized encoding) are
+// skipped and the first one reported after every message was attempted, so
+// one bad entry cannot stall the rest of a round's envelopes.
+func (e *endpoint) SendMany(msgs []transport.Outgoing) error {
+	select {
+	case <-e.done:
+		return transport.ErrClosed
+	default:
 	}
-	*p = buf[:0] // keep the grown capacity pooled
-	if len(buf) > e.tr.cfg.MaxDatagram {
-		return fmt.Errorf("udp: message for %s is %d bytes, above the %d-byte datagram bound",
-			to, len(buf), e.tr.cfg.MaxDatagram)
-	}
-	return e.write(to, dst, buf)
-}
-
-// sendBatch ships a round envelope, splitting it at the datagram boundary
-// when its encoded form exceeds MaxDatagram.
-func (e *endpoint) sendBatch(to addr.Address, dst *net.UDPAddr, b wire.Batch) error {
-	// The sender-address prefix shares the datagram with the frame.
-	chunks, err := wire.SplitBatch(b, e.tr.cfg.MaxDatagram-e.prefixLen)
-	if err != nil {
-		return fmt.Errorf("udp: batch for %s: %w", to, err)
-	}
-	for _, chunk := range chunks {
-		p := wire.GetBuffer()
-		buf := addr.AppendAddress(*p, e.addr)
-		buf, err := wire.AppendBatch(buf, chunk)
-		if err != nil {
-			wire.PutBuffer(p)
-			return fmt.Errorf("udp: encoding batch for %s: %w", to, err)
+	if e.bio == nil || !e.bio.sendEnabled() {
+		var firstErr error
+		for _, m := range msgs {
+			if err := e.Send(m.To, m.Payload); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-		*p = buf[:0]
-		if len(buf) > e.tr.cfg.MaxDatagram {
-			// SplitBatch guarantees this never fires; the guard keeps a
-			// codec-accounting bug from emitting a datagram the receiver's
-			// MaxDatagram-sized read buffer would silently truncate.
-			wire.PutBuffer(p)
-			return fmt.Errorf("udp: batch chunk for %s is %d bytes, above the %d-byte datagram bound",
-				to, len(buf), e.tr.cfg.MaxDatagram)
-		}
-		werr := e.write(to, dst, buf)
-		wire.PutBuffer(p)
-		if werr != nil {
-			return werr
+		return firstErr
+	}
+	fp := framePool.Get().(*[]outFrame)
+	frames := (*fp)[:0]
+	var firstErr error
+	for _, m := range msgs {
+		var err error
+		frames, err = e.appendFrames(frames, m.To, m.Payload)
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	syscalls, datagrams, gsoSegs, err := e.bio.flush(frames)
+	e.tr.sendSyscalls.Add(syscalls)
+	e.tr.sentDatagrams.Add(datagrams)
+	e.tr.gsoSegments.Add(gsoSegs)
+	if err != nil && firstErr == nil {
+		select {
+		case <-e.done:
+			firstErr = transport.ErrClosed
+		default:
+			firstErr = fmt.Errorf("udp: batched send from %s: %w", e.addr, err)
+		}
+	}
+	releaseFrames(frames)
+	*fp = frames[:0]
+	framePool.Put(fp)
+	return firstErr
 }
 
 func (e *endpoint) write(to addr.Address, dst *net.UDPAddr, buf []byte) error {
@@ -325,11 +615,41 @@ func (e *endpoint) write(to addr.Address, dst *net.UDPAddr, buf []byte) error {
 		}
 		return fmt.Errorf("udp: sending to %s (%s): %w", to, dst, err)
 	}
+	e.tr.sendSyscalls.Add(1)
+	e.tr.sentDatagrams.Add(1)
 	return nil
 }
 
 // Recv exposes the decoded inbox. The channel closes when the endpoint does.
 func (e *endpoint) Recv() <-chan transport.Envelope { return e.in }
+
+// RecvMany implements transport.BatchReceiver: one blocking receive, then a
+// non-blocking drain of whatever the read loop already queued — a consumer
+// wakes once per kernel batch instead of once per datagram.
+func (e *endpoint) RecvMany(out []transport.Envelope) (int, bool) {
+	if len(out) == 0 {
+		return 0, true
+	}
+	env, ok := <-e.in
+	if !ok {
+		return 0, false
+	}
+	out[0] = env
+	n := 1
+	for n < len(out) {
+		select {
+		case env, ok := <-e.in:
+			if !ok {
+				return n, false
+			}
+			out[n] = env
+			n++
+		default:
+			return n, true
+		}
+	}
+	return n, true
+}
 
 // Close unbinds the socket and stops the receive loop.
 func (e *endpoint) Close() error {
@@ -351,42 +671,84 @@ func (e *endpoint) shutdown() {
 // allocated once and shared across frames. With DeferDecode the loop only
 // parses the sender prefix and ships the frame bytes as a transport.Raw —
 // unframing moves to the consumer's ingress workers.
+//
+// With kernel-batched ingress the loop drains the socket through a vector
+// of pooled buffers — one recvmmsg per wakeup — and GRO-coalesced
+// super-datagrams are split back into their constituent frames before
+// delivery; the per-datagram handling is byte-identical to the portable
+// path below it.
 func (e *endpoint) readLoop(maxDatagram int) {
 	defer close(e.in)
-	buf := make([]byte, maxDatagram)
 	var dec *wire.Decoder
 	if !e.tr.cfg.DeferDecode {
 		dec = wire.NewDecoder() // unused (and unallocated) when deferring
 	}
+	if e.bio != nil && e.bio.recvEnabled() {
+		for {
+			n, err := e.bio.recv()
+			if err != nil {
+				return // socket closed (or fatally broken): endpoint is done
+			}
+			e.tr.recvSyscalls.Add(1)
+			for i := 0; i < n; i++ {
+				data, seg := e.bio.datagram(i)
+				if seg > 0 && seg < len(data) {
+					// A GRO super-datagram: the kernel coalesced a burst of
+					// equal-size datagrams; every seg-sized chunk (the last
+					// may be shorter) is one wire datagram.
+					for off := 0; off < len(data); off += seg {
+						end := min(off+seg, len(data))
+						e.tr.recvDatagrams.Add(1)
+						e.tr.groSegments.Add(1)
+						e.deliver(data[off:end], dec)
+					}
+					continue
+				}
+				e.tr.recvDatagrams.Add(1)
+				e.deliver(data, dec)
+			}
+		}
+	}
+	buf := make([]byte, maxDatagram)
 	for {
 		n, _, err := e.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed (or fatally broken): endpoint is done
 		}
-		r := binenc.NewReader(buf[:n])
-		from := addr.ReadAddress(r)
-		if r.Err() != nil {
+		e.tr.recvSyscalls.Add(1)
+		e.tr.recvDatagrams.Add(1)
+		e.deliver(buf[:n], dec)
+	}
+}
+
+// deliver parses one wire datagram and pushes its envelope, counting
+// malformed datagrams and inbox overflow — the shared per-datagram body of
+// both read loops.
+func (e *endpoint) deliver(data []byte, dec *wire.Decoder) {
+	r := binenc.NewReader(data)
+	from := addr.ReadAddress(r)
+	if r.Err() != nil {
+		e.tr.malformed.Add(1)
+		return
+	}
+	var payload any
+	if e.tr.cfg.DeferDecode {
+		payload = transport.NewRaw(data[len(data)-r.Len():])
+	} else {
+		var err error
+		payload, err = dec.Decode(data[len(data)-r.Len():])
+		if err != nil {
 			e.tr.malformed.Add(1)
-			continue
+			return
 		}
-		var payload any
-		if e.tr.cfg.DeferDecode {
-			payload = transport.NewRaw(buf[n-r.Len() : n])
-		} else {
-			payload, err = dec.Decode(buf[n-r.Len() : n])
-			if err != nil {
-				e.tr.malformed.Add(1)
-				continue
-			}
+	}
+	env := transport.Envelope{From: from, To: e.addr, Payload: payload}
+	select {
+	case e.in <- env:
+	default:
+		if raw, ok := payload.(transport.Raw); ok {
+			raw.Release() // overflow never reaches a decoder
 		}
-		env := transport.Envelope{From: from, To: e.addr, Payload: payload}
-		select {
-		case e.in <- env:
-		default:
-			if raw, ok := payload.(transport.Raw); ok {
-				raw.Release() // overflow never reaches a decoder
-			}
-			e.tr.dropped.Add(1) // inbox overflow, like a full socket buffer
-		}
+		e.tr.dropped.Add(1) // inbox overflow, like a full socket buffer
 	}
 }

@@ -217,6 +217,10 @@ type (
 	// StaticResolver is a static address → socket table; entries with
 	// port 0 bind ephemeral ports and register themselves.
 	StaticResolver = udp.StaticResolver
+	// UDPStats is a snapshot of the UDP datapath counters — syscalls,
+	// datagrams (their ratio is the kernel-batching amortization), GSO/GRO
+	// segments, malformed/dropped datagrams and achieved socket buffers.
+	UDPStats = udp.Stats
 )
 
 // NewUDPTransport builds a UDP transport over the configured resolver.
