@@ -11,7 +11,8 @@ import (
 // view lines into a deterministic member order (line order, then election
 // rank) and matching members through the compiled forms of the regrouped
 // subtree summaries. It implements MatchProfiler — one compiled evaluation
-// per line, expanded to the line's member range — and Generational, carrying
+// per distinct line language, expanded to the lines' member ranges — and
+// Generational, carrying
 // the tree node generation so cached profiles survive process rebuilds that
 // did not touch this view's prefix.
 type TreeView struct {
@@ -20,6 +21,15 @@ type TreeView struct {
 	lineStart []int // line index → first member index (len lines+1)
 	summaries []*interest.Summary
 	compiled  []*interest.CompiledMatcher
+	// Sibling subgroups whose folds converge — the norm under skewed
+	// subscription popularity — share one interned compiled summary, and
+	// pointer equality is language equality, so each distinct matcher is
+	// evaluated once per event: dupOf maps every line to its canonical
+	// line, distinct lists the canonical lines, scratch holds their match
+	// results for the duration of one query.
+	dupOf    []int
+	distinct []int
+	scratch  []bool
 	selfIndex int
 	selfLine  int
 	gen       uint64
@@ -66,6 +76,22 @@ func NewTreeView(v *tree.View, self addr.Address) *TreeView {
 		}
 	}
 	tv.lineStart[len(v.Lines)] = len(tv.members)
+	tv.dupOf = make([]int, len(v.Lines))
+	tv.distinct = make([]int, 0, len(v.Lines))
+	tv.scratch = make([]bool, len(v.Lines))
+	for li, cm := range tv.compiled {
+		canon := li
+		for _, dj := range tv.distinct {
+			if tv.compiled[dj] == cm {
+				canon = dj
+				break
+			}
+		}
+		tv.dupOf[li] = canon
+		if canon == li {
+			tv.distinct = append(tv.distinct, li)
+		}
+	}
 	if tv.selfLine < 0 {
 		// The process may not be a member of this depth's group (e.g. a
 		// publisher that is no delegate); its own subgroup is still the line
@@ -98,16 +124,25 @@ func (tv *TreeView) SusceptibleAt(ev event.Event, i int) bool {
 	return tv.compiled[tv.lineOf[i]].Matches(ev)
 }
 
-// Rate implements DepthView (GETRATE): one compiled evaluation per line,
-// weighted by the line's delegate count — the same value the per-member
-// walk produced, at a fraction of the evaluations.
+// evalDistinct evaluates each distinct compiled matcher once against the
+// event, leaving per-line results in scratch (indexed through dupOf).
+func (tv *TreeView) evalDistinct(ev event.Event, mc *interest.MatchCounter) {
+	for _, li := range tv.distinct {
+		tv.scratch[li] = tv.compiled[li].MatchesCounted(ev, mc)
+	}
+}
+
+// Rate implements DepthView (GETRATE): one compiled evaluation per distinct
+// line language, weighted by the lines' delegate counts — the same value
+// the per-member walk produced, at a fraction of the evaluations.
 func (tv *TreeView) Rate(ev event.Event) float64 {
 	if len(tv.members) == 0 {
 		return 0
 	}
+	tv.evalDistinct(ev, nil)
 	hits := 0
-	for li, cm := range tv.compiled {
-		if cm.Matches(ev) {
+	for li := range tv.compiled {
+		if tv.scratch[tv.dupOf[li]] {
 			hits += tv.lineStart[li+1] - tv.lineStart[li]
 		}
 	}
@@ -116,9 +151,10 @@ func (tv *TreeView) Rate(ev event.Event) float64 {
 
 // MatchingSubgroups implements DepthView.
 func (tv *TreeView) MatchingSubgroups(ev event.Event) (int, bool) {
+	tv.evalDistinct(ev, nil)
 	total, selfIn := 0, false
-	for li, cm := range tv.compiled {
-		if cm.Matches(ev) {
+	for li := range tv.compiled {
+		if tv.scratch[tv.dupOf[li]] {
 			total++
 			if li == tv.selfLine {
 				selfIn = true
@@ -132,13 +168,14 @@ func (tv *TreeView) MatchingSubgroups(ev event.Event) (int, bool) {
 func (tv *TreeView) Generation() uint64 { return tv.gen }
 
 // Profile implements MatchProfiler: the whole susceptibility profile in one
-// pass, each line's compiled matcher evaluated exactly once.
+// pass, each distinct line language evaluated exactly once.
 func (tv *TreeView) Profile(ev event.Event, p *MatchProfile) {
 	size := len(tv.members)
 	p.Ensure(size)
+	tv.evalDistinct(ev, &p.Cost)
 	hits, lines, selfIn := 0, 0, false
-	for li, cm := range tv.compiled {
-		if !cm.MatchesCounted(ev, &p.Cost) {
+	for li := range tv.compiled {
+		if !tv.scratch[tv.dupOf[li]] {
 			continue
 		}
 		lines++

@@ -161,6 +161,21 @@ type MatchStats struct {
 	Rounds uint64
 	// Nanos is wall time spent computing profiles (cache misses only).
 	Nanos int64
+	// Fold-layer counters, filled by the membership layer (Node.MatchStats)
+	// from its tree: FoldRecomputes counts summary regroupings the tree
+	// actually computed, FoldHits the regroupings served by the shared fold
+	// cache. Summed by Accumulate like the matcher counters.
+	FoldRecomputes uint64
+	FoldHits       uint64
+	// Shared-cache snapshots: live entries and sweep evictions of the fold
+	// cache and interning compiler behind the tree. The instances are
+	// typically shared by many processes (tree clones), so Accumulate keeps
+	// the max rather than double-counting one cache per process; exact
+	// fleet totals dedupe by cache identity through Node.FoldStats.
+	FoldCacheEntries   uint64
+	FoldCacheEvictions uint64
+	CompilerEntries    uint64
+	CompilerEvictions  uint64
 }
 
 // Accumulate adds another process's counters (used when a rebuilt process
@@ -172,6 +187,12 @@ func (m *MatchStats) Accumulate(o MatchStats) {
 	m.Misses += o.Misses
 	m.Rounds += o.Rounds
 	m.Nanos += o.Nanos
+	m.FoldRecomputes += o.FoldRecomputes
+	m.FoldHits += o.FoldHits
+	m.FoldCacheEntries = max(m.FoldCacheEntries, o.FoldCacheEntries)
+	m.FoldCacheEvictions = max(m.FoldCacheEvictions, o.FoldCacheEvictions)
+	m.CompilerEntries = max(m.CompilerEntries, o.CompilerEntries)
+	m.CompilerEvictions = max(m.CompilerEvictions, o.CompilerEvictions)
 }
 
 // profileAt returns the event's susceptibility profile at the given depth,

@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// TestSkewSweepReductions pins the PR-10 acceptance bar: on Zipf-skewed
+// fleets, the shared/incremental matcher pays at least 2× fewer fold
+// recomputations AND at least 2× fewer match comparisons per flux wave
+// than the legacy (unshared, cold-rebuild) arm, at every swept exponent.
+func TestSkewSweepReductions(t *testing.T) {
+	cells, err := SkewSweep(SkewSweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	for _, c := range cells {
+		t.Logf("alpha=%.1f subs=%d folds %d→%d (%.1f×) comparisons %d→%d (%.1f×)",
+			c.Alpha, c.TotalSubscriptions,
+			c.LegacyFoldRecomputes, c.SharedFoldRecomputes, c.FoldReduction,
+			c.LegacyComparisons, c.SharedComparisons, c.ComparisonReduction)
+		if c.SharedFoldRecomputes == 0 || c.LegacyFoldRecomputes == 0 {
+			t.Errorf("alpha=%g: zero fold meter (legacy=%d shared=%d)",
+				c.Alpha, c.LegacyFoldRecomputes, c.SharedFoldRecomputes)
+			continue
+		}
+		if c.FoldReduction < 2 {
+			t.Errorf("alpha=%g: fold reduction %.2f× < 2×", c.Alpha, c.FoldReduction)
+		}
+		if c.ComparisonReduction < 2 {
+			t.Errorf("alpha=%g: comparison reduction %.2f× < 2×", c.Alpha, c.ComparisonReduction)
+		}
+	}
+}
+
+// TestSkewSweepDeterminism re-runs one cell and requires identical meters:
+// the sweep is a pure function of its options.
+func TestSkewSweepDeterminism(t *testing.T) {
+	o := SkewSweepOptions{Alphas: []float64{1.0}, Waves: 2, Victims: 16, Events: 16}
+	a, err := SkewSweepCellAt(o, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SkewSweepCellAt(o, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("skew sweep not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}

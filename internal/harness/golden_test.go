@@ -32,6 +32,16 @@ var goldenTraces = map[string]map[int64]string{
 		1:  "454fd0ed637045edbf1ed4a8ce2ce6b83ca1c6ed7aec0354a8506db26d2ee6d4",
 		42: "9cf64bdce818f5ccba9342d3ba483027bba06225ce2c1945ee560cca8ec17c52",
 	},
+	// zipf64 pins the Zipf-skew workload layer (PR 10): the campaign runs
+	// two flash-crowd flux waves over the skewed subscription model, so a
+	// hash moving here means either the deterministic workload draw or the
+	// flux replay machinery changed. The shared fold cache, interned
+	// compiler and FPR oracle all ride under these hashes — they are
+	// observational layers and must not move the trace.
+	"zipf64": {
+		1:  "a790dc1b6f8053df527eb2538ff242d66685236bae35383d0820383252f3abf7",
+		42: "bd49d34a246476e4e3354e754a4f8aa01a6fc006e6947347686899a8e76d0569",
+	},
 }
 
 // TestEngineMatchesGoldenTraces replays the pinned (scenario, seed) pairs

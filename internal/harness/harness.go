@@ -20,6 +20,7 @@ import (
 	"pmcast/internal/membership"
 	"pmcast/internal/node"
 	"pmcast/internal/transport"
+	"pmcast/internal/tree"
 )
 
 // Report is the JSON summary of one scenario run. Every field except the
@@ -83,6 +84,34 @@ type Report struct {
 	MatchEvalsPerEvent  float64 `json:"match_evals_per_event"`
 	MatchMicrosPerRound float64 `json:"match_micros_per_round"`
 
+	// Fold-layer accounting (the membership side of matching), fleet-wide:
+	// summary regroupings the fleet's trees actually computed vs. served by
+	// their shared fold caches, plus end-of-run occupancy and sweep
+	// evictions of the fold caches and interning compilers — each shared
+	// instance counted once by identity, over the fleet's live trees
+	// (replaced generations' dead caches are not in these gauges; their
+	// recompute/hit counters are banked into the totals).
+	FoldRecomputes     uint64 `json:"fold_recompiles"`
+	FoldCacheHits      uint64 `json:"fold_cache_hits"`
+	FoldCacheEntries   int    `json:"fold_cache_entries"`
+	FoldCacheEvictions uint64 `json:"fold_cache_evictions"`
+	CompilerEntries    int    `json:"compiler_entries"`
+	CompilerEvictions  uint64 `json:"compiler_evictions"`
+
+	// SummaryFPRate is the regrouping false-positive rate over published
+	// events: (reached − interested) / reached, where "reached" counts
+	// members whose whole summary path matched the event (see
+	// tree.Tree.MatchReach) and "interested" the members whose own
+	// subscription did, both at publish time. Zero unless the scenario sets
+	// MeasureSummaryFPR — the widened-summary lossiness the disjunct caps
+	// trade for bounded summaries.
+	SummaryFPRate float64 `json:"summary_false_positive_rate"`
+
+	// ClassReliability breaks delivery and false-positive rates down by
+	// popularity bucket (scenarios with ClassBucketOf only) — the
+	// head-vs-tail view of skewed workloads.
+	ClassReliability []ClassReport `json:"class_reliability,omitempty"`
+
 	// Coding-layer accounting, fleet-wide (crashed generations included).
 	// FECRepairBytes is the encoded size of every repair section emitted;
 	// RepairBytesPerEvent normalizes it by events published — the redundancy
@@ -136,9 +165,30 @@ type Report struct {
 type EventReport struct {
 	ID          string  `json:"id"`
 	PublishedAt int64   `json:"published_at_ns"`
+	Class       int64   `json:"class"`
 	Eligible    int     `json:"eligible"`
 	Delivered   int     `json:"delivered"`
 	Reliability float64 `json:"reliability"`
+	// Reached is the summary-path reach at publish time (MeasureSummaryFPR
+	// scenarios only; see Report.SummaryFPRate).
+	Reached int `json:"reached,omitempty"`
+}
+
+// ClassReport aggregates per-event outcomes over one popularity bucket of a
+// skewed workload (see Scenario.ClassBucketOf).
+type ClassReport struct {
+	Bucket int    `json:"bucket"`
+	Label  string `json:"label,omitempty"`
+	Events int    `json:"events"`
+	// Audienced counts the bucket's events with a nonzero eligible
+	// audience — the denominator of the reliability figures. Deep-tail
+	// topics can draw zero subscribers; such events have no reliability
+	// to report, and a bucket where Audienced is 0 carries zeros here
+	// without meaning delivery failed.
+	Audienced       int     `json:"audienced_events"`
+	MeanReliability float64 `json:"mean_reliability"`
+	MinReliability  float64 `json:"min_reliability"`
+	SummaryFPRate   float64 `json:"summary_false_positive_rate"`
 }
 
 // Result is everything a run produced: the report, the raw delivery trace
@@ -190,6 +240,16 @@ type run struct {
 	matchSum core.MatchStats
 	fecSum   node.FECStats
 	adaptSum core.AdaptiveStats
+
+	// shadow is the MeasureSummaryFPR oracle: a membership tree mirroring
+	// the fleet's churn and flux, queried (never gossiped through) at each
+	// publish. evClass, evInterested and evReached record the publish-time
+	// class, interested count and summary-path reach per event.
+	shadow       *tree.Tree
+	evClass      map[event.ID]int64
+	evInterested map[event.ID]int
+	evReached    map[event.ID]int
+	evObj        map[event.ID]event.Event
 
 	trace     bytes.Buffer
 	delivered map[string][]event.ID
@@ -260,11 +320,15 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 		fabric:    fabric,
 		rng:       rand.New(rand.NewSource(seed)),
 		space:     space,
-		nextFresh: sc.Nodes,
-		delivered: make(map[string][]event.ID),
-		pubAt:     make(map[event.ID]int64),
-		eligible:  make(map[event.ID]map[string]bool),
-		gotEvent:  make(map[event.ID]map[string]bool),
+		nextFresh:    sc.Nodes,
+		delivered:    make(map[string][]event.ID),
+		pubAt:        make(map[event.ID]int64),
+		eligible:     make(map[event.ID]map[string]bool),
+		gotEvent:     make(map[event.ID]map[string]bool),
+		evClass:      make(map[event.ID]int64),
+		evInterested: make(map[event.ID]int),
+		evReached:    make(map[event.ID]int),
+		evObj:        make(map[event.ID]event.Event),
 	}
 	r.report.Scenario = sc.Name
 	r.report.Seed = seed
@@ -303,6 +367,19 @@ func (s Scenario) Run(seed int64) (*Result, error) {
 	for i := 0; i < sc.Nodes; i++ {
 		if _, err := r.spawn(i, sc.subscriptionFor(space.AddressAt(i), i)); err != nil {
 			return nil, err
+		}
+	}
+	if sc.MeasureSummaryFPR {
+		// The FPR oracle: one shadow tree over the same membership, updated
+		// in lockstep with churn and flux ops. It touches no transport and no
+		// engine RNG, so measuring costs nothing deterministically.
+		members := make([]tree.Member, 0, sc.Nodes)
+		for _, h := range r.handles {
+			members = append(members, tree.Member{Addr: h.a, Sub: h.sub})
+		}
+		r.shadow, err = tree.Build(tree.Config{Space: space, R: sc.Fleet.R}, members)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scenario %q: building FPR shadow tree: %w", sc.Name, err)
 		}
 	}
 	if err := r.bootstrap(); err != nil {
@@ -614,6 +691,12 @@ func (r *run) exec(op Op) {
 			}
 			r.eligible[id] = elig
 			r.gotEvent[id] = make(map[string]bool)
+			r.evClass[id] = class
+			r.evInterested[id] = len(elig)
+			r.evObj[id] = ev
+			if r.shadow != nil {
+				r.evReached[id] = r.shadow.MatchReach(ev)
+			}
 			if r.eng != nil {
 				// The publisher's self-delivery sits in its channel until the
 				// owner shard pumps it at this instant.
@@ -633,6 +716,9 @@ func (r *run) exec(op Op) {
 			// events' gossip has expired by then).
 			for _, set := range r.eligible {
 				delete(set, h.key)
+			}
+			if r.shadow != nil {
+				_ = r.shadow.Remove(h.a)
 			}
 			r.report.Crashes++
 		}
@@ -655,6 +741,9 @@ func (r *run) exec(op Op) {
 			if c := r.contact(nh); c != nil {
 				_ = nh.n.Join(c.a)
 			}
+			if r.shadow != nil {
+				_ = r.shadow.Add(tree.Member{Addr: nh.a, Sub: nh.sub})
+			}
 			revived = append(revived, nh)
 			r.report.Rejoins++
 		}
@@ -672,6 +761,9 @@ func (r *run) exec(op Op) {
 			}
 			if c := r.contact(nh); c != nil {
 				_ = nh.n.Join(c.a)
+			}
+			if r.shadow != nil {
+				_ = r.shadow.Add(tree.Member{Addr: nh.a, Sub: nh.sub})
 			}
 			joined = append(joined, nh)
 			r.report.Joins++
@@ -708,6 +800,19 @@ func (r *run) exec(op Op) {
 			}
 			h.sub = sub
 			h.n.Subscribe(sub)
+			// A fluxed process abandoned the interest in-flight events were
+			// published under: like a crash, it leaves the eligible set of
+			// every event its new subscription no longer matches (it will
+			// never deliver them). Events the new interest does match keep
+			// their eligibility rules from publish time.
+			for id, set := range r.eligible {
+				if set[h.key] && !sub.Matches(r.evObj[id]) {
+					delete(set, h.key)
+				}
+			}
+			if r.shadow != nil {
+				_ = r.shadow.UpdateSubscription(h.a, sub)
+			}
 			r.report.Fluxes++
 		}
 		logf("flux %d nodes: %s", len(victims), keysOf(victims))
@@ -843,6 +948,29 @@ func (r *run) finish(wallStart time.Time) {
 	r.report.MatchComparisons = match.Comparisons
 	r.report.MatchCacheHits = match.Hits
 	r.report.MatchCacheMisses = match.Misses
+	r.report.FoldRecomputes = match.FoldRecomputes
+	r.report.FoldCacheHits = match.FoldHits
+	// Shared fold caches and compilers are counted once each by identity —
+	// tree clones within one node share an instance, and summing per handle
+	// would multiply the same gauge.
+	seenCaches := make(map[uint64]bool)
+	seenCompilers := make(map[uint64]bool)
+	for _, h := range r.handles {
+		if h == nil || h.n == nil {
+			continue
+		}
+		fs := h.n.FoldStats()
+		if fs.CacheID != 0 && !seenCaches[fs.CacheID] {
+			seenCaches[fs.CacheID] = true
+			r.report.FoldCacheEntries += fs.CacheEntries
+			r.report.FoldCacheEvictions += fs.CacheEvictions
+		}
+		if fs.CompilerID != 0 && !seenCompilers[fs.CompilerID] {
+			seenCompilers[fs.CompilerID] = true
+			r.report.CompilerEntries += fs.CompilerEntries
+			r.report.CompilerEvictions += fs.CompilerEvictions
+		}
+	}
 	if match.Rounds > 0 {
 		r.report.MatchMicrosPerRound = float64(match.Nanos) / 1000 / float64(match.Rounds)
 	}
@@ -869,15 +997,37 @@ func (r *run) finish(wallStart time.Time) {
 
 	// Reliability over events: delivered / eligible, eligibility restricted
 	// to processes still alive at the end (crashes already removed).
+	type bucketAgg struct {
+		events    int
+		relEvents int
+		relSum    float64
+		relMin    float64
+		reached   int
+		falseP    int
+	}
+	var buckets []bucketAgg
+	if r.sc.ClassBucketOf != nil {
+		nb := r.sc.NumClassBuckets
+		if nb <= 0 {
+			nb = 1
+		}
+		buckets = make([]bucketAgg, nb)
+		for i := range buckets {
+			buckets[i].relMin = 1
+		}
+	}
 	var sum float64
 	evs := 0
+	totReached, totFalseP := 0, 0
 	r.report.MinReliability = 1
 	for _, id := range r.pubOrder {
 		elig := r.eligible[id]
 		er := EventReport{
 			ID:          fmt.Sprintf("%s#%d", id.Origin, id.Seq),
 			PublishedAt: r.pubAt[id],
+			Class:       r.evClass[id],
 			Eligible:    len(elig),
+			Reached:     r.evReached[id],
 		}
 		for key := range elig {
 			if r.gotEvent[id][key] {
@@ -892,12 +1042,58 @@ func (r *run) finish(wallStart time.Time) {
 				r.report.MinReliability = er.Reliability
 			}
 		}
+		// False positives compare reach and interest both at publish time —
+		// the eligible map shrinks when interested members crash later, so
+		// len(elig) here would overstate the surplus.
+		fp := er.Reached - r.evInterested[id]
+		if fp < 0 {
+			fp = 0
+		}
+		totReached += er.Reached
+		totFalseP += fp
+		if buckets != nil {
+			b := r.sc.ClassBucketOf(er.Class)
+			if b >= 0 && b < len(buckets) {
+				ba := &buckets[b]
+				ba.events++
+				if len(elig) > 0 {
+					ba.relEvents++
+					ba.relSum += er.Reliability
+					if er.Reliability < ba.relMin {
+						ba.relMin = er.Reliability
+					}
+				}
+				ba.reached += er.Reached
+				ba.falseP += fp
+			}
+		}
 		r.report.Events = append(r.report.Events, er)
 	}
 	if evs > 0 {
 		r.report.MeanReliability = sum / float64(evs)
 	} else {
 		r.report.MinReliability = 0
+	}
+	if totReached > 0 {
+		r.report.SummaryFPRate = float64(totFalseP) / float64(totReached)
+	}
+	for b := range buckets {
+		ba := &buckets[b]
+		if ba.events == 0 {
+			continue
+		}
+		cr := ClassReport{Bucket: b, Events: ba.events, Audienced: ba.relEvents}
+		if b < len(r.sc.BucketLabels) {
+			cr.Label = r.sc.BucketLabels[b]
+		}
+		if ba.relEvents > 0 {
+			cr.MeanReliability = ba.relSum / float64(ba.relEvents)
+			cr.MinReliability = ba.relMin
+		}
+		if ba.reached > 0 {
+			cr.SummaryFPRate = float64(ba.falseP) / float64(ba.reached)
+		}
+		r.report.ClassReliability = append(r.report.ClassReliability, cr)
 	}
 
 	sumHash := sha256.Sum256(r.trace.Bytes())

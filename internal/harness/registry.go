@@ -31,6 +31,8 @@ func Scenarios() map[string]Scenario {
 		"soak4k":      Soak4k(),
 		"churn16k":    Churn16k(),
 		"soak64k":     Soak64k(),
+		"zipf64":      Zipf64(),
+		"zipf1m":      Zipf1M(),
 	}
 }
 
@@ -558,6 +560,128 @@ func ManyAttr512() Scenario {
 	s.FluxAt(700*time.Millisecond, 32).
 		FluxAt(1300*time.Millisecond, 32)
 	return s
+}
+
+// zipfScenario assembles a campaign over a ZipfWorkload: subscriptions,
+// flux redraws, event content, popularity buckets and the FPR oracle all
+// come from the workload model; the caller supplies fleet and schedule.
+func zipfScenario(s Scenario, w ZipfWorkload) Scenario {
+	zw := NewZipfWorkload(w)
+	s.Fleet.Classes = zw.Topics
+	s.SubscriptionFor = zw.SubscriptionFor
+	s.FluxFor = zw.FluxFor
+	s.EventFor = zw.EventFor
+	s.ClassBucketOf = zw.ClassBucketOf
+	s.NumClassBuckets = zw.NumClassBuckets()
+	s.MeasureSummaryFPR = true
+	return s
+}
+
+// Zipf64 is the smoke-sized skewed-subscription campaign: 64 nodes over a
+// 256-topic Zipf(α=1) vocabulary with heavy-tailed per-node topic counts and
+// subtree-rotated locality, publishing Zipf-distributed events through two
+// flash-crowd flux waves that invert the popularity ranking. Small enough
+// for the golden-trace pins and the shard-equivalence matrix (link delays
+// keep the conservative window real), while exercising every skew mechanism
+// zipf1m runs at scale: its report carries class_reliability,
+// summary_false_positive_rate and the fold_recompiles axis.
+func Zipf64() Scenario {
+	s := Scenario{
+		Name: "zipf64",
+		Fleet: Fleet{
+			Arity: 4, Depth: 3,
+			R: 2, F: 3, C: 3,
+			GossipInterval:     20 * time.Millisecond,
+			MembershipInterval: 100 * time.Millisecond,
+			SuspectAfter:       600 * time.Millisecond,
+		},
+		Nodes:     64,
+		Bootstrap: BootstrapOracle,
+		Loss:      0.005,
+		MinDelay:  500 * time.Microsecond,
+		MaxDelay:  2 * time.Millisecond,
+		QueueLen:  2048,
+		Horizon:   2 * time.Second,
+	}
+	s = zipfScenario(s, ZipfWorkload{
+		Topics:   256,
+		Alpha:    1.0,
+		MeanSubs: 24,
+		MaxSubs:  128,
+		Locality: 0.8,
+		Arity:    4,
+	})
+	s.PublishAt(200*time.Millisecond, -1, 4, -1).
+		FluxAt(600*time.Millisecond, 16).
+		PublishAt(900*time.Millisecond, -1, 4, -1).
+		FluxAt(1200*time.Millisecond, 16).
+		PublishAt(1500*time.Millisecond, -1, 4, -1)
+	return s
+}
+
+// Zipf1M is the million-subscription campaign ROADMAP item 5 asked for: the
+// soak4k fabric (4096 nodes, the regular 4^6 tree, jittered link delays,
+// eight shards) under a 4096-topic Zipf(α=1) vocabulary whose truncated-
+// Pareto per-node topic counts total over a million subscriptions fleet-wide
+// (ZipfWorkload.TotalSubscriptions is the acceptance check). Two
+// flash-crowd flux waves invert the popularity ranking mid-run — the
+// workload that made unbounded fold caches and per-recompute view
+// invalidation unaffordable, and the measurement bed for the shared-summary
+// matcher: fold_recompiles, class_reliability and
+// summary_false_positive_rate are its headline report fields.
+func Zipf1M() Scenario {
+	s := Scenario{
+		Name: "zipf1m",
+		Fleet: Fleet{
+			Arity: 4, Depth: 6,
+			// C=4: tail topics draw audiences of a couple hundred out of
+			// 4096, and the sparser the audience the closer the Pittel
+			// round estimate runs to the wire — one extra round of margin
+			// keeps the tail's reliability at the head's level.
+			R: 2, F: 4, C: 4,
+			GossipInterval:     40 * time.Millisecond,
+			MembershipInterval: 300 * time.Millisecond,
+			SuspectAfter:       900 * time.Millisecond,
+			DeliveryBuffer:     256,
+		},
+		Nodes:     4096,
+		Bootstrap: BootstrapOracle,
+		// Mild ambient loss: this campaign's subject is subscription scale
+		// and fold churn, not loss resilience — the acceptance bar is 0.999
+		// reliability, so the loss stays an order below soak4k's.
+		Loss:     0.001,
+		MinDelay: 500 * time.Microsecond,
+		MaxDelay: 2 * time.Millisecond,
+		QueueLen: 256,
+		Horizon:  2600 * time.Millisecond,
+		Shards:   8,
+	}
+	s = zipfScenario(s, zipf1MWorkload())
+	// The second publish wave trails the first flux wave by two membership
+	// intervals: a fluxed subscription needs its new summary folded into
+	// the fleet's views before events published against it can route — a
+	// wave published into still-stale summaries measures anti-entropy lag,
+	// not regrouping. The second flux wave lands mid-descent of wave two,
+	// exercising fold churn against in-flight events (fluxed-out nodes
+	// leave those events' eligible sets).
+	s.PublishAt(200*time.Millisecond, -1, 4, -1).
+		FluxAt(500*time.Millisecond, 64).
+		PublishAt(1150*time.Millisecond, -1, 4, -1).
+		FluxAt(1500*time.Millisecond, 64)
+	return s
+}
+
+// zipf1MWorkload is Zipf1M's workload model, shared with the acceptance
+// test's subscription-count check.
+func zipf1MWorkload() ZipfWorkload {
+	return ZipfWorkload{
+		Topics:   4096,
+		Alpha:    1.0,
+		MeanSubs: 330,
+		MaxSubs:  2048,
+		Locality: 0.8,
+		Arity:    4,
+	}
 }
 
 // Churn1024 is the scale campaign: a 1024-node fleet (the regular 4^5

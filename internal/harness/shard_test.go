@@ -50,6 +50,11 @@ func TestShardedTraceEquivalence(t *testing.T) {
 		{"lossy256", true},
 		{"soak256", false},
 		{"noisy64", false},
+		// zipf64 has jittered link delays (positive lookahead) AND the
+		// Zipf flux waves, so it is the equivalence check for the skewed
+		// workload layer: flux replay must merge identically across shard
+		// counts, and match the goldenTraces pin.
+		{"zipf64", true},
 	}
 	for _, tc := range cases {
 		base, err := Lookup(tc.name)

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pmcast/internal/event"
 )
@@ -298,26 +299,86 @@ func CompileSummary(s *Summary) *CompiledMatcher {
 	return m
 }
 
+// DefaultCompilerBound caps live entries in an interning Compiler (across
+// both generations, see below). Zipf-scale subscription flux mints fresh
+// languages indefinitely; without a bound the interning table is a leak.
+const DefaultCompilerBound = 1 << 16
+
+// compilerIDs mints process-unique Compiler identities for fleet-level
+// stats deduplication (many trees may share one Compiler through clones).
+var compilerIDs atomic.Uint64
+
 // Compiler interns compiled matchers by fingerprint, so every structurally
 // identical interest in a process — a tree whose leaf summaries repeat a
 // handful of subscription shapes, a fleet sharing one Compiler through
 // tree clones — holds the same *CompiledMatcher. Interning is also what
 // makes compiled-summary pointer equality a cheap "did the language
 // change?" test. Safe for concurrent use.
+//
+// The table is bounded by generational sweep: inserts and hits land in the
+// hot generation; when hot reaches half the bound, the cold generation —
+// every fingerprint not touched since the last sweep, i.e. languages whose
+// view generations have retired — is dropped wholesale. Eviction only costs
+// a recompile (and a pointer-identity miss) if the language recurs; it never
+// affects matching semantics.
 type Compiler struct {
-	mu sync.Mutex
-	m  map[string]*CompiledMatcher
+	mu        sync.Mutex
+	id        uint64
+	bound     int
+	hot, cold map[string]*CompiledMatcher
+	evictions uint64
 }
 
-// NewCompiler returns an empty interning compiler.
-func NewCompiler() *Compiler {
-	return &Compiler{m: make(map[string]*CompiledMatcher)}
+// CompilerStats is a snapshot of a Compiler's interning table.
+type CompilerStats struct {
+	// ID identifies the compiler instance (clone-shared compilers report one
+	// ID), letting fleet aggregation count each table once.
+	ID uint64
+	// Entries is the number of live interned languages (both generations).
+	Entries int
+	// Evictions counts languages dropped by generation sweeps since creation.
+	Evictions uint64
+}
+
+// NewCompiler returns an empty interning compiler with the default bound.
+func NewCompiler() *Compiler { return NewCompilerBounded(0) }
+
+// NewCompilerBounded returns an empty interning compiler holding at most
+// bound live entries; 0 means DefaultCompilerBound.
+func NewCompilerBounded(bound int) *Compiler {
+	if bound <= 0 {
+		bound = DefaultCompilerBound
+	}
+	return &Compiler{
+		id:    compilerIDs.Add(1),
+		bound: bound,
+		hot:   make(map[string]*CompiledMatcher),
+		cold:  make(map[string]*CompiledMatcher),
+	}
+}
+
+// putLocked inserts into the hot generation, rotating generations first if
+// hot is full (hot and cold stay disjoint; live entries never exceed bound).
+func (c *Compiler) putLocked(fp string, m *CompiledMatcher) {
+	if _, ok := c.hot[fp]; !ok && len(c.hot) >= max(1, c.bound/2) {
+		c.evictions += uint64(len(c.cold))
+		c.cold = c.hot
+		c.hot = make(map[string]*CompiledMatcher, len(c.cold))
+	}
+	c.hot[fp] = m
 }
 
 // intern returns the canonical matcher for the fingerprint, compiling once.
 func (c *Compiler) intern(fp string, compile func() *CompiledMatcher) *CompiledMatcher {
 	c.mu.Lock()
-	if m, ok := c.m[fp]; ok {
+	if m, ok := c.hot[fp]; ok {
+		c.mu.Unlock()
+		return m
+	}
+	if m, ok := c.cold[fp]; ok {
+		// Promote: a touched language survives the next sweep.
+		delete(c.cold, fp)
+		c.putLocked(fp, m)
 		c.mu.Unlock()
 		return m
 	}
@@ -326,10 +387,14 @@ func (c *Compiler) intern(fp string, compile func() *CompiledMatcher) *CompiledM
 	// two racing compiles of the same language are idempotent.
 	m := compile()
 	c.mu.Lock()
-	if prev, ok := c.m[m.fp]; ok {
+	if prev, ok := c.hot[m.fp]; ok {
 		m = prev
+	} else if prev, ok := c.cold[m.fp]; ok {
+		m = prev
+		delete(c.cold, m.fp)
+		c.putLocked(m.fp, m)
 	} else {
-		c.m[m.fp] = m
+		c.putLocked(m.fp, m)
 	}
 	c.mu.Unlock()
 	return m
@@ -349,5 +414,12 @@ func (c *Compiler) CompileSummary(s *Summary) *CompiledMatcher {
 func (c *Compiler) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	return len(c.hot) + len(c.cold)
+}
+
+// Stats returns a snapshot of the interning table.
+func (c *Compiler) Stats() CompilerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CompilerStats{ID: c.id, Entries: len(c.hot) + len(c.cold), Evictions: c.evictions}
 }

@@ -1,0 +1,59 @@
+package interest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCompilerBounded pins the interning compiler's growth contract: live
+// entries never exceed the bound, the generational sweep evicts under a
+// stream of fresh languages, and interning still holds for languages in
+// the live window — the same subscription compiled twice in a row returns
+// the identical pointer (pointer equality IS language equality, which the
+// tree's matcher dedup depends on).
+func TestCompilerBounded(t *testing.T) {
+	const bound = 4
+	c := NewCompilerBounded(bound)
+	var last *CompiledMatcher
+	for i := 0; i < 100; i++ {
+		sub := NewSubscription().Where("topic", OneOf(fmt.Sprintf("t%03d", i)))
+		m := c.Compile(sub)
+		if again := c.Compile(sub); again != m {
+			t.Fatalf("language %d: immediate re-compile returned a fresh pointer — interning broken", i)
+		}
+		if m == last {
+			t.Fatalf("language %d interned to its predecessor's matcher", i)
+		}
+		last = m
+	}
+	st := c.Stats()
+	if st.Entries > bound {
+		t.Errorf("compiler holds %d entries, bound %d", st.Entries, bound)
+	}
+	if st.Evictions == 0 {
+		t.Error("100 fresh languages through a 4-entry compiler evicted nothing")
+	}
+	if st.ID == 0 {
+		t.Error("compiler has no identity — fleet stats cannot dedupe it")
+	}
+	if other := NewCompilerBounded(bound); other.Stats().ID == st.ID {
+		t.Error("two compilers share an identity")
+	}
+}
+
+// TestCompilerDefaultBound: the zero value of the bound is the default,
+// not unbounded.
+func TestCompilerDefaultBound(t *testing.T) {
+	c := NewCompilerBounded(0)
+	for i := 0; i < 200; i++ {
+		c.Compile(NewSubscription().Where("k", EqInt(int64(i))))
+	}
+	st := c.Stats()
+	if st.Entries != 200 {
+		t.Errorf("200 distinct languages, %d live entries — default bound %d should hold them all",
+			st.Entries, DefaultCompilerBound)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("default-bound compiler evicted %d entries under 200 languages", st.Evictions)
+	}
+}

@@ -536,10 +536,35 @@ func (n *Node) FECStats() FECStats {
 func (n *Node) MatchStats() core.MatchStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.proc == nil {
-		return core.MatchStats{}
+	var st core.MatchStats
+	if n.proc != nil {
+		st = n.proc.MatchStats()
 	}
-	return n.proc.MatchStats()
+	if n.tree != nil {
+		fs := n.tree.FoldStats()
+		st.FoldRecomputes = fs.Recomputes
+		st.FoldHits = fs.Hits
+		st.FoldCacheEntries = uint64(fs.CacheEntries)
+		st.FoldCacheEvictions = fs.CacheEvictions
+		st.CompilerEntries = uint64(fs.CompilerEntries)
+		st.CompilerEvictions = fs.CompilerEvictions
+	}
+	return st
+}
+
+// FoldStats reports the fold layer behind the node's membership trie: this
+// tree's regrouping counters plus the occupancy of the (possibly
+// clone-shared) fold cache and interning compiler. Zero when the node has
+// not built a tree yet. Fleet aggregation dedupes the cache fields by
+// CacheID/CompilerID — co-hosted nodes bootstrapped from one oracle share
+// one cache.
+func (n *Node) FoldStats() tree.FoldStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.tree == nil {
+		return tree.FoldStats{}
+	}
+	return n.tree.FoldStats()
 }
 
 // Subscribe replaces the node's interests; the change propagates through

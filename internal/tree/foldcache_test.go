@@ -1,0 +1,115 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+)
+
+// TestFoldCacheBounded drives sustained subscription flux — every round
+// mints 16 fresh fold inputs — through a tree whose fold cache and
+// interning compiler are bounded to 4 entries, and checks the bound holds:
+// live entries never exceed the bound, the generational sweep actually
+// evicts, and eviction is a pure cost (the tree's summaries stay correct,
+// it just recomputes folds a bigger cache would have remembered).
+func TestFoldCacheBounded(t *testing.T) {
+	space, err := addr.NewSpace(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound = 4
+	members := make([]Member, space.Capacity())
+	for i := range members {
+		members[i] = Member{
+			Addr: space.AddressAt(i),
+			Sub:  interest.NewSubscription().Where("topic", interest.OneOf(fmt.Sprintf("seed-%d", i))),
+		}
+	}
+	tr, err := Build(Config{Space: space, R: 2, FoldCacheBound: bound, CompilerBound: bound}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 32; round++ {
+		for i := range members {
+			sub := interest.NewSubscription().
+				Where("topic", interest.OneOf(fmt.Sprintf("r%d-n%d", round, i)))
+			if err := tr.UpdateSubscription(members[i].Addr, sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fs := tr.FoldStats()
+	if fs.CacheEntries > bound {
+		t.Errorf("fold cache holds %d entries, bound %d", fs.CacheEntries, bound)
+	}
+	if fs.CacheEvictions == 0 {
+		t.Error("sustained flux evicted nothing — the fold cache is not bounded")
+	}
+	if fs.CompilerEntries > bound {
+		t.Errorf("compiler holds %d entries, bound %d", fs.CompilerEntries, bound)
+	}
+	if fs.CompilerEvictions == 0 {
+		t.Error("sustained flux evicted no compiled languages — the compiler is not bounded")
+	}
+	if fs.Recomputes == 0 {
+		t.Error("fold recompute meter never moved")
+	}
+	// Eviction must not corrupt matching: the last round's subscriptions
+	// are live, the first round's are gone.
+	last := event.New(event.ID{Origin: "fc", Seq: 1},
+		map[string]event.Value{"topic": event.Str("r31-n5")})
+	if got := tr.MatchReach(last); got == 0 {
+		t.Error("live subscription unreachable after cache churn")
+	}
+	stale := event.New(event.ID{Origin: "fc", Seq: 2},
+		map[string]event.Value{"topic": event.Str("r0-n5")})
+	if got := tr.MatchReach(stale); got != 0 {
+		t.Errorf("replaced subscription still reachable (%d) after cache churn", got)
+	}
+}
+
+// TestFoldCacheSharing pins the other half of the contract: two trees over
+// identical member sets share fold results — the second build is nearly
+// all cache hits — because clones and co-hosted fleets are meant to pay
+// for each distinct fold once.
+func TestFoldCacheSharing(t *testing.T) {
+	space, err := addr.NewSpace(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]Member, space.Capacity())
+	for i := range members {
+		members[i] = Member{
+			Addr: space.AddressAt(i),
+			Sub:  interest.NewSubscription().Where("topic", interest.OneOf(fmt.Sprintf("t-%d", i/4))),
+		}
+	}
+	tr, err := Build(Config{Space: space, R: 2}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.FoldStats()
+	clone := tr.Clone()
+	for i := range members {
+		// A no-op update (same subscription) recomputes the path; every
+		// fold input recurs, so the shared cache must serve them all.
+		if err := clone.UpdateSubscription(members[i].Addr, members[i].Sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Clone shares the donor's caches but meters its own regrouping work
+	// from zero.
+	second := clone.FoldStats()
+	if second.CacheID != first.CacheID {
+		t.Fatalf("clone minted its own fold cache (%d vs %d) — sharing lost", second.CacheID, first.CacheID)
+	}
+	if second.Recomputes != 0 {
+		t.Errorf("recurring folds recomputed %d times; want 0 (all served by the shared cache)", second.Recomputes)
+	}
+	if second.Hits == 0 {
+		t.Error("fold-cache hit meter never moved across the clone's recomputes")
+	}
+}

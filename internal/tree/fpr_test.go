@@ -1,0 +1,142 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+
+	"pmcast/internal/addr"
+	"pmcast/internal/event"
+	"pmcast/internal/interest"
+)
+
+// TestWidenedSummaryFalsePositiveRates pins the regrouping lossiness of
+// known skewed subscription sets: MatchReach counts the leaf entries an
+// event's descent reaches through the folded interior summaries, the exact
+// per-member match counts who is truly interested, and the gap is the
+// summary false-positive rate. The table walks the three widening regimes
+// of Criterion.Union — exact folds (identical interests collapse, FPR 0),
+// group-granularity overshoot (disjoint interests, the leaf group is the
+// resolution floor), string unions past MaxStringDisjuncts widening to the
+// wildcard, and interval unions past MaxNumericDisjuncts collapsing to
+// their hull (which admits values in the gaps no member wants). The rates
+// are pinned, not bounded: a change here means the regrouping heuristics
+// moved, which is a protocol-visible change.
+func TestWidenedSummaryFalsePositiveRates(t *testing.T) {
+	// 4 top-level subtrees × 16-member leaf groups: folding a leaf group's
+	// 16 interests past the default 8-disjunct summary bound forces the
+	// closest-pair Union merges where widening lives.
+	space, err := addr.NewSpace(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := space.Capacity()
+
+	type tc struct {
+		name string
+		// subFor builds member i's subscription.
+		subFor func(i int) interest.Subscription
+		// attrs is the probe event's payload.
+		attrs map[string]event.Value
+		// wantFPR is (reached − interested) / reached for the probe.
+		wantFPR float64
+	}
+	cases := []tc{
+		{
+			// Every member of group g wants exactly topic "shared-g": the
+			// 16 identical disjuncts collapse to one, the fold is exact,
+			// and reach equals interest.
+			name: "identical-interests-exact",
+			subFor: func(i int) interest.Subscription {
+				return interest.NewSubscription().
+					Where("topic", interest.OneOf(fmt.Sprintf("shared-%d", i/16)))
+			},
+			attrs:   map[string]event.Value{"topic": event.Str("shared-0")},
+			wantFPR: 0,
+		},
+		{
+			// Disjoint one-topic interests: the fold stays exact (16
+			// single-string disjuncts merge into OneOf unions well under
+			// the 64-string cap), but matching is at leaf-group
+			// granularity — one interested member pulls in its 15
+			// neighbors. FPR = 15/16.
+			name: "disjoint-group-granularity",
+			subFor: func(i int) interest.Subscription {
+				return interest.NewSubscription().
+					Where("topic", interest.OneOf(fmt.Sprintf("only-%d", i)))
+			},
+			attrs:   map[string]event.Value{"topic": event.Str("only-0")},
+			wantFPR: 15.0 / 16.0,
+		},
+		{
+			// 40 distinct strings per member: any closest-pair merge of
+			// two members unions 80 > MaxStringDisjuncts strings and
+			// widens to the wildcard, so every leaf group's summary
+			// admits every topic. One member is interested; all 64 leaf
+			// entries are reached. FPR = 63/64.
+			name: "string-union-widens-to-wildcard",
+			subFor: func(i int) interest.Subscription {
+				names := make([]string, 40)
+				for j := range names {
+					names[j] = fmt.Sprintf("s%04d", i*40+j)
+				}
+				return interest.NewSubscription().Where("topic", interest.OneOf(names...))
+			},
+			attrs:   map[string]event.Value{"topic": event.Str("s0000")},
+			wantFPR: 63.0 / 64.0,
+		},
+		{
+			// 10 narrow intervals per member around disjoint bases: any
+			// merge of two members carries 20 > MaxNumericDisjuncts
+			// intervals and collapses to its hull, which admits the gaps
+			// between members' ranges. The probe price interests nobody,
+			// yet every group's hull admits it: reach 64, interest 0,
+			// FPR 1.
+			name: "interval-union-collapses-to-hull",
+			subFor: func(i int) interest.Subscription {
+				ivs := make([]interest.Interval, 10)
+				for j := range ivs {
+					lo := float64(i*1000 + j*10)
+					ivs[j] = interest.Interval{Lo: lo, Hi: lo + 1}
+				}
+				return interest.NewSubscription().Where("price", interest.InIntervals(ivs...))
+			},
+			attrs:   map[string]event.Value{"price": event.Float(555)},
+			wantFPR: 1,
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			members := make([]Member, nodes)
+			for i := range members {
+				members[i] = Member{Addr: space.AddressAt(i), Sub: c.subFor(i)}
+			}
+			tr, err := Build(Config{Space: space, R: 2}, members)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := event.New(event.ID{Origin: "fpr", Seq: 1}, c.attrs)
+			reached := tr.MatchReach(ev)
+			interested := 0
+			for _, m := range members {
+				if m.Sub.Matches(ev) {
+					interested++
+				}
+			}
+			if reached < interested {
+				t.Fatalf("reach %d < interested %d — summaries narrowed an interest", reached, interested)
+			}
+			if reached == 0 {
+				if c.wantFPR != 0 {
+					t.Fatalf("probe reached nobody, want FPR %.3f", c.wantFPR)
+				}
+				return
+			}
+			got := float64(reached-interested) / float64(reached)
+			if diff := got - c.wantFPR; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("FPR %.6f (reached %d, interested %d), pinned %.6f",
+					got, reached, interested, c.wantFPR)
+			}
+		})
+	}
+}

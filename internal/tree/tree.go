@@ -12,8 +12,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pmcast/internal/addr"
+	"pmcast/internal/event"
 	"pmcast/internal/interest"
 )
 
@@ -96,6 +98,12 @@ type Config struct {
 	// SummaryBound caps disjuncts per regrouped interest summary;
 	// 0 means interest.DefaultMaxDisjuncts.
 	SummaryBound int
+	// FoldCacheBound caps live entries in the shared fold cache;
+	// 0 means DefaultFoldCacheBound.
+	FoldCacheBound int
+	// CompilerBound caps interned compiled languages;
+	// 0 means interest.DefaultCompilerBound.
+	CompilerBound int
 }
 
 // ownerTok marks trie nodes writable by exactly one tree: a node whose
@@ -128,12 +136,60 @@ type node struct {
 	// sound signal that cached per-event matching results over the view
 	// remain exact.
 	gen uint64
+	// viewGen advances exactly when the view-visible state of this node —
+	// its children's delegates, counts or summary languages, captured in
+	// kids — actually changed, while gen advances on every recompute.
+	// Views carry viewGen: under skewed subscription flux most recomputes
+	// re-derive identical lines (popular classes dominate every fold), and
+	// a stable viewGen keeps per-event profile caches warm across them.
+	// Sound because interned compiled-summary pointer equality is language
+	// equality, and a view exposes nothing beyond what kids captures.
+	viewGen uint64
+	// kids is the view-visible signature of the children at the last
+	// recompute, in sorted digit order; recompute compares against it to
+	// decide whether viewGen must advance. Replaced wholesale, so clones
+	// may share it.
+	kids []kidSig
 	// orderedFP is the order-sensitive fingerprint of the node's summary
 	// (disjunct fingerprints in slice order): the exact identity of the
 	// summary as a fold input, used to key parent folds in the shared
 	// fold cache. Order matters — regrouping's merge heuristic depends on
 	// accumulation order, so only order-identical inputs may share a fold.
 	orderedFP string
+}
+
+// kidSig is one child's contribution to the parent's view: everything a
+// view line exposes about the subgroup.
+type kidSig struct {
+	digit     int
+	count     int
+	compiled  *interest.CompiledMatcher
+	delegates []addr.Address
+}
+
+// kidsEqual reports whether two child signatures expose identical view
+// lines. Compiled pointers compare by identity: the shared Compiler interns
+// by language fingerprint, so equal pointers mean equal matched languages
+// (the converse may fail after a compiler sweep, which only costs a
+// spurious generation bump — the safe direction).
+func kidsEqual(a, b []kidSig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].digit != b[i].digit || a[i].count != b[i].count || a[i].compiled != b[i].compiled {
+			return false
+		}
+		if len(a[i].delegates) != len(b[i].delegates) {
+			return false
+		}
+		for j := range a[i].delegates {
+			if !a[i].delegates[j].Equal(b[i].delegates[j]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Tree is the compound spanning tree over a concrete member population.
@@ -165,6 +221,49 @@ type Tree struct {
 	// child summaries, and co-hosted processes folding the same membership
 	// movement redo identical merges — the first pays, the rest look up.
 	folds *foldCache
+	// foldRecomputes and foldHits count the regroupings this tree computed
+	// (shared-cache misses it paid for) vs. looked up. Per-tree — unlike
+	// the cache's own occupancy stats — so fleet reports can sum them.
+	foldRecomputes uint64
+	foldHits       uint64
+}
+
+// FoldStats is a snapshot of the fold layer: this tree's own regrouping
+// counters plus the occupancy of the shared caches behind it. The cache and
+// compiler fields describe instances possibly shared with clones — fleet
+// aggregation must dedupe them by ID, not sum them per tree.
+type FoldStats struct {
+	// Recomputes counts summary regroupings this tree computed (fold-cache
+	// misses it paid); Hits the regroupings served from the shared cache.
+	Recomputes uint64
+	Hits       uint64
+	// CacheID identifies the shared fold cache; CacheEntries its live
+	// entries (gauge); CacheEvictions the entries dropped by generation
+	// sweeps since creation (counter).
+	CacheID        uint64
+	CacheEntries   int
+	CacheEvictions uint64
+	// CompilerID/Entries/Evictions mirror the above for the interning
+	// compiler.
+	CompilerID        uint64
+	CompilerEntries   int
+	CompilerEvictions uint64
+}
+
+// FoldStats reports the fold layer's counters and cache occupancy.
+func (t *Tree) FoldStats() FoldStats {
+	id, entries, evictions := t.folds.stats()
+	cs := t.compiler.Stats()
+	return FoldStats{
+		Recomputes:        t.foldRecomputes,
+		Hits:              t.foldHits,
+		CacheID:           id,
+		CacheEntries:      entries,
+		CacheEvictions:    evictions,
+		CompilerID:        cs.ID,
+		CompilerEntries:   cs.Entries,
+		CompilerEvictions: cs.Evictions,
+	}
 }
 
 // foldEntry is one memoized regrouping result: the merged summary (treated
@@ -177,35 +276,80 @@ type foldEntry struct {
 	fp       string
 }
 
-// maxFoldEntries bounds the fold cache; past it the cache resets wholesale
-// (deterministic, and correctness never depends on a hit).
-const maxFoldEntries = 1 << 16
+// DefaultFoldCacheBound caps live entries in the shared fold cache (across
+// both generations). Sustained subscription flux mints fresh fold inputs
+// indefinitely; the former wholesale reset at this size threw the whole
+// working set away, the generational sweep below keeps the touched half.
+const DefaultFoldCacheBound = 1 << 16
+
+// foldCacheIDs mints process-unique cache identities so fleet-level stats
+// can count each shared cache once (a co-hosted fleet shares one through
+// tree clones).
+var foldCacheIDs atomic.Uint64
 
 // foldCache is the shared regrouping memo. Safe for concurrent use: trees
 // cloned across live nodes rebuild on their own goroutines.
+//
+// It is bounded by generational sweep: inserts and hits land in the hot
+// generation; when hot reaches half the bound, the cold generation — every
+// fold input not touched since the last sweep — is dropped wholesale. A
+// dropped entry only costs a recompute if the fold recurs; correctness
+// never depends on a hit.
 type foldCache struct {
-	mu sync.Mutex
-	m  map[string]foldEntry
+	mu        sync.Mutex
+	id        uint64
+	bound     int
+	hot, cold map[string]foldEntry
+	evictions uint64
 }
 
-func newFoldCache() *foldCache {
-	return &foldCache{m: make(map[string]foldEntry)}
+func newFoldCache(bound int) *foldCache {
+	if bound <= 0 {
+		bound = DefaultFoldCacheBound
+	}
+	return &foldCache{
+		id:    foldCacheIDs.Add(1),
+		bound: bound,
+		hot:   make(map[string]foldEntry),
+		cold:  make(map[string]foldEntry),
+	}
 }
 
 func (fc *foldCache) get(key string) (foldEntry, bool) {
 	fc.mu.Lock()
-	e, ok := fc.m[key]
+	e, ok := fc.hot[key]
+	if !ok {
+		if e, ok = fc.cold[key]; ok {
+			// Promote: a touched fold survives the next sweep.
+			delete(fc.cold, key)
+			fc.putLocked(key, e)
+		}
+	}
 	fc.mu.Unlock()
 	return e, ok
 }
 
 func (fc *foldCache) put(key string, e foldEntry) {
 	fc.mu.Lock()
-	if len(fc.m) >= maxFoldEntries {
-		fc.m = make(map[string]foldEntry)
-	}
-	fc.m[key] = e
+	fc.putLocked(key, e)
 	fc.mu.Unlock()
+}
+
+// putLocked inserts into the hot generation, rotating generations first if
+// hot is full (hot and cold stay disjoint; live entries never exceed bound).
+func (fc *foldCache) putLocked(key string, e foldEntry) {
+	if _, ok := fc.hot[key]; !ok && len(fc.hot) >= max(1, fc.bound/2) {
+		fc.evictions += uint64(len(fc.cold))
+		fc.cold = fc.hot
+		fc.hot = make(map[string]foldEntry, len(fc.cold))
+	}
+	fc.hot[key] = e
+}
+
+func (fc *foldCache) stats() (id uint64, entries int, evictions uint64) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.id, len(fc.hot) + len(fc.cold), fc.evictions
 }
 
 // New builds an empty tree.
@@ -228,8 +372,8 @@ func New(cfg Config) (*Tree, error) {
 		root:        &node{prefix: addr.Root(), children: make(map[int]*node), owner: tok},
 		members:     make(map[string]*Member),
 		membersDead: make(map[string]struct{}),
-		compiler:    interest.NewCompiler(),
-		folds:       newFoldCache(),
+		compiler:    interest.NewCompilerBounded(cfg.CompilerBound),
+		folds:       newFoldCache(cfg.FoldCacheBound),
 	}, nil
 }
 
@@ -279,6 +423,8 @@ func copyNode(n *node, tok *ownerTok) *node {
 		summary:   n.summary,
 		compiled:  n.compiled,
 		gen:       n.gen,
+		viewGen:   n.viewGen,
+		kids:      n.kids,
 		orderedFP: n.orderedFP,
 		owner:     tok,
 	}
@@ -688,9 +834,15 @@ func (t *Tree) recompute(n *node) {
 			s.Add(n.member.Sub)
 			e = foldEntry{summary: s, compiled: t.compiler.CompileSummary(s), fp: s.OrderedFingerprint()}
 			t.folds.put(key, e)
+			t.foldRecomputes++
+		} else {
+			t.foldHits++
 		}
 		n.summary, n.compiled, n.orderedFP = e.summary, e.compiled, e.fp
 		n.delegates = []addr.Address{n.member.Addr}
+		// Leaves base no view (views are built over strict prefixes); their
+		// visible state is captured by the parent's kids signature.
+		n.viewGen = n.gen
 		return
 	}
 	n.count = 0
@@ -698,6 +850,7 @@ func (t *Tree) recompute(n *node) {
 	var kb strings.Builder
 	kb.WriteString("I\x00")
 	candidates := make([]addr.Address, 0, t.cfg.R*len(n.children))
+	newKids := make([]kidSig, 0, len(digits))
 	for _, digit := range digits {
 		child := n.children[digit]
 		n.count += child.count
@@ -708,6 +861,12 @@ func (t *Tree) recompute(n *node) {
 		kb.WriteByte(':')
 		kb.WriteString(child.orderedFP)
 		candidates = append(candidates, child.delegates...)
+		newKids = append(newKids, kidSig{
+			digit:     digit,
+			count:     child.count,
+			compiled:  child.compiled,
+			delegates: child.delegates,
+		})
 	}
 	key := kb.String()
 	e, ok := t.folds.get(key)
@@ -718,10 +877,17 @@ func (t *Tree) recompute(n *node) {
 		}
 		e = foldEntry{summary: s, compiled: t.compiler.CompileSummary(s), fp: s.OrderedFingerprint()}
 		t.folds.put(key, e)
+		t.foldRecomputes++
+	} else {
+		t.foldHits++
 	}
 	n.summary, n.compiled, n.orderedFP = e.summary, e.compiled, e.fp
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Less(candidates[j]) })
 	n.delegates = t.election.Elect(candidates, t.cfg.R)
+	if !kidsEqual(n.kids, newKids) {
+		n.viewGen = n.gen
+	}
+	n.kids = newKids
 }
 
 func sortedDigits(children map[int]*node) []int {
@@ -788,16 +954,52 @@ func (t *Tree) CompiledSummary(p addr.Prefix) *interest.CompiledMatcher {
 	return n.compiled
 }
 
-// Generation returns the recomputation counter of the prefix node: it
-// advances whenever anything below the prefix changed, so equal generations
-// guarantee the views built over this prefix match events identically.
-// Unpopulated prefixes report 0.
+// Generation returns the view generation of the prefix node: it advances
+// exactly when a recompute changed what a view built over this prefix
+// exposes (its subgroups' delegates, counts or summary languages), so equal
+// generations guarantee the views match events identically — and recomputes
+// that re-derive identical lines, the common case under skewed subscription
+// flux, leave it untouched. Unpopulated prefixes report 0.
 func (t *Tree) Generation(p addr.Prefix) uint64 {
 	n := t.lookup(p)
 	if n == nil {
 		return 0
 	}
-	return n.gen
+	return n.viewGen
+}
+
+// MatchReach counts the members an event descends to through the regrouped
+// summary hierarchy: a member is reached when the summary of every interior
+// prefix on its path (lengths 0 … d−1 — the prefixes the view tables at
+// depths 1 … d are built over) matches the event, i.e. the event's gossip
+// enters the member's leaf group. The member's own exact interest at depth d
+// is deliberately not consulted: it is what finally filters delivery, so
+// reach minus interest is precisely the routing the widened summaries could
+// not prune. Summaries only over-approximate (regrouping widens, never
+// narrows), so the reached set always contains the interested set — the
+// surplus is the false-positive traffic the disjunct caps
+// (MaxNumericDisjuncts, MaxStringDisjuncts and the summary bound) trade for
+// bounded summaries, which is what the harness's
+// summary_false_positive_rate reports.
+func (t *Tree) MatchReach(ev event.Event) int {
+	return matchReach(t.root, ev)
+}
+
+func matchReach(n *node, ev event.Event) int {
+	if n == nil {
+		return 0
+	}
+	if n.member != nil {
+		return 1 // entry was gated by the parent prefix's summary
+	}
+	if n.compiled == nil || !n.compiled.Matches(ev) {
+		return 0
+	}
+	total := 0
+	for _, child := range n.children {
+		total += matchReach(child, ev)
+	}
+	return total
 }
 
 // IsDelegate reports whether process a represents its depth-i subtree, i.e.

@@ -153,7 +153,7 @@ func (t *Tree) ViewOf(p addr.Prefix, depth int) *View {
 		return nil
 	}
 	leaf := depth == t.Depth()
-	v := &View{Prefix: p, Depth: depth, R: t.cfg.R, LeafLevel: leaf, Gen: n.gen}
+	v := &View{Prefix: p, Depth: depth, R: t.cfg.R, LeafLevel: leaf, Gen: n.viewGen}
 	v.Lines = make([]Line, 0, len(n.children))
 	for _, digit := range sortedDigits(n.children) {
 		child := n.children[digit]
